@@ -1,0 +1,108 @@
+// Command atpg generates stuck-at test sets for a circuit and reports
+// coverage: plain detection sets, n-detection sets, and diagnostic test
+// sets with miter-based pair distinguishing.
+//
+// Usage:
+//
+//	atpg -circuit s298 [-n 10] [-diag] [-seed N] [-o tests.txt]
+//	atpg -bench circuit.bench -n 1
+//
+// The output file holds one fully specified test vector per line, ordered
+// over the full-scan inputs (primary inputs, then flip-flop pseudo inputs).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sddict/internal/atpg"
+	"sddict/internal/bench"
+	"sddict/internal/fault"
+	"sddict/internal/gen"
+	"sddict/internal/netlist"
+)
+
+func main() {
+	var (
+		circuit   = flag.String("circuit", "", "named synthetic circuit profile")
+		benchPath = flag.String("bench", "", ".bench netlist to load instead of a profile")
+		n         = flag.Int("n", 1, "required detections per fault")
+		diag      = flag.Bool("diag", false, "extend into a diagnostic test set (pair distinguishing)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("o", "", "write test vectors to this file")
+	)
+	flag.Parse()
+
+	var (
+		c   *netlist.Circuit
+		err error
+	)
+	switch {
+	case *benchPath != "":
+		f, ferr := os.Open(*benchPath)
+		if ferr != nil {
+			fatal("%v", ferr)
+		}
+		c, err = bench.Parse(f, *benchPath)
+		f.Close()
+	case *circuit != "":
+		var p gen.Profile
+		p, err = gen.Named(*circuit)
+		if err == nil {
+			c, err = p.Generate(*seed + 1)
+		}
+	default:
+		fatal("need -circuit or -bench")
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	comb := netlist.Combinationalize(c)
+	col := fault.Collapse(comb)
+	fmt.Printf("circuit %s: %d faults (collapsed from %d)\n", c.Name, len(col.Faults), len(col.Universe))
+
+	cfg := atpg.DefaultConfig(*n)
+	cfg.Seed = *seed + 2
+	cfg.Compact = *n == 1
+	tests, st := atpg.GenerateDetection(comb, col.Faults, cfg)
+	fmt.Printf("detection: %d tests (%d random, %d podem), coverage %.2f%%, %d/%d reach %d detections, %d untestable, %d aborted\n",
+		tests.Len(), st.RandomTests, st.PodemTests, 100*st.Coverage(),
+		st.NDetected, st.Faults, *n, st.Untestable, st.Aborted)
+
+	if *diag {
+		dcfg := atpg.DefaultDiagConfig()
+		dcfg.Seed = *seed + 3
+		var dst atpg.DiagStats
+		tests, dst = atpg.GenerateDiagnostic(comb, col.Faults, tests, dcfg)
+		fmt.Printf("diagnostic: +%d random +%d miter tests over %d rounds (%d miter calls); "+
+			"%d equivalent pairs, %d aborted, %d response-identical pairs remain\n",
+			dst.RandomTests, dst.AddedTests, dst.Rounds, dst.MiterCalls,
+			dst.Equivalent, dst.Aborted, dst.IndistPairs)
+	}
+
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			fatal("%v", ferr)
+		}
+		w := bufio.NewWriter(f)
+		for _, v := range tests.Vecs {
+			fmt.Fprintln(w, v.Key())
+		}
+		if err := w.Flush(); err != nil {
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %d vectors (%d inputs each) to %s\n", tests.Len(), tests.Width, *out)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "atpg: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command benchgen emits the synthetic benchmark circuits as ISCAS-89
+// .bench files, so the generated analogs can be inspected, archived, or
+// fed to third-party tools.
+//
+// Usage:
+//
+//	benchgen -circuit s344 -seed 2 -o s344.bench
+//	benchgen -all -dir ./circuits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sddict/internal/bench"
+	"sddict/internal/gen"
+	"sddict/internal/netlist"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "", "profile name to synthesize")
+		all     = flag.Bool("all", false, "emit every registered profile")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		out     = flag.String("o", "", "output file (default: stdout)")
+		dir     = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	emit := func(c *netlist.Circuit, path string) {
+		var w *os.File
+		var err error
+		if path == "" {
+			w = os.Stdout
+		} else {
+			w, err = os.Create(path)
+			if err != nil {
+				fatal("%v", err)
+			}
+		}
+		if err := bench.Write(w, c); err != nil {
+			fatal("%v", err)
+		}
+		if path != "" {
+			if err := w.Close(); err != nil {
+				fatal("%v", err)
+			}
+			fmt.Printf("%s: %s\n", path, c.Stat())
+		}
+	}
+
+	switch {
+	case *all:
+		for _, name := range gen.Names() {
+			c := gen.Profiles[name].MustGenerate(*seed + 1)
+			emit(c, filepath.Join(*dir, name+".bench"))
+		}
+	case *circuit != "":
+		p, err := gen.Named(*circuit)
+		if err != nil {
+			fatal("%v", err)
+		}
+		c, err := p.Generate(*seed + 1)
+		if err != nil {
+			fatal("%v", err)
+		}
+		emit(c, *out)
+	default:
+		fatal("need -circuit or -all")
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchgen: "+format+"\n", args...)
+	os.Exit(1)
+}

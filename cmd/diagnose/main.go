@@ -1,0 +1,102 @@
+// Command diagnose runs tester-side cause-effect diagnosis with a compiled
+// dictionary produced by `sdd -save-dict`: it reduces an observed response
+// file to a signature and prints the matching fault candidates.
+//
+// Usage:
+//
+//	diagnose -dict s208.sdd -responses observed.txt
+//
+// The responses file holds one output vector (0/1 string, one bit per
+// circuit output) per test, in test order — exactly what automatic test
+// equipment logs per applied pattern.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sddict/internal/core"
+	"sddict/internal/logic"
+)
+
+func main() {
+	var (
+		dictPath = flag.String("dict", "", "compiled dictionary file (from sdd -save-dict)")
+		respPath = flag.String("responses", "", "observed responses, one 0/1 output vector per test")
+	)
+	flag.Parse()
+	if *dictPath == "" || *respPath == "" {
+		fatal("need -dict and -responses")
+	}
+
+	df, err := os.Open(*dictPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	dict, err := core.ReadCompiled(df)
+	df.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("dictionary: %s, %d faults, %d tests, %d outputs, %d payload bits\n",
+		dict.Kind, len(dict.Rows), dict.NumTests, dict.Outputs, dict.SizeBits())
+
+	rf, err := os.Open(*respPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer rf.Close()
+	var observed []logic.BitVec
+	sc := bufio.NewScanner(rf)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if txt == "" {
+			continue
+		}
+		if len(txt) != dict.Outputs {
+			fatal("line %d: vector has %d bits, dictionary has %d outputs", line, len(txt), dict.Outputs)
+		}
+		v := logic.NewBitVec(dict.Outputs)
+		for i, c := range txt {
+			switch c {
+			case '0':
+			case '1':
+				v.Set(i, 1)
+			default:
+				fatal("line %d: invalid character %q", line, c)
+			}
+		}
+		observed = append(observed, v)
+	}
+	if err := sc.Err(); err != nil {
+		fatal("%v", err)
+	}
+
+	sig, err := dict.Signature(observed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	failing := sig.PopCount()
+	fmt.Printf("signature: %d/%d tests flag \"different\"\n", failing, dict.NumTests)
+
+	cands := dict.Candidates(sig)
+	if len(cands) == 0 {
+		fmt.Println("no exact match: the defect does not behave like any modeled fault")
+		fmt.Println("(nearest-match ranking requires the full library; see internal/diagnose)")
+		os.Exit(2)
+	}
+	fmt.Printf("candidate faults (%d):", len(cands))
+	for _, c := range cands {
+		fmt.Printf(" #%d", c)
+	}
+	fmt.Println()
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "diagnose: "+format+"\n", args...)
+	os.Exit(1)
+}

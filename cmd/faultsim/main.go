@@ -1,0 +1,161 @@
+// Command faultsim fault-simulates a test set against a circuit's collapsed
+// stuck-at faults and reports coverage and per-test detection statistics.
+//
+// Usage:
+//
+//	faultsim -circuit s298 -tests tests.txt
+//	faultsim -bench circuit.bench -random 256
+//
+// Test files hold one 0/1 vector per line over the full-scan inputs (as
+// written by the atpg command); -random simulates N random vectors instead.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sddict/internal/bench"
+	"sddict/internal/fault"
+	"sddict/internal/gen"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+	"sddict/internal/sim"
+)
+
+func main() {
+	var (
+		circuit   = flag.String("circuit", "", "named synthetic circuit profile")
+		benchPath = flag.String("bench", "", ".bench netlist to load instead of a profile")
+		testsPath = flag.String("tests", "", "test vector file (one 0/1 line per test)")
+		random    = flag.Int("random", 0, "simulate this many random vectors instead of -tests")
+		seed      = flag.Int64("seed", 1, "random seed")
+		perTest   = flag.Bool("per-test", false, "print per-test detection counts")
+	)
+	flag.Parse()
+
+	var (
+		c   *netlist.Circuit
+		err error
+	)
+	switch {
+	case *benchPath != "":
+		f, ferr := os.Open(*benchPath)
+		if ferr != nil {
+			fatal("%v", ferr)
+		}
+		c, err = bench.Parse(f, *benchPath)
+		f.Close()
+	case *circuit != "":
+		var p gen.Profile
+		p, err = gen.Named(*circuit)
+		if err == nil {
+			c, err = p.Generate(*seed + 1)
+		}
+	default:
+		fatal("need -circuit or -bench")
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	comb := netlist.Combinationalize(c)
+	view := netlist.NewScanView(comb)
+	col := fault.Collapse(comb)
+
+	tests := pattern.NewSet(view.NumInputs())
+	switch {
+	case *testsPath != "":
+		f, ferr := os.Open(*testsPath)
+		if ferr != nil {
+			fatal("%v", ferr)
+		}
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			txt := sc.Text()
+			if txt == "" {
+				continue
+			}
+			v, verr := pattern.FromString(txt)
+			if verr != nil {
+				fatal("line %d: %v", line, verr)
+			}
+			if len(v) != view.NumInputs() {
+				fatal("line %d: vector width %d, circuit has %d scan inputs", line, len(v), view.NumInputs())
+			}
+			if !v.FullySpecified() {
+				fatal("line %d: vector contains x; fully specified vectors required", line)
+			}
+			tests.Add(v)
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			fatal("%v", err)
+		}
+	case *random > 0:
+		r := rand.New(rand.NewSource(*seed + 2))
+		for i := 0; i < *random; i++ {
+			tests.Add(pattern.Random(r, view.NumInputs()))
+		}
+	default:
+		fatal("need -tests or -random")
+	}
+	if tests.Len() == 0 {
+		fatal("empty test set")
+	}
+
+	s := sim.New(view)
+	counts := make([]int, len(col.Faults))
+	perTestDet := make([]int, tests.Len())
+	base := 0
+	for _, batch := range tests.Pack() {
+		b := batch
+		s.Apply(&b)
+		for fi, f := range col.Faults {
+			eff := s.Propagate(f)
+			for p := 0; p < b.Count; p++ {
+				if eff.Detect&(1<<uint(p)) != 0 {
+					counts[fi]++
+					perTestDet[base+p]++
+				}
+			}
+		}
+		base += b.Count
+	}
+
+	detected := 0
+	totalDet := 0
+	for _, n := range counts {
+		if n > 0 {
+			detected++
+		}
+		totalDet += n
+	}
+	fmt.Printf("circuit %s: %d collapsed faults, %d tests (%d scan inputs, %d scan outputs)\n",
+		c.Name, len(col.Faults), tests.Len(), view.NumInputs(), view.NumOutputs())
+	fmt.Printf("fault coverage: %d/%d = %.2f%%\n",
+		detected, len(col.Faults), 100*float64(detected)/float64(len(col.Faults)))
+	fmt.Printf("total detections: %d (%.1f per detected fault)\n",
+		totalDet, float64(totalDet)/float64(maxInt(detected, 1)))
+	if *perTest {
+		for j, n := range perTestDet {
+			fmt.Printf("t%-5d detects %d faults\n", j, n)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "faultsim: "+format+"\n", args...)
+	os.Exit(1)
+}

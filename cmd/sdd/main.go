@@ -1,0 +1,174 @@
+// Command sdd is the end-to-end pipeline driver: it takes a circuit (a
+// named synthetic profile or a .bench file), collapses its stuck-at faults,
+// generates a test set, builds the full, pass/fail and same/different fault
+// dictionaries, and reports their sizes and diagnostic resolution.
+//
+// Usage:
+//
+//	sdd -circuit s298 [-tests diag|10det] [-seed N] [-effort 0..1]
+//	sdd -bench path/to/circuit.bench [-tests diag|10det]
+//	sdd -list
+//
+// Example:
+//
+//	$ sdd -circuit s344 -tests 10det
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sddict/internal/bench"
+	"sddict/internal/core"
+	"sddict/internal/diagnose"
+	"sddict/internal/experiment"
+	"sddict/internal/fault"
+	"sddict/internal/gen"
+	"sddict/internal/report"
+)
+
+func main() {
+	var (
+		circuit   = flag.String("circuit", "", "named synthetic circuit profile (see -list)")
+		benchPath = flag.String("bench", "", "ISCAS-89 .bench netlist to load instead of a profile")
+		tests     = flag.String("tests", "diag", `test-set type: "diag" or "10det"`)
+		seed      = flag.Int64("seed", 1, "master random seed")
+		effort    = flag.Float64("effort", 0, "search effort in (0,1]; 0 = auto-scale")
+		list      = flag.Bool("list", false, "list available circuit profiles and exit")
+		saveDict  = flag.String("save-dict", "", "write the compiled same/different dictionary to this file")
+		inject    = flag.Int("inject", -1, "inject the i-th collapsed fault as a defect (with -dump-responses)")
+		dumpResp  = flag.String("dump-responses", "", "write the observed responses of the injected defect (cmd/diagnose input)")
+	)
+	flag.Parse()
+
+	if *list {
+		tab := report.NewTable("name", "PIs", "POs", "DFFs", "gates")
+		for _, name := range gen.Names() {
+			p := gen.Profiles[name]
+			tab.Addf(name, p.PIs, p.POs, p.DFFs, p.Gates)
+		}
+		tab.Render(os.Stdout)
+		return
+	}
+
+	tt := experiment.TestSetType(*tests)
+	if tt != experiment.Diagnostic && tt != experiment.TenDetect {
+		fatal("unknown -tests %q (want diag or 10det)", *tests)
+	}
+
+	var (
+		pr  *experiment.Prepared
+		err error
+	)
+	cfg := experiment.Config{Seed: *seed, Effort: *effort}
+	switch {
+	case *benchPath != "":
+		f, ferr := os.Open(*benchPath)
+		if ferr != nil {
+			fatal("%v", ferr)
+		}
+		c, perr := bench.Parse(f, *benchPath)
+		f.Close()
+		if perr != nil {
+			fatal("%v", perr)
+		}
+		pr, err = experiment.Prepare(c, tt, cfg)
+	case *circuit != "":
+		pr, err = experiment.PrepareProfile(*circuit, tt, cfg)
+	default:
+		fatal("need -circuit or -bench (or -list)")
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	st := pr.Circuit.Stat()
+	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates (full-scan view)\n",
+		st.Name, st.PIs, st.POs, st.LogicGates)
+	fmt.Printf("faults: %d collapsed single stuck-at\n", len(pr.Faults))
+	fmt.Printf("tests: %d (%s)\n", pr.Tests.Len(), pr.GenInfo)
+	fmt.Println()
+
+	row := experiment.BuildRow(pr, tt, cfg)
+	m := pr.Matrix
+	full := core.NewFull(m)
+	pf := core.NewPassFail(m)
+	sd := row.Dict
+
+	tab := report.NewTable("dictionary", "size (bits)", "indistinguished pairs", "avg candidates", "perfect diagnoses")
+	for _, d := range []struct {
+		name string
+		dict *core.Dictionary
+		size int64
+		ind  int64
+	}{
+		{"full", full, row.SizeFull, row.IndFull},
+		{"pass/fail", pf, row.SizePF, row.IndPF},
+		{"same/different", sd, row.SizeSD, row.IndSDFinal},
+	} {
+		q := diagnose.EvaluateResolution(d.dict)
+		tab.Addf(d.name, report.Comma(d.size), d.ind,
+			fmt.Sprintf("%.2f", q.AvgCandidates), q.Perfect)
+	}
+	tab.Render(os.Stdout)
+	fmt.Println()
+	fmt.Printf("same/different construction: Procedure 1 best %d (over %d restarts), "+
+		"Procedure 2 %d, fault-free-seeded %d; %d/%d baselines stored after minimization (%s bits)\n",
+		row.IndSDRand, row.BuildStats.Restarts, row.IndSDRepl,
+		row.BuildStats.IndistSeeded, row.StoredBaselines, row.Tests,
+		report.Comma(row.SizeSDMinimized))
+
+	if *dumpResp != "" {
+		if *inject < 0 || *inject >= len(pr.Faults) {
+			fatal("-dump-responses needs -inject in [0,%d)", len(pr.Faults))
+		}
+		defect := pr.Faults[*inject]
+		obs, err := diagnose.ObservedResponses(pr.Circuit, []fault.Fault{defect}, pr.Tests)
+		if err != nil {
+			fatal("%v", err)
+		}
+		f, err := os.Create(*dumpResp)
+		if err != nil {
+			fatal("%v", err)
+		}
+		w := bufio.NewWriter(f)
+		for _, v := range obs {
+			fmt.Fprintln(w, v.String(m.M))
+		}
+		if err := w.Flush(); err != nil {
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("defect #%d (%s) injected; %d observed responses written to %s\n",
+			*inject, defect.Name(pr.Circuit), len(obs), *dumpResp)
+	}
+
+	if *saveDict != "" {
+		compiled, err := sd.Compile()
+		if err != nil {
+			fatal("%v", err)
+		}
+		f, err := os.Create(*saveDict)
+		if err != nil {
+			fatal("%v", err)
+		}
+		n, err := compiled.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal("writing %s: %v", *saveDict, err)
+		}
+		fmt.Printf("compiled same/different dictionary written to %s (%s bytes on disk, %s payload bits)\n",
+			*saveDict, report.Comma(n), report.Comma(compiled.SizeBits()))
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sdd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module sddict
+
+go 1.22

@@ -1,0 +1,69 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"sddict/internal/fault"
+	"sddict/internal/gen"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+	"sddict/internal/sim"
+)
+
+// TestPodemVsRandomSim cross-validates PODEM's Untestable verdicts against
+// random-simulation ground truth: a fault detected by any random pattern
+// must never be declared untestable.
+func TestPodemVsRandomSim(t *testing.T) {
+	comb := netlist.Combinationalize(gen.Profiles["s208"].MustGenerate(4))
+	col := fault.Collapse(comb)
+	view := netlist.NewScanView(comb)
+	s := sim.New(view)
+	r := rand.New(rand.NewSource(123))
+	detected := make([]bool, len(col.Faults))
+	for b := 0; b < 200; b++ {
+		set := pattern.NewSet(view.NumInputs())
+		for i := 0; i < 64; i++ {
+			set.Add(pattern.Random(r, view.NumInputs()))
+		}
+		batch := set.Pack()[0]
+		s.Apply(&batch)
+		for fi, f := range col.Faults {
+			if detected[fi] {
+				continue
+			}
+			if s.Propagate(f).Detect != 0 {
+				detected[fi] = true
+			}
+		}
+	}
+	e := NewEngine(comb)
+	e.BacktrackLimit = 60
+	nSucc, nUnt, nAb := 0, 0, 0
+	bugs := 0
+	for fi, f := range col.Faults {
+		_, status := e.Generate(f)
+		switch status {
+		case Success:
+			nSucc++
+		case Untestable:
+			nUnt++
+			if detected[fi] {
+				bugs++
+				if bugs < 10 {
+					t.Errorf("fault %s: PODEM says untestable but random sim detects it", f.Name(comb))
+				}
+			}
+		case Aborted:
+			nAb++
+		}
+	}
+	nDet := 0
+	for _, d := range detected {
+		if d {
+			nDet++
+		}
+	}
+	t.Logf("faults=%d randomDetected=%d podem: succ=%d unt=%d abort=%d bugs=%d",
+		len(col.Faults), nDet, nSucc, nUnt, nAb, bugs)
+}

@@ -1,0 +1,230 @@
+// Package bench reads and writes gate-level netlists in the ISCAS-89
+// ".bench" format, the standard interchange format for the benchmark
+// circuits used in the paper's evaluation (s208 … s9234).
+//
+// The grammar handled:
+//
+//	# comment
+//	INPUT(name)
+//	OUTPUT(name)
+//	name = TYPE(arg, arg, ...)
+//
+// where TYPE is one of AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF, DFF.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sddict/internal/netlist"
+)
+
+var typeByName = map[string]netlist.GateType{
+	"AND":  netlist.And,
+	"NAND": netlist.Nand,
+	"OR":   netlist.Or,
+	"NOR":  netlist.Nor,
+	"XOR":  netlist.Xor,
+	"XNOR": netlist.Xnor,
+	"NOT":  netlist.Not,
+	"BUF":  netlist.Buf,
+	"BUFF": netlist.Buf,
+	"DFF":  netlist.DFF,
+}
+
+var nameByType = map[netlist.GateType]string{
+	netlist.And:  "AND",
+	netlist.Nand: "NAND",
+	netlist.Or:   "OR",
+	netlist.Nor:  "NOR",
+	netlist.Xor:  "XOR",
+	netlist.Xnor: "XNOR",
+	netlist.Not:  "NOT",
+	netlist.Buf:  "BUFF",
+	netlist.DFF:  "DFF",
+}
+
+type rawGate struct {
+	name  string
+	typ   netlist.GateType
+	fanin []string
+	line  int
+}
+
+// Parse reads a .bench netlist. The circuit name is taken from the caller
+// since the format carries none.
+func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
+	var (
+		inputs  []string
+		outputs []string
+		gates   []rawGate
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			g, err := parseAssign(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			gates = append(gates, g)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %v", err)
+	}
+
+	b := netlist.NewBuilder(name)
+	ids := make(map[string]int32, len(inputs)+len(gates))
+	declare := func(nm string, id int32) error {
+		if _, dup := ids[nm]; dup {
+			return fmt.Errorf("bench: signal %q defined twice", nm)
+		}
+		ids[nm] = id
+		return nil
+	}
+	for _, nm := range inputs {
+		if err := declare(nm, b.Input(nm)); err != nil {
+			return nil, err
+		}
+	}
+	// First pass declares every gate with no fanins resolved yet: .bench
+	// files reference signals before definition.
+	gateIDs := make([]int32, len(gates))
+	for i, g := range gates {
+		gateIDs[i] = b.Gate(g.typ, g.name) // fanins patched below
+		if err := declare(g.name, gateIDs[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i, g := range gates {
+		fanin := make([]int32, len(g.fanin))
+		for j, fn := range g.fanin {
+			id, ok := ids[fn]
+			if !ok {
+				return nil, fmt.Errorf("bench: line %d: undefined signal %q", g.line, fn)
+			}
+			fanin[j] = id
+		}
+		b.SetFanin(gateIDs[i], fanin...)
+	}
+	for _, nm := range outputs {
+		id, ok := ids[nm]
+		if !ok {
+			return nil, fmt.Errorf("bench: OUTPUT(%s): undefined signal", nm)
+		}
+		b.Output(id)
+	}
+	return b.Build()
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty argument in %q", line)
+	}
+	return arg, nil
+}
+
+func parseAssign(line string, lineNo int) (rawGate, error) {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return rawGate{}, fmt.Errorf("bench: line %d: expected assignment, got %q", lineNo, line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close := strings.LastIndexByte(rhs, ')')
+	if name == "" || open <= 0 || close < open {
+		return rawGate{}, fmt.Errorf("bench: line %d: malformed gate %q", lineNo, line)
+	}
+	tname := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	typ, ok := typeByName[tname]
+	if !ok {
+		return rawGate{}, fmt.Errorf("bench: line %d: unknown gate type %q", lineNo, tname)
+	}
+	var fanin []string
+	for _, f := range strings.Split(rhs[open+1:close], ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return rawGate{}, fmt.Errorf("bench: line %d: empty fanin in %q", lineNo, line)
+		}
+		fanin = append(fanin, f)
+	}
+	return rawGate{name: name, typ: typ, fanin: fanin, line: lineNo}, nil
+}
+
+// Write renders the circuit in .bench format. Gate order follows the
+// circuit's gate indices; INPUT and OUTPUT declarations come first.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	st := c.Stat()
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d D-type flipflops, %d gates\n",
+		st.PIs, st.POs, st.DFFs, st.LogicGates)
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[pi].Name)
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[po].Name)
+	}
+	fmt.Fprintln(bw)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		switch g.Type {
+		case netlist.Input:
+			continue
+		case netlist.Const0, netlist.Const1:
+			return fmt.Errorf("bench: constant gate %q has no .bench representation", g.Name)
+		}
+		tname := nameByType[g.Type]
+		args := make([]string, len(g.Fanin))
+		for j, f := range g.Fanin {
+			args[j] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, tname, strings.Join(args, ", "))
+	}
+	return bw.Flush()
+}
+
+// SortedSignalNames returns all signal names in sorted order; useful for
+// deterministic diagnostics and tests.
+func SortedSignalNames(c *netlist.Circuit) []string {
+	names := make([]string, len(c.Gates))
+	for i := range c.Gates {
+		names[i] = c.Gates[i].Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sddict/internal/netlist"
+)
+
+const tinyBench = `# example
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+ff = DFF(n2)
+n1 = AND(a, ff)
+n2 = NOR(n1, b)
+y = NOT(n2)
+`
+
+func TestParse(t *testing.T) {
+	c, err := Parse(strings.NewReader(tinyBench), "tiny")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	st := c.Stat()
+	if st.PIs != 2 || st.POs != 1 || st.DFFs != 1 || st.LogicGates != 3 {
+		t.Fatalf("Stat = %+v", st)
+	}
+	y := c.GateByName("y")
+	if y < 0 || c.Gates[y].Type != netlist.Not {
+		t.Fatalf("gate y missing or wrong type")
+	}
+	if c.POs[0] != y {
+		t.Fatalf("primary output is gate %d, want y=%d", c.POs[0], y)
+	}
+}
+
+func TestParseForwardReferences(t *testing.T) {
+	// y is defined before its fanin n.
+	src := "INPUT(a)\nOUTPUT(y)\ny = NOT(n)\nn = BUFF(a)\n"
+	c, err := Parse(strings.NewReader(src), "fwd")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.NumLogicGates() != 2 {
+		t.Fatalf("NumLogicGates = %d, want 2", c.NumLogicGates())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undefined signal", "INPUT(a)\nOUTPUT(y)\ny = NOT(zzz)\n"},
+		{"undefined output", "INPUT(a)\nOUTPUT(q)\ny = NOT(a)\n"},
+		{"double definition", "INPUT(a)\ny = NOT(a)\ny = BUFF(a)\nOUTPUT(y)\n"},
+		{"unknown gate type", "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n"},
+		{"malformed line", "INPUT(a)\nwhat is this\nOUTPUT(a)\n"},
+		{"empty fanin", "INPUT(a)\ny = AND(a, )\nOUTPUT(y)\n"},
+		{"missing paren", "INPUT a\nOUTPUT(a)\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.src), "bad"); err == nil {
+			t.Errorf("%s: Parse accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c1, err := Parse(strings.NewReader(tinyBench), "tiny")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c1); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	c2, err := Parse(bytes.NewReader(buf.Bytes()), "tiny")
+	if err != nil {
+		t.Fatalf("re-Parse: %v\n%s", err, buf.String())
+	}
+	if c1.Stat() != c2.Stat() {
+		t.Fatalf("round trip changed stats: %+v vs %+v", c1.Stat(), c2.Stat())
+	}
+	// Structure must survive: same gate types and fanin names per signal.
+	for i := range c1.Gates {
+		g1 := &c1.Gates[i]
+		j := c2.GateByName(g1.Name)
+		if j < 0 {
+			t.Fatalf("signal %q lost in round trip", g1.Name)
+		}
+		g2 := &c2.Gates[j]
+		if g1.Type != g2.Type || len(g1.Fanin) != len(g2.Fanin) {
+			t.Fatalf("signal %q changed: %v/%d vs %v/%d", g1.Name, g1.Type, len(g1.Fanin), g2.Type, len(g2.Fanin))
+		}
+		for p := range g1.Fanin {
+			n1 := c1.Gates[g1.Fanin[p]].Name
+			n2 := c2.Gates[g2.Fanin[p]].Name
+			if n1 != n2 {
+				t.Fatalf("signal %q pin %d: %q vs %q", g1.Name, p, n1, n2)
+			}
+		}
+	}
+}
+
+func TestWriteRejectsConstants(t *testing.T) {
+	b := netlist.NewBuilder("k")
+	a := b.Input("a")
+	k := b.Const("k0", 0)
+	x := b.Gate(netlist.And, "x", a, k)
+	b.Output(x)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := Write(&bytes.Buffer{}, c); err == nil {
+		t.Fatalf("Write accepted a constant gate")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "# leading comment\n\nINPUT(a)  # trailing comment\nOUTPUT(y)\n\ny = NOT(a)\n"
+	c, err := Parse(strings.NewReader(src), "c")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(c.PIs) != 1 || len(c.POs) != 1 {
+		t.Fatalf("unexpected structure: %+v", c.Stat())
+	}
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the .bench parser with arbitrary input: it must
+// never panic, and whenever it accepts an input, writing the parsed
+// circuit back out and re-parsing must yield an identical structure.
+func FuzzParse(f *testing.F) {
+	f.Add(tinyBench)
+	f.Add(gibberishSeed)
+	f.Add("INPUT(a)\nOUTPUT(a)\n")
+	f.Add("INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n")
+	f.Add("x = AND(x, x)\nOUTPUT(x)\n") // self-cycle
+	f.Add("INPUT(a)\nb = DFF(b)\nOUTPUT(b)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, c); werr != nil {
+			// Only constant gates are unwritable, and Parse never
+			// produces them.
+			t.Fatalf("parsed circuit unwritable: %v", werr)
+		}
+		c2, rerr := Parse(bytes.NewReader(buf.Bytes()), "fuzz")
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v\noriginal:\n%s\nrendered:\n%s", rerr, src, buf.String())
+		}
+		if c.Stat() != c2.Stat() {
+			t.Fatalf("round trip changed structure: %+v vs %+v", c.Stat(), c2.Stat())
+		}
+	})
+}
+
+const gibberishSeed = "INPUT(\ny == NOT))\n# OUTPUT(y\n"

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+
+	"sddict/internal/resp"
+)
+
+// This file implements the classic compact-dictionary baselines from the
+// size-optimization literature the paper builds on (refs [2], [9], [12]):
+// ways to spend a few more bits than pass/fail — or differently-shaped
+// bits — and what resolution they buy. They give the same/different
+// dictionary's size/resolution point a fuller context than pass/fail
+// alone.
+
+// AltDict is a derived compact dictionary: a partition of the faults into
+// indistinguishable groups plus its storage cost.
+type AltDict struct {
+	Name     string
+	SizeBits int64
+	part     *Partition
+}
+
+// Indistinguished returns the number of fault pairs the dictionary cannot
+// separate.
+func (a *AltDict) Indistinguished() int64 { return a.part.Pairs() }
+
+// Partition returns the indistinguishability partition.
+func (a *AltDict) Partition() *Partition { return a.part }
+
+// bitsFor returns the bits needed to store one value in [0, n].
+func bitsFor(n int) int64 {
+	if n <= 1 {
+		return 1
+	}
+	return int64(math.Ceil(math.Log2(float64(n + 1))))
+}
+
+// FirstFailingTest builds the Tulloss-style compressed dictionary: each
+// fault is represented only by the index of the first test that detects it
+// (k, i.e. "never detected", uses one extra code point). Size is
+// n·ceil(log2(k+1)) bits. Resolution: faults sharing the first failing
+// test are indistinguishable.
+func FirstFailingTest(m *resp.Matrix) *AltDict {
+	first := make([]int32, m.N)
+	for i := range first {
+		first[i] = int32(m.K) // never detected
+	}
+	for j := 0; j < m.K; j++ {
+		for i := 0; i < m.N; i++ {
+			if first[i] == int32(m.K) && m.Class[j][i] != 0 {
+				first[i] = int32(j)
+			}
+		}
+	}
+	p := NewPartition(m.N)
+	p.RefineByClass(first)
+	return &AltDict{
+		Name:     "first-failing-test",
+		SizeBits: int64(m.N) * bitsFor(m.K),
+		part:     p,
+	}
+}
+
+// DetectionCount builds the detection-count dictionary: each fault stores
+// only how many tests detect it (0..k). Size n·ceil(log2(k+1)) bits.
+func DetectionCount(m *resp.Matrix) *AltDict {
+	counts := make([]int32, m.N)
+	for j := 0; j < m.K; j++ {
+		for i := 0; i < m.N; i++ {
+			if m.Class[j][i] != 0 {
+				counts[i]++
+			}
+		}
+	}
+	p := NewPartition(m.N)
+	p.RefineByClass(counts)
+	return &AltDict{
+		Name:     "detection-count",
+		SizeBits: int64(m.N) * bitsFor(m.K),
+		part:     p,
+	}
+}
+
+// FailingOutputs builds the failing-output-set dictionary: each fault
+// stores the union over tests of outputs on which it ever fails (m bits
+// per fault, independent of k). It is the cheapest dictionary that uses
+// output information at all, and the paper's same/different dictionary can
+// be seen as buying per-test output information for far fewer bits.
+func FailingOutputs(m *resp.Matrix) *AltDict {
+	// Hash the per-fault failing-output sets into class ids.
+	sets := make([][]uint64, m.N)
+	words := (m.M + 63) / 64
+	for i := range sets {
+		sets[i] = make([]uint64, words)
+	}
+	for j := 0; j < m.K; j++ {
+		ff := m.Vecs[j][0]
+		for i := 0; i < m.N; i++ {
+			c := m.Class[j][i]
+			if c == 0 {
+				continue
+			}
+			v := m.Vecs[j][c]
+			for w := 0; w < words; w++ {
+				sets[i][w] |= v[w] ^ ff[w]
+			}
+		}
+	}
+	// Deduplicate sets into class ids.
+	type key string
+	ids := map[key]int32{}
+	class := make([]int32, m.N)
+	var next int32
+	buf := make([]byte, words*8)
+	for i := 0; i < m.N; i++ {
+		for w, word := range sets[i] {
+			for b := 0; b < 8; b++ {
+				buf[w*8+b] = byte(word >> uint(8*b))
+			}
+		}
+		k := key(buf)
+		id, ok := ids[k]
+		if !ok {
+			id = next
+			next++
+			ids[k] = id
+		}
+		class[i] = id
+	}
+	p := NewPartition(m.N)
+	p.RefineByClass(class)
+	return &AltDict{
+		Name:     "failing-outputs",
+		SizeBits: int64(m.N) * int64(m.M),
+		part:     p,
+	}
+}
+
+// PassFailPlusFirst combines the pass/fail dictionary with the
+// first-failing-test field — the two-stage flavour of refs [8]/[12]:
+// signatures separate what bits can, the first-failing index refines the
+// rest. Size k·n + n·ceil(log2(k+1)).
+func PassFailPlusFirst(m *resp.Matrix) *AltDict {
+	p := NewPassFail(m).Partition()
+	first := FirstFailingTest(m)
+	combined := Meet(p, first.part)
+	return &AltDict{
+		Name:     "pass/fail+first",
+		SizeBits: m.PassFailSizeBits() + int64(m.N)*bitsFor(m.K),
+		part:     combined,
+	}
+}

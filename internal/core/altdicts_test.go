@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFirstFailingTestPartition: faults sharing the first detecting test
+// (or both never detected) must share a group; any difference separates.
+func TestFirstFailingTestPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		m := randomMatrix(r, 2+r.Intn(25), 1+r.Intn(8), 4)
+		fft := FirstFailingTest(m)
+		firstOf := func(i int) int {
+			for j := 0; j < m.K; j++ {
+				if m.Class[j][i] != 0 {
+					return j
+				}
+			}
+			return m.K
+		}
+		p := fft.Partition()
+		for i := 0; i < m.N; i++ {
+			for j := i + 1; j < m.N; j++ {
+				same := p.Label(i) != Isolated && p.Label(i) == p.Label(j)
+				want := firstOf(i) == firstOf(j)
+				if same != want {
+					t.Fatalf("trial %d: pair (%d,%d) grouped=%v, first-failing equal=%v",
+						trial, i, j, same, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDetectionCountPartition mirrors the check for detection counts.
+func TestDetectionCountPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	m := randomMatrix(r, 30, 6, 4)
+	dc := DetectionCount(m)
+	countOf := func(i int) int {
+		n := 0
+		for j := 0; j < m.K; j++ {
+			if m.Class[j][i] != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	p := dc.Partition()
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			same := p.Label(i) != Isolated && p.Label(i) == p.Label(j)
+			if same != (countOf(i) == countOf(j)) {
+				t.Fatalf("pair (%d,%d) grouping disagrees with counts", i, j)
+			}
+		}
+	}
+}
+
+// TestAltDictResolutionHierarchy: compressed dictionaries can never beat
+// the full dictionary, and combining pass/fail with the first-failing
+// field is at least as strong as either part.
+func TestAltDictResolutionHierarchy(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 30; trial++ {
+		m := randomMatrix(r, 2+r.Intn(40), 1+r.Intn(10), 5)
+		full := NewFull(m).Indistinguished()
+		pf := NewPassFail(m).Indistinguished()
+		fft := FirstFailingTest(m)
+		dc := DetectionCount(m)
+		fo := FailingOutputs(m)
+		combo := PassFailPlusFirst(m)
+		for _, a := range []*AltDict{fft, dc, fo, combo} {
+			if a.Indistinguished() < full {
+				t.Fatalf("trial %d: %s (%d) beats the full dictionary (%d)",
+					trial, a.Name, a.Indistinguished(), full)
+			}
+		}
+		if combo.Indistinguished() > pf {
+			t.Fatalf("trial %d: pass/fail+first (%d) worse than pass/fail (%d)",
+				trial, combo.Indistinguished(), pf)
+		}
+		if combo.Indistinguished() > fft.Indistinguished() {
+			t.Fatalf("trial %d: combination worse than one of its parts", trial)
+		}
+		// First-failing-test refines "detected at all" information, so it
+		// can never be weaker than just detected/undetected split... that
+		// is not a theorem against pass/fail, but sizes must be sane:
+		if fft.SizeBits <= 0 || dc.SizeBits <= 0 || fo.SizeBits <= 0 {
+			t.Fatalf("trial %d: nonpositive size", trial)
+		}
+	}
+}
+
+// TestAltDictSizes: the compressed dictionaries are far smaller than
+// pass/fail on realistic shapes (many tests).
+func TestAltDictSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	m := randomMatrix(r, 50, 12, 4)
+	pf := m.PassFailSizeBits()
+	if FirstFailingTest(m).SizeBits >= pf {
+		t.Errorf("first-failing-test not smaller than pass/fail")
+	}
+	if DetectionCount(m).SizeBits >= pf {
+		t.Errorf("detection-count not smaller than pass/fail")
+	}
+	if got := PassFailPlusFirst(m).SizeBits; got <= pf {
+		t.Errorf("pass/fail+first size %d should exceed pass/fail %d", got, pf)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int64{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 255: 8, 256: 9}
+	for n, want := range cases {
+		if got := bitsFor(n); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

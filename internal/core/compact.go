@@ -1,0 +1,72 @@
+package core
+
+import "sddict/internal/resp"
+
+// CompactTests returns a keep-mask over the tests of a same/different (or
+// pass/fail, with all-zero baselines) dictionary such that the dictionary
+// restricted to the kept tests distinguishes exactly the same fault pairs.
+// Tests whose baseline bit separates no pair not already separated by the
+// other kept tests are dropped; sweeps repeat until a fixed point.
+//
+// This implements the dictionary-size optimization direction of the
+// paper's refs [2] and [13]: rows of a dictionary are only as useful as the
+// pairs they split, and n-detection test sets in particular carry many
+// informationless columns. Dropping a test removes n bits (plus a stored
+// baseline vector) from the dictionary.
+func CompactTests(m *resp.Matrix, baselines []int32) []bool {
+	keep := make([]bool, m.K)
+	for j := range keep {
+		keep[j] = true
+	}
+	var scratch distScratch
+	for {
+		dropped := false
+		// Suffix partitions over the currently-kept tests.
+		suffix := make([]*Partition, m.K+1)
+		suffix[m.K] = NewPartition(m.N)
+		for j := m.K - 1; j >= 0; j-- {
+			suffix[j] = suffix[j+1]
+			if keep[j] {
+				suffix[j] = suffix[j+1].Clone()
+				suffix[j].RefineByBaseline(m.Class[j], baselines[j])
+			}
+		}
+		prefix := NewPartition(m.N)
+		for j := 0; j < m.K; j++ {
+			if !keep[j] {
+				suffix[j] = nil
+				continue
+			}
+			rest := Meet(prefix, suffix[j+1])
+			dist := scratch.perClass(rest, m.Class[j], m.NumClasses(j))
+			if dist[baselines[j]] == 0 {
+				keep[j] = false
+				dropped = true
+			} else {
+				prefix.RefineByBaseline(m.Class[j], baselines[j])
+			}
+			suffix[j] = nil
+		}
+		if !dropped {
+			return keep
+		}
+	}
+}
+
+// RestrictTests returns a new matrix (and remapped baselines) containing
+// only the tests selected by the keep mask, preserving test order. Use
+// with CompactTests to materialize the smaller dictionary.
+func RestrictTests(m *resp.Matrix, baselines []int32, keep []bool) (*resp.Matrix, []int32) {
+	out := &resp.Matrix{N: m.N, M: m.M}
+	var newBase []int32
+	for j := 0; j < m.K; j++ {
+		if !keep[j] {
+			continue
+		}
+		out.Class = append(out.Class, m.Class[j])
+		out.Vecs = append(out.Vecs, m.Vecs[j])
+		newBase = append(newBase, baselines[j])
+	}
+	out.K = len(out.Class)
+	return out, newBase
+}

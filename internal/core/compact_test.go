@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCompactTestsPreservesResolution: the restricted dictionary must
+// distinguish exactly the same pairs, for both pass/fail and
+// same/different baselines.
+func TestCompactTestsPreservesResolution(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 40; trial++ {
+		m := randomMatrix(r, 2+r.Intn(30), 2+r.Intn(14), 4)
+		baselines := make([]int32, m.K)
+		if trial%2 == 0 { // same/different-style baselines
+			for j := range baselines {
+				baselines[j] = int32(r.Intn(m.NumClasses(j)))
+			}
+		}
+		before := (&Dictionary{Kind: SameDiff, M: m, Baselines: baselines}).Indistinguished()
+		keep := CompactTests(m, baselines)
+		rm, rb := RestrictTests(m, baselines, keep)
+		after := (&Dictionary{Kind: SameDiff, M: rm, Baselines: rb}).Indistinguished()
+		if after != before {
+			t.Fatalf("trial %d: compaction changed resolution %d -> %d", trial, before, after)
+		}
+		// Every dropped test must indeed be redundant: adding it back one
+		// at a time must not split anything new.
+		full := (&Dictionary{Kind: SameDiff, M: m, Baselines: baselines}).Partition()
+		restricted := (&Dictionary{Kind: SameDiff, M: rm, Baselines: rb}).Partition()
+		if full.Pairs() != restricted.Pairs() {
+			t.Fatalf("trial %d: partitions disagree", trial)
+		}
+	}
+}
+
+// TestCompactTestsDropsRedundantColumns: a matrix with duplicated tests
+// must lose the duplicates.
+func TestCompactTestsDropsRedundantColumns(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	m := randomMatrix(r, 20, 4, 4)
+	// Duplicate every test (same class rows appended).
+	m.Class = append(m.Class, m.Class...)
+	m.Vecs = append(m.Vecs, m.Vecs...)
+	m.K *= 2
+	baselines := make([]int32, m.K)
+	for j := range baselines {
+		baselines[j] = int32(r.Intn(m.NumClasses(j)))
+		baselines[j+4] = baselines[j]
+		if j == 3 {
+			break
+		}
+	}
+	keep := CompactTests(m, baselines)
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	if kept > 4 {
+		t.Fatalf("kept %d of 8 tests; duplicates not dropped", kept)
+	}
+}
+
+// TestCompactTestsIdempotent: compacting an already-compacted dictionary
+// keeps everything.
+func TestCompactTestsIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	m := randomMatrix(r, 25, 10, 4)
+	baselines := make([]int32, m.K)
+	for j := range baselines {
+		baselines[j] = int32(r.Intn(m.NumClasses(j)))
+	}
+	keep := CompactTests(m, baselines)
+	rm, rb := RestrictTests(m, baselines, keep)
+	keep2 := CompactTests(rm, rb)
+	for j, k := range keep2 {
+		if !k {
+			t.Fatalf("second compaction dropped test %d", j)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"sddict/internal/logic"
+	"sddict/internal/resp"
+)
+
+// Kind identifies a dictionary flavour.
+type Kind uint8
+
+// Dictionary kinds.
+const (
+	Full Kind = iota
+	PassFail
+	SameDiff
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Full:
+		return "full"
+	case PassFail:
+		return "pass/fail"
+	case SameDiff:
+		return "same/different"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Dictionary is a constructed fault dictionary over a response matrix. For
+// Full dictionaries Baselines is nil; for PassFail it is all zeros (the
+// fault-free class); for SameDiff it holds the selected baseline class per
+// test.
+type Dictionary struct {
+	Kind Kind
+	M    *resp.Matrix
+	// Baselines[j] is the response class used as z_bl,j (0 = fault-free).
+	Baselines []int32
+	// ExtraBaselines optionally holds a second baseline per test for the
+	// multi-baseline extension; nil in the standard one-baseline form.
+	ExtraBaselines []int32
+}
+
+// Bit returns the dictionary bit b_{i,j} for fault i under test j. For a
+// Full dictionary this is the pass/fail bit (the full dictionary stores
+// whole vectors; Bit is provided for uniform diagnosis interfaces).
+func (d *Dictionary) Bit(i, j int) uint8 {
+	switch d.Kind {
+	case Full, PassFail:
+		if d.M.Class[j][i] != 0 {
+			return 1
+		}
+		return 0
+	case SameDiff:
+		if d.M.Class[j][i] != d.Baselines[j] {
+			return 1
+		}
+		return 0
+	}
+	panic("core: unknown dictionary kind")
+}
+
+// Row returns fault i's signature as a packed bit vector of K bits (K+ExtraK
+// for the multi-baseline extension: the extra bits follow the base bits).
+func (d *Dictionary) Row(i int) logic.BitVec {
+	k := d.M.K
+	total := k
+	if d.ExtraBaselines != nil {
+		total = 2 * k
+	}
+	row := logic.NewBitVec(total)
+	for j := 0; j < k; j++ {
+		row.Set(j, uint64(d.Bit(i, j)))
+	}
+	if d.ExtraBaselines != nil {
+		for j := 0; j < k; j++ {
+			if d.M.Class[j][i] != d.ExtraBaselines[j] {
+				row.Set(k+j, 1)
+			}
+		}
+	}
+	return row
+}
+
+// SizeBits returns the dictionary's storage requirement in bits, following
+// the paper's accounting (Section 2): the fault-free response is not
+// charged to any dictionary; a same/different dictionary is charged k·m
+// bits for its baselines, reduced to stored·m when some baselines equal the
+// fault-free vector after storage minimization.
+func (d *Dictionary) SizeBits() int64 {
+	m := d.M
+	switch d.Kind {
+	case Full:
+		return m.FullSizeBits()
+	case PassFail:
+		return m.PassFailSizeBits()
+	case SameDiff:
+		stored := int64(0)
+		for _, b := range d.Baselines {
+			if b != 0 {
+				stored++
+			}
+		}
+		size := int64(m.K)*int64(m.N) + stored*int64(m.M)
+		if d.ExtraBaselines != nil {
+			extra := int64(0)
+			for _, b := range d.ExtraBaselines {
+				if b != 0 {
+					extra++
+				}
+			}
+			size += int64(m.K)*int64(m.N) + extra*int64(m.M)
+		}
+		return size
+	}
+	panic("core: unknown dictionary kind")
+}
+
+// NominalSizeBits returns the paper's headline size expression, charging a
+// stored baseline for every test regardless of minimization: k·n·m for
+// full, k·n for pass/fail, k·(n+m) for same/different.
+func (d *Dictionary) NominalSizeBits() int64 {
+	m := d.M
+	switch d.Kind {
+	case Full:
+		return m.FullSizeBits()
+	case PassFail:
+		return m.PassFailSizeBits()
+	case SameDiff:
+		size := m.SameDiffSizeBits()
+		if d.ExtraBaselines != nil {
+			size += m.SameDiffSizeBits() // second bit plane + second baselines
+		}
+		return size
+	}
+	panic("core: unknown dictionary kind")
+}
+
+// Partition returns the partition of faults into classes the dictionary
+// cannot distinguish.
+func (d *Dictionary) Partition() *Partition {
+	p := NewPartition(d.M.N)
+	for j := 0; j < d.M.K; j++ {
+		if p.Done() {
+			break
+		}
+		switch d.Kind {
+		case Full:
+			p.RefineByClass(d.M.Class[j])
+		case PassFail:
+			p.RefineByBaseline(d.M.Class[j], 0)
+		case SameDiff:
+			p.RefineByBaseline(d.M.Class[j], d.Baselines[j])
+			if d.ExtraBaselines != nil {
+				p.RefineByBaseline(d.M.Class[j], d.ExtraBaselines[j])
+			}
+		}
+	}
+	return p
+}
+
+// Indistinguished returns the number of fault pairs the dictionary leaves
+// indistinguished — the paper's Table 6 quality metric.
+func (d *Dictionary) Indistinguished() int64 { return d.Partition().Pairs() }
+
+// NewFull returns the full dictionary over m.
+func NewFull(m *resp.Matrix) *Dictionary { return &Dictionary{Kind: Full, M: m} }
+
+// NewPassFail returns the pass/fail dictionary over m.
+func NewPassFail(m *resp.Matrix) *Dictionary {
+	return &Dictionary{Kind: PassFail, M: m, Baselines: make([]int32, m.K)}
+}
+
+// BaselineVector returns the output vector used as baseline for test j.
+func (d *Dictionary) BaselineVector(j int) logic.BitVec {
+	if d.Baselines == nil {
+		return d.M.Vecs[j][0]
+	}
+	return d.M.Vecs[j][d.Baselines[j]]
+}

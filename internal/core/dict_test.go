@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRowBitConsistency: Row must pack exactly the bits Bit reports, for
+// all dictionary kinds including the two-baseline extension.
+func TestRowBitConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	m := randomMatrix(r, 25, 9, 5)
+	baselines := make([]int32, m.K)
+	extra := make([]int32, m.K)
+	for j := range baselines {
+		baselines[j] = int32(r.Intn(m.NumClasses(j)))
+		extra[j] = int32(r.Intn(m.NumClasses(j)))
+	}
+	dicts := []*Dictionary{
+		NewFull(m),
+		NewPassFail(m),
+		{Kind: SameDiff, M: m, Baselines: baselines},
+		{Kind: SameDiff, M: m, Baselines: baselines, ExtraBaselines: extra},
+	}
+	for di, d := range dicts {
+		for i := 0; i < m.N; i++ {
+			row := d.Row(i)
+			for j := 0; j < m.K; j++ {
+				if row.Get(j) != uint64(d.Bit(i, j)) {
+					t.Fatalf("dict %d fault %d test %d: row bit %d != Bit %d",
+						di, i, j, row.Get(j), d.Bit(i, j))
+				}
+			}
+			if d.ExtraBaselines != nil {
+				for j := 0; j < m.K; j++ {
+					want := uint64(0)
+					if m.Class[j][i] != extra[j] {
+						want = 1
+					}
+					if row.Get(m.K+j) != want {
+						t.Fatalf("dict %d fault %d extra bit %d mismatch", di, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionAgreesWithRows: two faults share a partition group exactly
+// when their signature rows are identical.
+func TestPartitionAgreesWithRows(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		m := randomMatrix(r, 2+r.Intn(30), 1+r.Intn(8), 4)
+		baselines := make([]int32, m.K)
+		for j := range baselines {
+			baselines[j] = int32(r.Intn(m.NumClasses(j)))
+		}
+		d := &Dictionary{Kind: SameDiff, M: m, Baselines: baselines}
+		p := d.Partition()
+		for i := 0; i < m.N; i++ {
+			for j := i + 1; j < m.N; j++ {
+				sameRow := d.Row(i).Equal(d.Row(j))
+				sameGroup := p.Label(i) != Isolated && p.Label(i) == p.Label(j)
+				if sameRow != sameGroup {
+					t.Fatalf("trial %d faults %d,%d: sameRow=%v sameGroup=%v",
+						trial, i, j, sameRow, sameGroup)
+				}
+			}
+		}
+	}
+}
+
+// TestFullPartitionAgreesWithResponses: under the full dictionary, faults
+// share a group exactly when all their response classes match.
+func TestFullPartitionAgreesWithResponses(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	m := randomMatrix(r, 40, 6, 4)
+	p := NewFull(m).Partition()
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			same := true
+			for k := 0; k < m.K; k++ {
+				if m.Class[k][i] != m.Class[k][j] {
+					same = false
+					break
+				}
+			}
+			grouped := p.Label(i) != Isolated && p.Label(i) == p.Label(j)
+			if same != grouped {
+				t.Fatalf("faults %d,%d: identical responses=%v grouped=%v", i, j, same, grouped)
+			}
+		}
+	}
+}
+
+// TestSizeOrderingAlways: for any matrix with m outputs >= 1 and n > m the
+// nominal sizes obey pf < sd < full.
+func TestSizeOrderingAlways(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		m := randomMatrix(r, 10+r.Intn(50), 1+r.Intn(10), 4)
+		full, pf := NewFull(m), NewPassFail(m)
+		sd := &Dictionary{Kind: SameDiff, M: m, Baselines: make([]int32, m.K)}
+		if m.M >= 2 && !(pf.SizeBits() < sd.NominalSizeBits() && sd.NominalSizeBits() < full.SizeBits()) {
+			t.Fatalf("trial %d: ordering violated: %d %d %d",
+				trial, pf.SizeBits(), sd.NominalSizeBits(), full.SizeBits())
+		}
+	}
+}
+
+// TestSameDiffSizeWithAllFaultFreeBaselines: when every baseline is the
+// fault-free vector, minimized storage equals the pass/fail size.
+func TestSameDiffSizeWithAllFaultFreeBaselines(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	m := randomMatrix(r, 30, 8, 5)
+	sd := &Dictionary{Kind: SameDiff, M: m, Baselines: make([]int32, m.K)}
+	if sd.SizeBits() != NewPassFail(m).SizeBits() {
+		t.Fatalf("minimized s/d size %d != p/f size %d", sd.SizeBits(), NewPassFail(m).SizeBits())
+	}
+	if sd.NominalSizeBits() != m.SameDiffSizeBits() {
+		t.Fatalf("nominal size wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Full.String() != "full" || PassFail.String() != "pass/fail" || SameDiff.String() != "same/different" {
+		t.Error("Kind.String misbehaves")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+
+	"sddict/internal/resp"
+)
+
+// BuildSameDiffMulti implements the extension the paper mentions but does
+// not evaluate ("one can select more than one baseline vector for a test
+// vector"): two baselines per test, giving two same/different bits per
+// fault/test. Selection is greedy per test — the best candidate is chosen
+// and applied, then the best candidate against the refined partition — with
+// the same random-order restart scheme as the one-baseline construction.
+// The dictionary costs 2·k·n bits plus storage for the non-fault-free
+// baselines.
+func BuildSameDiffMulti(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
+	var st BuildStats
+	st.IndistSeeded = -1
+	r := rand.New(rand.NewSource(opt.Seed))
+	st.IndistFull = NewFull(m).Indistinguished()
+
+	maxRestarts := opt.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 1
+	}
+	order := make([]int, m.K)
+	for j := range order {
+		order[j] = j
+	}
+	best1, best2, bestIndist := procedure1Multi(m, order, opt.Lower, &st.CandidateEvals)
+	st.Restarts = 1
+	noImprove := 0
+	for noImprove < opt.Calls1 && st.Restarts < maxRestarts && bestIndist > st.IndistFull {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		b1, b2, indist := procedure1Multi(m, order, opt.Lower, &st.CandidateEvals)
+		st.Restarts++
+		if indist < bestIndist {
+			best1, best2, bestIndist = b1, b2, indist
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+	}
+	st.IndistProc1 = bestIndist
+	st.IndistProc2 = bestIndist
+	if opt.RunProcedure2 && bestIndist > st.IndistFull {
+		indist, sweeps := procedure2Multi(m, best1, best2)
+		st.Proc2Sweeps = sweeps
+		st.IndistProc2 = indist
+		st.Proc2Improved = indist < st.IndistProc1
+		bestIndist = indist
+	}
+	st.IndistFinal = bestIndist
+	st.ReachedFullFloor = bestIndist == st.IndistFull
+	for j := range best1 {
+		if best1[j] != 0 {
+			st.StoredBaselines++
+		}
+		if best2[j] != 0 {
+			st.StoredBaselines++
+		}
+	}
+	return &Dictionary{Kind: SameDiff, M: m, Baselines: best1, ExtraBaselines: best2}, st
+}
+
+func procedure1Multi(m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, []int32, int64) {
+	p := NewPartition(m.N)
+	b1 := make([]int32, m.K)
+	b2 := make([]int32, m.K)
+	var scratch distScratch
+	for _, j := range order {
+		if p.Done() {
+			break
+		}
+		dist := scratch.perClass(p, m.Class[j], m.NumClasses(j))
+		first := selectWithLower(dist, lower, evals)
+		b1[j] = first
+		p.RefineByBaseline(m.Class[j], first)
+		if p.Done() {
+			break
+		}
+		dist = scratch.perClass(p, m.Class[j], m.NumClasses(j))
+		second := selectWithLower(dist, lower, evals)
+		b2[j] = second
+		p.RefineByBaseline(m.Class[j], second)
+	}
+	return b1, b2, p.Pairs()
+}
+
+// procedure2Multi extends Procedure 2 to the two-baseline dictionary: each
+// of a test's two baseline slots is locally optimized in turn while the
+// other slot (and all other tests) stay fixed, sweeping until no
+// replacement improves the distinguished-pair count. The same
+// prefix/suffix partition scheme as procedure2 applies, with each test
+// contributing two refinements.
+func procedure2Multi(m *resp.Matrix, b1, b2 []int32) (int64, int) {
+	var scratch distScratch
+	sweeps := 0
+	var finalIndist int64
+	for {
+		sweeps++
+		improved := false
+
+		suffix := make([]*Partition, m.K+1)
+		suffix[m.K] = NewPartition(m.N)
+		for j := m.K - 1; j >= 0; j-- {
+			suffix[j] = suffix[j+1].Clone()
+			suffix[j].RefineByBaseline(m.Class[j], b1[j])
+			suffix[j].RefineByBaseline(m.Class[j], b2[j])
+		}
+		prefix := NewPartition(m.N)
+		for j := 0; j < m.K; j++ {
+			// Optimize slot 1 with slot 2 fixed.
+			restBase := Meet(prefix, suffix[j+1])
+			rest1 := restBase.Clone()
+			rest1.RefineByBaseline(m.Class[j], b2[j])
+			dist := scratch.perClass(rest1, m.Class[j], m.NumClasses(j))
+			best := b1[j]
+			for z := int32(0); z < int32(len(dist)); z++ {
+				if dist[z] > dist[best] {
+					best = z
+				}
+			}
+			if best != b1[j] {
+				b1[j] = best
+				improved = true
+			}
+			// Optimize slot 2 with the (possibly new) slot 1 fixed.
+			rest2 := restBase
+			rest2.RefineByBaseline(m.Class[j], b1[j])
+			dist = scratch.perClass(rest2, m.Class[j], m.NumClasses(j))
+			best = b2[j]
+			for z := int32(0); z < int32(len(dist)); z++ {
+				if dist[z] > dist[best] {
+					best = z
+				}
+			}
+			if best != b2[j] {
+				b2[j] = best
+				improved = true
+			}
+			prefix.RefineByBaseline(m.Class[j], b1[j])
+			prefix.RefineByBaseline(m.Class[j], b2[j])
+			suffix[j] = nil
+		}
+		finalIndist = prefix.Pairs()
+		if !improved {
+			return finalIndist, sweeps
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package core implements the paper's contribution: the same/different
+// fault dictionary and its baseline-selection procedures, together with the
+// pass/fail and full dictionaries it is compared against.
+//
+// The paper maintains an explicit set P of not-yet-distinguished fault
+// pairs. This implementation represents P implicitly as a partition of the
+// fault set into groups of currently-indistinguished faults: two faults
+// form a pair in P exactly when they share a group. Splitting groups is
+// pair removal; Σ |G|·(|G|-1)/2 over groups is |P|. The two views are
+// equivalent (validated against a brute-force pair set in the tests), and
+// the partition refines in O(n) per test.
+package core
+
+// Partition tracks groups of faults that are mutually indistinguished so
+// far. Faults distinguished from every other fault are "isolated" and
+// carry label -1; all other faults carry a group label in [0, NumLabels).
+type Partition struct {
+	lab  []int32
+	next int32
+}
+
+// Isolated is the label of faults that are already distinguished from all
+// other faults.
+const Isolated = int32(-1)
+
+// NewPartition returns the initial partition: all n faults in one group
+// (every pair is a target, as in Procedure 1 step 1).
+func NewPartition(n int) *Partition {
+	p := &Partition{lab: make([]int32, n), next: 1}
+	if n < 2 {
+		for i := range p.lab {
+			p.lab[i] = Isolated
+		}
+		p.next = 0
+	}
+	return p
+}
+
+// NewPartitionFromLabels builds a partition from an explicit label array;
+// used to combine prefix and suffix partitions. Labels are normalized so
+// singleton groups become isolated.
+func NewPartitionFromLabels(lab []int32) *Partition {
+	p := &Partition{lab: append([]int32(nil), lab...)}
+	p.normalize()
+	return p
+}
+
+// normalize renumbers labels densely and isolates singleton groups.
+func (p *Partition) normalize() {
+	var max int32 = -1
+	for _, l := range p.lab {
+		if l > max {
+			max = l
+		}
+	}
+	size := make([]int32, max+1)
+	for _, l := range p.lab {
+		if l >= 0 {
+			size[l]++
+		}
+	}
+	remap := make([]int32, max+1)
+	var next int32
+	for l := range size {
+		if size[l] >= 2 {
+			remap[l] = next
+			next++
+		} else {
+			remap[l] = Isolated
+		}
+	}
+	for i, l := range p.lab {
+		if l >= 0 {
+			p.lab[i] = remap[l]
+		}
+	}
+	p.next = next
+}
+
+// Len returns the number of faults.
+func (p *Partition) Len() int { return len(p.lab) }
+
+// NumLabels returns the number of live (size ≥ 2) groups' label bound.
+func (p *Partition) NumLabels() int32 { return p.next }
+
+// Label returns the group label of fault i (Isolated if distinguished from
+// every other fault).
+func (p *Partition) Label(i int) int32 { return p.lab[i] }
+
+// Done reports whether no indistinguished pairs remain.
+func (p *Partition) Done() bool {
+	for _, l := range p.lab {
+		if l != Isolated {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (p *Partition) Clone() *Partition {
+	return &Partition{lab: append([]int32(nil), p.lab...), next: p.next}
+}
+
+// Pairs returns the number of indistinguished fault pairs |P|.
+func (p *Partition) Pairs() int64 {
+	size := make([]int64, p.next)
+	for _, l := range p.lab {
+		if l >= 0 {
+			size[l]++
+		}
+	}
+	var pairs int64
+	for _, s := range size {
+		pairs += s * (s - 1) / 2
+	}
+	return pairs
+}
+
+// RefineByBaseline splits every group by the predicate
+// class[i] == baseline — exactly the pairs a same/different dictionary bit
+// with that baseline distinguishes (Procedure 1 step 4). It returns the
+// number of pairs removed from P.
+func (p *Partition) RefineByBaseline(class []int32, baseline int32) int64 {
+	if p.next == 0 {
+		return 0
+	}
+	size := make([]int32, p.next)
+	match := make([]int32, p.next)
+	for i, l := range p.lab {
+		if l < 0 {
+			continue
+		}
+		size[l]++
+		if class[i] == baseline {
+			match[l]++
+		}
+	}
+	var removed int64
+	// For each group decide the new labels of its "match" and "other"
+	// sides. A side of size 1 becomes isolated; an empty side means no
+	// split. Fresh labels are allocated past the pre-refinement bound, so
+	// the tables indexed below never see them.
+	oldNext := p.next
+	matchLab := make([]int32, oldNext)
+	otherLab := make([]int32, oldNext)
+	for l := int32(0); l < oldNext; l++ {
+		ms, os := match[l], size[l]-match[l]
+		removed += int64(ms) * int64(os)
+		switch {
+		case ms == 0:
+			matchLab[l], otherLab[l] = Isolated, l // match side empty
+		case os == 0:
+			matchLab[l], otherLab[l] = l, Isolated // other side empty
+		default:
+			if ms == 1 {
+				matchLab[l] = Isolated
+			} else {
+				matchLab[l] = p.next
+				p.next++
+			}
+			if os == 1 {
+				otherLab[l] = Isolated
+			} else {
+				otherLab[l] = l
+			}
+		}
+	}
+	for i, l := range p.lab {
+		if l < 0 {
+			continue
+		}
+		if class[i] == baseline {
+			p.lab[i] = matchLab[l]
+		} else {
+			p.lab[i] = otherLab[l]
+		}
+	}
+	return removed
+}
+
+// RefineByClass splits every group by the full class id — the refinement a
+// full fault dictionary performs with test j (faults are indistinguished
+// only if their entire output vectors match). Returns pairs removed.
+func (p *Partition) RefineByClass(class []int32) int64 {
+	if p.next == 0 {
+		return 0
+	}
+	before := p.Pairs()
+	// Assign new labels by (old label, class) pairs.
+	type key struct {
+		lab, class int32
+	}
+	remap := make(map[key]int32, p.next*2)
+	var next int32
+	for i, l := range p.lab {
+		if l < 0 {
+			continue
+		}
+		k := key{l, class[i]}
+		nl, ok := remap[k]
+		if !ok {
+			nl = next
+			next++
+			remap[k] = nl
+		}
+		p.lab[i] = nl
+	}
+	p.next = next
+	p.normalize()
+	return before - p.Pairs()
+}
+
+// Meet intersects two partitions: faults share a group in the result only
+// if they share a group in both inputs. Inputs must have equal length.
+func Meet(a, b *Partition) *Partition {
+	n := len(a.lab)
+	lab := make([]int32, n)
+	type key struct{ la, lb int32 }
+	remap := make(map[key]int32, n)
+	var next int32
+	for i := 0; i < n; i++ {
+		if a.lab[i] < 0 || b.lab[i] < 0 {
+			lab[i] = Isolated
+			continue
+		}
+		k := key{a.lab[i], b.lab[i]}
+		nl, ok := remap[k]
+		if !ok {
+			nl = next
+			next++
+			remap[k] = nl
+		}
+		lab[i] = nl
+	}
+	p := &Partition{lab: lab, next: next}
+	p.normalize()
+	return p
+}
+
+// GroupSizes returns the sizes of all live groups (size ≥ 2), useful for
+// diagnosability statistics.
+func (p *Partition) GroupSizes() []int {
+	size := make([]int, p.next)
+	for _, l := range p.lab {
+		if l >= 0 {
+			size[l]++
+		}
+	}
+	out := size[:0]
+	for _, s := range size {
+		if s >= 2 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math/rand"
+
+	"sddict/internal/resp"
+)
+
+// Options controls same/different dictionary construction. The zero value
+// is usable; DefaultOptions matches the paper's experimental setup.
+type Options struct {
+	// Lower is the paper's LOWER constant: candidate scanning for a test
+	// stops after this many consecutive candidates scoring below the best
+	// so far. 0 scans every candidate (exhaustive).
+	Lower int
+	// Calls1 is the paper's CALLS_1 constant: Procedure 1 is restarted with
+	// random test orders until this many consecutive restarts bring no
+	// improvement.
+	Calls1 int
+	// MaxRestarts caps the total number of Procedure 1 runs.
+	MaxRestarts int
+	// Seed drives the random test orders.
+	Seed int64
+	// RunProcedure2 applies Procedure 2 to the best Procedure 1 result.
+	RunProcedure2 bool
+	// SeedFaultFree additionally runs Procedure 2 from all-fault-free
+	// baselines (the pass/fail dictionary) and keeps the better outcome.
+	// This guarantees the result is never worse than pass/fail.
+	SeedFaultFree bool
+	// MinimizeStorage replaces selected baselines by the fault-free vector
+	// whenever that loses no resolution, shrinking baseline storage.
+	MinimizeStorage bool
+}
+
+// DefaultOptions reproduces the paper's setup (LOWER = 10, CALLS_1 = 100,
+// Procedure 2 enabled) plus the non-regression seeding and storage
+// minimization described in DESIGN.md.
+var DefaultOptions = Options{
+	Lower:           10,
+	Calls1:          100,
+	MaxRestarts:     2000,
+	RunProcedure2:   true,
+	SeedFaultFree:   true,
+	MinimizeStorage: true,
+}
+
+// BuildStats reports how a same/different dictionary was obtained.
+type BuildStats struct {
+	Restarts         int   // Procedure 1 runs performed
+	CandidateEvals   int64 // dist(z) evaluations across all runs
+	IndistFull       int64 // full-dictionary floor
+	IndistProc1      int64 // best over Procedure 1 restarts
+	IndistProc2      int64 // after Procedure 2 on the Procedure 1 result
+	IndistSeeded     int64 // Procedure 2 from fault-free baselines (-1 if not run)
+	IndistFinal      int64 // of the returned dictionary
+	Proc2Improved    bool
+	Proc2Sweeps      int
+	UsedSeeded       bool // the seeded run won
+	StoredBaselines  int  // baselines differing from fault-free after minimization
+	MinimizedSaved   int  // baselines reverted to fault-free by minimization
+	ReachedFullFloor bool // dictionary distinguishes everything the full one does
+}
+
+// BuildSameDiff selects baseline vectors for a same/different dictionary
+// over m using Procedure 1 with random-order restarts followed by
+// Procedure 2, per the paper, and returns the dictionary with construction
+// statistics.
+func BuildSameDiff(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
+	var st BuildStats
+	st.IndistSeeded = -1
+	r := rand.New(rand.NewSource(opt.Seed))
+	st.IndistFull = NewFull(m).Indistinguished()
+
+	maxRestarts := opt.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 1
+	}
+
+	// Procedure 1 with restarts. The first run uses the natural test order;
+	// subsequent runs shuffle.
+	order := make([]int, m.K)
+	for j := range order {
+		order[j] = j
+	}
+	bestBase, bestIndist := procedure1(m, order, opt.Lower, &st.CandidateEvals)
+	st.Restarts = 1
+	noImprove := 0
+	for noImprove < opt.Calls1 && st.Restarts < maxRestarts && bestIndist > st.IndistFull {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		base, indist := procedure1(m, order, opt.Lower, &st.CandidateEvals)
+		st.Restarts++
+		if indist < bestIndist {
+			bestBase, bestIndist = base, indist
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+	}
+	st.IndistProc1 = bestIndist
+	st.IndistProc2 = bestIndist
+
+	// Procedure 2 on the Procedure 1 winner.
+	if opt.RunProcedure2 && bestIndist > st.IndistFull {
+		indist, sweeps := procedure2(m, bestBase)
+		st.Proc2Sweeps = sweeps
+		st.IndistProc2 = indist
+		st.Proc2Improved = indist < st.IndistProc1
+		bestIndist = indist
+	}
+
+	// Non-regression seeding: Procedure 2 from the pass/fail baselines.
+	if opt.SeedFaultFree {
+		seeded := make([]int32, m.K)
+		indist, _ := procedure2(m, seeded)
+		st.IndistSeeded = indist
+		if indist < bestIndist {
+			bestBase, bestIndist = seeded, indist
+			st.UsedSeeded = true
+		}
+	}
+	st.IndistFinal = bestIndist
+	st.ReachedFullFloor = bestIndist == st.IndistFull
+
+	d := &Dictionary{Kind: SameDiff, M: m, Baselines: bestBase}
+	if opt.MinimizeStorage {
+		st.MinimizedSaved = minimizeStorage(m, bestBase)
+	}
+	for _, b := range bestBase {
+		if b != 0 {
+			st.StoredBaselines++
+		}
+	}
+	return d, st
+}
+
+// procedure1 is the paper's Procedure 1: greedy baseline selection over the
+// given test order with the LOWER early cutoff. It returns the selected
+// baselines (indexed by test, not by order position) and the number of
+// indistinguished pairs left.
+func procedure1(m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, int64) {
+	p := NewPartition(m.N)
+	baselines := make([]int32, m.K) // unselected tests keep the fault-free baseline
+	var scratch distScratch
+	for _, j := range order {
+		if p.Done() {
+			break
+		}
+		dist := scratch.perClass(p, m.Class[j], m.NumClasses(j))
+		best := selectWithLower(dist, lower, evals)
+		baselines[j] = best
+		p.RefineByBaseline(m.Class[j], best)
+	}
+	return baselines, p.Pairs()
+}
+
+// selectWithLower scans candidate classes in Z_j order (class id order) and
+// applies the LOWER cutoff from Procedure 1 step 3: scanning stops after
+// `lower` consecutive candidates scoring strictly below the best seen.
+// lower <= 0 scans everything. Ties keep the earliest candidate.
+func selectWithLower(dist []int64, lower int, evals *int64) int32 {
+	best := int64(-1)
+	bestIdx := int32(0)
+	consec := 0
+	for z := 0; z < len(dist); z++ {
+		*evals++
+		switch d := dist[z]; {
+		case d > best:
+			best, bestIdx = d, int32(z)
+			consec = 0
+		case d < best:
+			consec++
+			if lower > 0 && consec >= lower {
+				return bestIdx
+			}
+		}
+	}
+	return bestIdx
+}
+
+// distScratch holds reusable buffers for perClass.
+type distScratch struct {
+	cnt     []int64
+	touched []int32
+	sizes   []int64
+	members []int32
+	offs    []int32
+}
+
+// perClass computes, for every response class z of one test, the paper's
+// dist(z): the number of indistinguished pairs that selecting z as the
+// baseline would distinguish. A pair (i1,i2) of a group is distinguished
+// when exactly one of the two faults has class z, so each group of size s
+// with c members in class z contributes c·(s−c).
+func (sc *distScratch) perClass(p *Partition, class []int32, numClasses int) []int64 {
+	dist := make([]int64, numClasses)
+	n := int(p.next)
+	if n == 0 {
+		return dist
+	}
+	if cap(sc.sizes) < n {
+		sc.sizes = make([]int64, n)
+		sc.offs = make([]int32, n+1)
+	}
+	sizes := sc.sizes[:n]
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	for _, l := range p.lab {
+		if l >= 0 {
+			sizes[l]++
+		}
+	}
+	offs := sc.offs[:n+1]
+	offs[0] = 0
+	for l := 0; l < n; l++ {
+		offs[l+1] = offs[l] + int32(sizes[l])
+	}
+	total := int(offs[n])
+	if cap(sc.members) < total {
+		sc.members = make([]int32, total)
+	}
+	members := sc.members[:total]
+	fill := append([]int32(nil), offs[:n]...)
+	for i, l := range p.lab {
+		if l >= 0 {
+			members[fill[l]] = int32(i)
+			fill[l]++
+		}
+	}
+	if cap(sc.cnt) < numClasses {
+		sc.cnt = make([]int64, numClasses)
+	}
+	cnt := sc.cnt[:numClasses]
+	for l := 0; l < n; l++ {
+		lo, hi := offs[l], offs[l+1]
+		if hi-lo < 2 {
+			continue
+		}
+		sc.touched = sc.touched[:0]
+		for _, i := range members[lo:hi] {
+			z := class[i]
+			if cnt[z] == 0 {
+				sc.touched = append(sc.touched, z)
+			}
+			cnt[z]++
+		}
+		s := int64(hi - lo)
+		for _, z := range sc.touched {
+			dist[z] += cnt[z] * (s - cnt[z])
+			cnt[z] = 0
+		}
+	}
+	return dist
+}
+
+// procedure2 is the paper's Procedure 2: sweep the tests in index order,
+// replacing each baseline with the best alternative whenever that strictly
+// increases the total number of distinguished pairs; repeat until a sweep
+// makes no replacement. baselines is updated in place; the final
+// indistinguished-pair count and the sweep count are returned.
+//
+// Evaluating a replacement at test j needs the partition induced by all
+// other tests; it is formed as the meet of an incrementally maintained
+// prefix partition (tests < j, with any already-accepted replacements) and
+// a precomputed suffix partition (tests > j, with the baselines current at
+// the start of the sweep — unchanged until the sweep reaches them).
+func procedure2(m *resp.Matrix, baselines []int32) (int64, int) {
+	var scratch distScratch
+	sweeps := 0
+	var finalIndist int64
+	for {
+		sweeps++
+		improved := false
+
+		suffix := make([]*Partition, m.K+1)
+		suffix[m.K] = NewPartition(m.N)
+		for j := m.K - 1; j >= 0; j-- {
+			suffix[j] = suffix[j+1].Clone()
+			suffix[j].RefineByBaseline(m.Class[j], baselines[j])
+		}
+		prefix := NewPartition(m.N)
+		for j := 0; j < m.K; j++ {
+			rest := Meet(prefix, suffix[j+1])
+			dist := scratch.perClass(rest, m.Class[j], m.NumClasses(j))
+			cur := baselines[j]
+			best := cur
+			for z := int32(0); z < int32(len(dist)); z++ {
+				if dist[z] > dist[best] {
+					best = z
+				}
+			}
+			if best != cur {
+				baselines[j] = best
+				improved = true
+			}
+			prefix.RefineByBaseline(m.Class[j], baselines[j])
+			suffix[j] = nil // free as we go
+		}
+		finalIndist = prefix.Pairs()
+		if !improved {
+			return finalIndist, sweeps
+		}
+	}
+}
+
+// minimizeStorage reverts baselines to the fault-free vector wherever that
+// does not reduce the number of distinguished pairs, implementing the
+// paper's remark that "the fault free output vector may be used for some of
+// the test vectors" to shrink baseline storage. It returns the number of
+// baselines reverted.
+func minimizeStorage(m *resp.Matrix, baselines []int32) int {
+	var scratch distScratch
+	saved := 0
+	suffix := make([]*Partition, m.K+1)
+	suffix[m.K] = NewPartition(m.N)
+	for j := m.K - 1; j >= 0; j-- {
+		suffix[j] = suffix[j+1].Clone()
+		suffix[j].RefineByBaseline(m.Class[j], baselines[j])
+	}
+	prefix := NewPartition(m.N)
+	for j := 0; j < m.K; j++ {
+		if baselines[j] != 0 {
+			rest := Meet(prefix, suffix[j+1])
+			dist := scratch.perClass(rest, m.Class[j], m.NumClasses(j))
+			if dist[0] == dist[baselines[j]] {
+				baselines[j] = 0
+				saved++
+			}
+		}
+		prefix.RefineByBaseline(m.Class[j], baselines[j])
+		suffix[j] = nil
+	}
+	return saved
+}

@@ -1,0 +1,217 @@
+// Package diagnose performs cause-effect fault diagnosis with the
+// dictionaries built by internal/core: an observed response is reduced to a
+// signature against the dictionary's baselines and matched against the
+// stored fault signatures, exactly as a tester-side diagnosis flow would
+// use a pass/fail or same/different dictionary.
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+
+	"sddict/internal/core"
+	"sddict/internal/fault"
+	"sddict/internal/logic"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+	"sddict/internal/sim"
+)
+
+// Candidate is one ranked diagnosis candidate.
+type Candidate struct {
+	Fault    int // index into the dictionary's fault list
+	Distance int // Hamming distance between signatures (0 = exact match)
+}
+
+// Diagnoser matches observed responses against one dictionary.
+type Diagnoser struct {
+	D      *core.Dictionary
+	Faults []fault.Fault
+
+	rows   []logic.BitVec
+	byHash map[uint64][]int32
+}
+
+// New precomputes the per-fault signature rows of the dictionary.
+func New(d *core.Dictionary, faults []fault.Fault) *Diagnoser {
+	if len(faults) != d.M.N {
+		panic(fmt.Sprintf("diagnose: %d faults != %d dictionary rows", len(faults), d.M.N))
+	}
+	dg := &Diagnoser{D: d, Faults: faults}
+	dg.rows = make([]logic.BitVec, d.M.N)
+	dg.byHash = make(map[uint64][]int32, d.M.N)
+	for i := 0; i < d.M.N; i++ {
+		row := d.Row(i)
+		dg.rows[i] = row
+		h := row.Hash()
+		dg.byHash[h] = append(dg.byHash[h], int32(i))
+	}
+	return dg
+}
+
+// Signature reduces an observed response (one output vector per test) to
+// the dictionary's signature space: bit j is 0 when the observed vector for
+// test j equals the baseline vector (fault-free for pass/fail dictionaries,
+// the selected z_bl,j for same/different) and 1 otherwise.
+func (dg *Diagnoser) Signature(observed []logic.BitVec) logic.BitVec {
+	d := dg.D
+	k := d.M.K
+	if len(observed) != k {
+		panic(fmt.Sprintf("diagnose: %d observed responses != %d tests", len(observed), k))
+	}
+	total := k
+	if d.ExtraBaselines != nil {
+		total = 2 * k
+	}
+	sig := logic.NewBitVec(total)
+	for j := 0; j < k; j++ {
+		if !observed[j].Equal(d.BaselineVector(j)) {
+			sig.Set(j, 1)
+		}
+	}
+	if d.ExtraBaselines != nil {
+		for j := 0; j < k; j++ {
+			if !observed[j].Equal(d.M.Vecs[j][d.ExtraBaselines[j]]) {
+				sig.Set(k+j, 1)
+			}
+		}
+	}
+	return sig
+}
+
+// ExactMatches returns the faults whose dictionary signature equals sig —
+// the candidate set a cause-effect procedure reports for a perfect match.
+func (dg *Diagnoser) ExactMatches(sig logic.BitVec) []int {
+	var out []int
+	for _, i := range dg.byHash[sig.Hash()] {
+		if dg.rows[i].Equal(sig) {
+			out = append(out, int(i))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Rank returns the topK candidates closest to sig by Hamming distance,
+// distance ascending, fault index ascending within equal distance.
+func (dg *Diagnoser) Rank(sig logic.BitVec, topK int) []Candidate {
+	cands := make([]Candidate, len(dg.rows))
+	for i, row := range dg.rows {
+		cands[i] = Candidate{Fault: i, Distance: row.Hamming(sig)}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Distance != cands[b].Distance {
+			return cands[a].Distance < cands[b].Distance
+		}
+		return cands[a].Fault < cands[b].Fault
+	})
+	if topK > 0 && topK < len(cands) {
+		cands = cands[:topK]
+	}
+	return cands
+}
+
+// Diagnose combines exact matching with ranked fallback: if exact matches
+// exist they are returned with distance 0; otherwise the topK nearest rows.
+func (dg *Diagnoser) Diagnose(observed []logic.BitVec, topK int) []Candidate {
+	sig := dg.Signature(observed)
+	if exact := dg.ExactMatches(sig); len(exact) > 0 {
+		out := make([]Candidate, len(exact))
+		for i, f := range exact {
+			out[i] = Candidate{Fault: f}
+		}
+		return out
+	}
+	return dg.Rank(sig, topK)
+}
+
+// FullMatches returns the faults whose complete stored response (the full
+// dictionary's content) equals the observed response under every test. Use
+// this instead of signature matching when d is a Full dictionary.
+func (dg *Diagnoser) FullMatches(observed []logic.BitVec) []int {
+	m := dg.D.M
+	var out []int
+	for i := 0; i < m.N; i++ {
+		match := true
+		for j := 0; j < m.K; j++ {
+			if !m.Vecs[j][m.Class[j][i]].Equal(observed[j]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ObservedResponses simulates a defective circuit (the given faults all
+// injected simultaneously) under the test set and returns one output vector
+// per test: the tester-observed behaviour used as diagnosis input.
+// A single fault models a matching stuck-at defect; several faults model a
+// non-modeled (e.g. multiple or bridge-like) defect.
+func ObservedResponses(c *netlist.Circuit, defect []fault.Fault, tests *pattern.Set) ([]logic.BitVec, error) {
+	bad := c
+	for _, f := range defect {
+		var err error
+		bad, err = fault.Inject(bad, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	view := netlist.NewScanView(bad)
+	if view.NumInputs() != tests.Width {
+		return nil, fmt.Errorf("diagnose: injected circuit width changed")
+	}
+	s := sim.New(view)
+	out := make([]logic.BitVec, 0, tests.Len())
+	words := make([]logic.Word, view.NumOutputs())
+	for _, batch := range tests.Pack() {
+		b := batch
+		s.Apply(&b)
+		s.GoodOutputs(words)
+		for p := 0; p < b.Count; p++ {
+			vec := logic.NewBitVec(view.NumOutputs())
+			for o := range words {
+				vec.Set(o, (words[o]>>uint(p))&1)
+			}
+			out = append(out, vec)
+		}
+	}
+	return out, nil
+}
+
+// Quality summarizes a dictionary's diagnostic resolution over the modeled
+// faults: for every fault taken as the actual defect, the exact-match
+// candidate set is its indistinguishability group.
+type Quality struct {
+	Faults        int
+	Perfect       int     // faults diagnosed to a single candidate
+	MaxCandidates int     // worst-case candidate-set size
+	AvgCandidates float64 // expected candidate-set size
+}
+
+// EvaluateResolution computes diagnosis quality directly from the
+// dictionary's indistinguishability partition.
+func EvaluateResolution(d *core.Dictionary) Quality {
+	p := d.Partition()
+	q := Quality{Faults: p.Len()}
+	sizes := p.GroupSizes()
+	grouped := 0
+	sum := 0
+	max := 1
+	for _, s := range sizes {
+		grouped += s
+		sum += s * s // each of the s faults sees a candidate set of size s
+		if s > max {
+			max = s
+		}
+	}
+	q.Perfect = q.Faults - grouped
+	q.MaxCandidates = max
+	if q.Faults > 0 {
+		q.AvgCandidates = float64(q.Perfect+sum) / float64(q.Faults)
+	}
+	return q
+}

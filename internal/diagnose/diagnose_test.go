@@ -1,0 +1,199 @@
+package diagnose
+
+import (
+	"math/rand"
+	"testing"
+
+	"sddict/internal/atpg"
+	"sddict/internal/core"
+	"sddict/internal/fault"
+	"sddict/internal/gen"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+	"sddict/internal/resp"
+)
+
+// setup builds a small diagnosis scenario: synthetic circuit, collapsed
+// faults, detection test set, response matrix.
+func setup(t *testing.T) (*netlist.Circuit, []fault.Fault, *pattern.Set, *resp.Matrix) {
+	t.Helper()
+	comb := netlist.Combinationalize(gen.Profiles["s298"].MustGenerate(12))
+	col := fault.Collapse(comb)
+	cfg := atpg.DefaultConfig(3)
+	cfg.Seed = 21
+	tests, _ := atpg.GenerateDetection(comb, col.Faults, cfg)
+	m := resp.Build(netlist.NewScanView(comb), col.Faults, tests)
+	return comb, col.Faults, tests, m
+}
+
+// TestSelfDiagnosis: injecting each modeled fault and diagnosing must put
+// the injected fault in the exact-match candidate set, for every
+// dictionary kind; the candidate set must equal the fault's
+// indistinguishability group.
+func TestSelfDiagnosis(t *testing.T) {
+	comb, faults, tests, m := setup(t)
+	opts := core.DefaultOptions
+	opts.Seed = 1
+	opts.Calls1 = 4
+	opts.MaxRestarts = 8
+	sd, _ := core.BuildSameDiff(m, opts)
+	dicts := map[string]*core.Dictionary{
+		"pass/fail":      core.NewPassFail(m),
+		"same/different": sd,
+	}
+	r := rand.New(rand.NewSource(2))
+	for name, d := range dicts {
+		dg := New(d, faults)
+		part := d.Partition()
+		for trial := 0; trial < 15; trial++ {
+			fi := r.Intn(len(faults))
+			obs, err := ObservedResponses(comb, []fault.Fault{faults[fi]}, tests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands := dg.ExactMatches(dg.Signature(obs))
+			found := false
+			for _, c := range cands {
+				if c == fi {
+					found = true
+				}
+				// Every exact-match candidate must share the injected
+				// fault's group.
+				sameGroup := c == fi ||
+					(part.Label(c) != core.Isolated && part.Label(c) == part.Label(fi))
+				if !sameGroup {
+					t.Fatalf("%s: candidate %d not in group of injected fault %d", name, c, fi)
+				}
+			}
+			if !found {
+				t.Fatalf("%s: injected fault %s not among %d candidates",
+					name, faults[fi].Name(comb), len(cands))
+			}
+			// Group size must equal candidate count.
+			want := 1
+			if l := part.Label(fi); l != core.Isolated {
+				want = 0
+				for i := range faults {
+					if part.Label(i) == l {
+						want++
+					}
+				}
+			}
+			if len(cands) != want {
+				t.Fatalf("%s: %d candidates, group size %d", name, len(cands), want)
+			}
+		}
+	}
+}
+
+// TestSameDiffNarrowsCandidates: averaged over faults, the same/different
+// dictionary's candidate sets must not be larger than pass/fail's
+// (SeedFaultFree guarantees at least parity).
+func TestSameDiffNarrowsCandidates(t *testing.T) {
+	_, _, _, m := setup(t)
+	opts := core.DefaultOptions
+	opts.Seed = 3
+	opts.Calls1 = 4
+	opts.MaxRestarts = 8
+	sd, _ := core.BuildSameDiff(m, opts)
+	qPF := EvaluateResolution(core.NewPassFail(m))
+	qSD := EvaluateResolution(sd)
+	qFull := EvaluateResolution(core.NewFull(m))
+	if qSD.AvgCandidates > qPF.AvgCandidates {
+		t.Fatalf("s/d avg candidates %.3f worse than p/f %.3f", qSD.AvgCandidates, qPF.AvgCandidates)
+	}
+	if qFull.AvgCandidates > qSD.AvgCandidates {
+		t.Fatalf("full avg candidates %.3f worse than s/d %.3f", qFull.AvgCandidates, qSD.AvgCandidates)
+	}
+	if qPF.Faults != m.N || qSD.Perfect < qPF.Perfect {
+		t.Fatalf("quality bookkeeping off: %+v vs %+v", qSD, qPF)
+	}
+}
+
+// TestRankNearestForNonModeledDefect: a double fault is not in the
+// dictionary, but ranking must return its constituents among the top
+// candidates more often than chance.
+func TestRankNearestForNonModeledDefect(t *testing.T) {
+	comb, faults, tests, m := setup(t)
+	pf := core.NewPassFail(m)
+	dg := New(pf, faults)
+	r := rand.New(rand.NewSource(6))
+	hits := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		a := r.Intn(len(faults))
+		b := r.Intn(len(faults))
+		if a == b {
+			b = (b + 1) % len(faults)
+		}
+		obs, err := ObservedResponses(comb, []fault.Fault{faults[a], faults[b]}, tests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := dg.Diagnose(obs, 10)
+		for _, c := range cands {
+			if c.Fault == a || c.Fault == b {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < trials/2 {
+		t.Errorf("double-fault diagnosis found a constituent in only %d/%d trials", hits, trials)
+	}
+}
+
+// TestFullMatches: full-response matching must pinpoint the injected
+// fault's full-dictionary group exactly.
+func TestFullMatches(t *testing.T) {
+	comb, faults, tests, m := setup(t)
+	full := core.NewFull(m)
+	dg := New(full, faults)
+	part := full.Partition()
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		fi := r.Intn(len(faults))
+		obs, err := ObservedResponses(comb, []fault.Fault{faults[fi]}, tests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := dg.FullMatches(obs)
+		found := false
+		for _, c := range cands {
+			if c == fi {
+				found = true
+			}
+			if c != fi && (part.Label(c) == core.Isolated || part.Label(c) != part.Label(fi)) {
+				t.Fatalf("full match %d outside the group of %d", c, fi)
+			}
+		}
+		if !found {
+			t.Fatalf("injected fault %d not among full matches", fi)
+		}
+	}
+}
+
+// TestSignatureAgainstDictionaryRows: the signature computed from simulated
+// observed responses of fault i must equal row i of the dictionary — the
+// deployment-side and construction-side signatures are the same function.
+func TestSignatureAgainstDictionaryRows(t *testing.T) {
+	comb, faults, tests, m := setup(t)
+	opts := core.DefaultOptions
+	opts.Seed = 9
+	opts.Calls1 = 3
+	opts.MaxRestarts = 5
+	sd, _ := core.BuildSameDiff(m, opts)
+	dg := New(sd, faults)
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		fi := r.Intn(len(faults))
+		obs, err := ObservedResponses(comb, []fault.Fault{faults[fi]}, tests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := dg.Signature(obs)
+		if !sig.Equal(sd.Row(fi)) {
+			t.Fatalf("signature of injected fault %d differs from its dictionary row", fi)
+		}
+	}
+}

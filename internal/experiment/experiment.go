@@ -1,0 +1,259 @@
+// Package experiment orchestrates the paper's evaluation pipeline end to
+// end: synthesize (or load) a circuit, collapse its stuck-at faults,
+// generate a diagnostic or 10-detection test set, fault-simulate the full
+// response matrix, and build the full, pass/fail and same/different
+// dictionaries. It produces the rows of the paper's Table 6 and the
+// ablation data indexed in DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"sddict/internal/atpg"
+	"sddict/internal/core"
+	"sddict/internal/fault"
+	"sddict/internal/gen"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+	"sddict/internal/resp"
+)
+
+// TestSetType selects between the paper's two test-set flavours.
+type TestSetType string
+
+// Test-set flavours used in Table 6.
+const (
+	Diagnostic TestSetType = "diag"
+	TenDetect  TestSetType = "10det"
+)
+
+// Config bundles the per-row knobs. Zero values are replaced by defaults
+// scaled to the circuit size.
+type Config struct {
+	Seed int64
+	// Effort in [0,1] scales the expensive knobs (Procedure 1 restarts,
+	// miter budgets) down for large circuits. 1 = paper-faithful effort.
+	Effort float64
+	// DetectCfg, DiagCfg and DictOpts override the scaled defaults when
+	// non-nil.
+	DetectCfg *atpg.Config
+	DiagCfg   *atpg.DiagConfig
+	DictOpts  *core.Options
+}
+
+// Row is one line of Table 6 plus the extra diagnostics this implementation
+// records.
+type Row struct {
+	Circuit string
+	TType   TestSetType
+	Tests   int
+
+	SizeFull int64 // bits
+	SizePF   int64
+	SizeSD   int64 // nominal k·(n+m)
+
+	IndFull   int64 // indistinguished fault pairs, full dictionary
+	IndPF     int64 // pass/fail dictionary
+	IndSDRand int64 // same/different after Procedure 1 restarts
+	IndSDRepl int64 // same/different after Procedure 2 (== rand if no gain)
+	Proc2Gain bool
+
+	// Extras beyond the paper's columns.
+	Faults          int
+	Outputs         int
+	IndSDFinal      int64 // with fault-free seeding (never worse than p/f)
+	StoredBaselines int   // baselines kept after storage minimization
+	SizeSDMinimized int64 // k·n + stored·m
+	Coverage        float64
+	BuildStats      core.BuildStats
+	Elapsed         time.Duration
+	// Dict is the constructed same/different dictionary.
+	Dict *core.Dictionary
+}
+
+// Prepared holds the reusable middle state of a pipeline run, so callers
+// (benchmarks, ablations) can rebuild dictionaries without regenerating
+// tests.
+type Prepared struct {
+	Circuit *netlist.Circuit // combinational full-scan form
+	Faults  []fault.Fault
+	Tests   *pattern.Set
+	Matrix  *resp.Matrix
+	GenInfo string
+}
+
+// scaledEffort returns the default effort for a gate count: full effort for
+// small circuits, reduced for the big ones so a Table-6 sweep stays
+// tractable on one core.
+func scaledEffort(gates int) float64 {
+	switch {
+	case gates <= 700:
+		return 1
+	case gates <= 3000:
+		return 0.35
+	default:
+		return 0.12
+	}
+}
+
+// dictOptions derives core.Options from effort.
+func dictOptions(seed int64, effort float64) core.Options {
+	opt := core.DefaultOptions
+	opt.Seed = seed
+	opt.Calls1 = max(2, int(float64(opt.Calls1)*effort))
+	opt.MaxRestarts = max(4, int(float64(opt.MaxRestarts)*effort))
+	return opt
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PrepareProfile synthesizes the named circuit profile and generates the
+// requested test set, returning the prepared pipeline state.
+func PrepareProfile(name string, tt TestSetType, cfg Config) (*Prepared, error) {
+	p, err := gen.Named(name)
+	if err != nil {
+		return nil, err
+	}
+	seq := p.MustGenerate(cfg.Seed + 1)
+	return Prepare(seq, tt, cfg)
+}
+
+// Prepare runs the front half of the pipeline on an arbitrary (possibly
+// sequential) circuit: full-scan conversion, fault collapsing, test
+// generation and full-response fault simulation.
+func Prepare(c *netlist.Circuit, tt TestSetType, cfg Config) (*Prepared, error) {
+	comb := netlist.Combinationalize(c)
+	col := fault.Collapse(comb)
+	effort := cfg.Effort
+	if effort <= 0 {
+		effort = scaledEffort(comb.NumLogicGates())
+	}
+
+	gates := comb.NumLogicGates()
+	var tests *pattern.Set
+	var info string
+	switch tt {
+	case TenDetect:
+		dcfg := atpg.DefaultConfig(10)
+		dcfg.Seed = cfg.Seed + 2
+		// Bound the matrix size on large circuits: a 10-detection set is
+		// naturally about 10x a detection set; past a few thousand tests
+		// the extra patterns add resolution the dictionaries do not need.
+		switch {
+		case gates > 3000:
+			dcfg.MaxTests = 9000
+		case gates > 700:
+			dcfg.MaxTests = 7000
+		}
+		if cfg.DetectCfg != nil {
+			dcfg = *cfg.DetectCfg
+		}
+		set, st := atpg.GenerateDetection(comb, col.Faults, dcfg)
+		tests = set
+		info = fmt.Sprintf("10det: %d random + %d podem tests, coverage %.1f%%, %d untestable",
+			st.RandomTests, st.PodemTests, 100*st.Coverage(), st.Untestable)
+	case Diagnostic:
+		dcfg := atpg.DefaultConfig(1)
+		dcfg.Seed = cfg.Seed + 2
+		dcfg.Compact = true
+		if cfg.DetectCfg != nil {
+			dcfg = *cfg.DetectCfg
+		}
+		base, st := atpg.GenerateDetection(comb, col.Faults, dcfg)
+		gcfg := atpg.DefaultDiagConfig()
+		gcfg.Seed = cfg.Seed + 3
+		gcfg.MaxMiterCalls = max(200, int(3000*effort))
+		// Large circuits: miter PODEM rarely closes the hardest pairs, so
+		// spend the budget on random distinguishing patience instead.
+		switch {
+		case gates > 3000:
+			gcfg.UselessBatchLimit = 30
+			gcfg.RetryBacktrackLimit = 300
+			gcfg.MaxMiterCalls = 250
+			gcfg.SATConflictBudget = 3000
+			gcfg.MaxSATCalls = 30
+		case gates > 700:
+			gcfg.UselessBatchLimit = 20
+			gcfg.RetryBacktrackLimit = 500
+			gcfg.SATConflictBudget = 8000
+			gcfg.MaxSATCalls = 40
+		}
+		if cfg.DiagCfg != nil {
+			gcfg = *cfg.DiagCfg
+		}
+		set, dst := atpg.GenerateDiagnostic(comb, col.Faults, base, gcfg)
+		tests = set
+		info = fmt.Sprintf("diag: %d detection + %d random + %d miter tests, %d equivalent pairs, %d aborted, coverage %.1f%%",
+			dst.BaseTests, dst.RandomTests, dst.AddedTests, dst.Equivalent, dst.Aborted, 100*st.Coverage())
+	default:
+		return nil, fmt.Errorf("experiment: unknown test-set type %q", tt)
+	}
+	if tests.Len() == 0 {
+		return nil, fmt.Errorf("experiment: empty test set for %s/%s", c.Name, tt)
+	}
+
+	m := resp.Build(netlist.NewScanView(comb), col.Faults, tests)
+	return &Prepared{Circuit: comb, Faults: col.Faults, Tests: tests, Matrix: m, GenInfo: info}, nil
+}
+
+// BuildRow runs the back half of the pipeline (dictionary construction) on
+// prepared state.
+func BuildRow(pr *Prepared, tt TestSetType, cfg Config) Row {
+	start := time.Now()
+	effort := cfg.Effort
+	if effort <= 0 {
+		effort = scaledEffort(pr.Circuit.NumLogicGates())
+	}
+	opts := dictOptions(cfg.Seed+4, effort)
+	if cfg.DictOpts != nil {
+		opts = *cfg.DictOpts
+	}
+
+	m := pr.Matrix
+	full := core.NewFull(m)
+	pf := core.NewPassFail(m)
+	sd, st := core.BuildSameDiff(m, opts)
+
+	row := Row{
+		Circuit: pr.Circuit.Name,
+		TType:   tt,
+		Tests:   m.K,
+		Faults:  m.N,
+		Outputs: m.M,
+
+		SizeFull: full.SizeBits(),
+		SizePF:   pf.SizeBits(),
+		SizeSD:   sd.NominalSizeBits(),
+
+		IndFull:   st.IndistFull,
+		IndPF:     pf.Indistinguished(),
+		IndSDRand: st.IndistProc1,
+		IndSDRepl: st.IndistProc2,
+		Proc2Gain: st.Proc2Improved,
+
+		IndSDFinal:      st.IndistFinal,
+		StoredBaselines: st.StoredBaselines,
+		SizeSDMinimized: sd.SizeBits(),
+		BuildStats:      st,
+		Dict:            sd,
+	}
+	row.Elapsed = time.Since(start)
+	return row
+}
+
+// RunProfileRow executes the full pipeline for one Table-6 row.
+func RunProfileRow(name string, tt TestSetType, cfg Config) (Row, error) {
+	pr, err := PrepareProfile(name, tt, cfg)
+	if err != nil {
+		return Row{}, err
+	}
+	row := BuildRow(pr, tt, cfg)
+	row.Circuit = name
+	return row, nil
+}

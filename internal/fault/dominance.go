@@ -1,0 +1,91 @@
+package fault
+
+import (
+	"sort"
+
+	"sddict/internal/netlist"
+)
+
+// DominanceCollapse shrinks a collapsed fault list further using the
+// classic structural dominance rules:
+//
+//	AND:  output s-a-1 dominates every input s-a-1
+//	NAND: output s-a-0 dominates every input s-a-1
+//	OR:   output s-a-0 dominates every input s-a-0
+//	NOR:  output s-a-1 dominates every input s-a-0
+//
+// (any test for the dominated input fault also detects the dominating
+// output fault, so the output fault can be dropped from an ATPG target
+// list). Dominance preserves detection only, NOT distinguishability: two
+// dominance-merged faults generally have different responses, so
+// dictionaries must be built on the equivalence-collapsed set. This
+// function exists for the test-generation path, where smaller target lists
+// cut PODEM effort.
+//
+// The input must be the equivalence-collapsed result; the returned list is
+// a subset of col.Faults, sorted.
+func DominanceCollapse(c *netlist.Circuit, col *CollapseResult) []Fault {
+	drop := make(map[int]bool)
+
+	// classOf returns the equivalence-class index of the fault on input
+	// pin `pin` of gate g stuck at v (branch fault if the driver fans out,
+	// else the driver's stem fault), or -1.
+	classOf := func(g int32, pin int, v uint8) int {
+		d := c.Gates[g].Fanin[pin]
+		var f Fault
+		if c.FanoutCount(d) > 1 {
+			f = Fault{Gate: g, Pin: int32(pin), Stuck: v}
+		} else {
+			f = Fault{Gate: d, Pin: StemPin, Stuck: v}
+		}
+		ci, ok := col.ClassOf[f]
+		if !ok {
+			return -1
+		}
+		return ci
+	}
+
+	for i := range c.Gates {
+		g := int32(i)
+		var inVal, outVal uint8
+		switch c.Gates[i].Type {
+		case netlist.And:
+			inVal, outVal = 1, 1
+		case netlist.Nand:
+			inVal, outVal = 1, 0
+		case netlist.Or:
+			inVal, outVal = 0, 0
+		case netlist.Nor:
+			inVal, outVal = 0, 1
+		default:
+			continue
+		}
+		outClass, ok := col.ClassOf[Fault{Gate: g, Pin: StemPin, Stuck: outVal}]
+		if !ok {
+			continue
+		}
+		// The output fault is dominated by each input fault; it can be
+		// dropped as long as at least one dominated input fault remains a
+		// target (it always does: input faults are never dropped by these
+		// rules' direction).
+		hasInput := false
+		for pin := range c.Gates[i].Fanin {
+			if ci := classOf(g, pin, inVal); ci >= 0 && ci != outClass && !drop[ci] {
+				hasInput = true
+				break
+			}
+		}
+		if hasInput {
+			drop[outClass] = true
+		}
+	}
+
+	out := make([]Fault, 0, len(col.Faults)-len(drop))
+	for ci, f := range col.Faults {
+		if !drop[ci] {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	return out
+}

@@ -1,0 +1,133 @@
+package fault_test
+
+import (
+	"testing"
+
+	"sddict/internal/fault"
+	"sddict/internal/gen"
+	"sddict/internal/logic"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+	"sddict/internal/sim"
+)
+
+// allVectors enumerates every input vector of a small circuit.
+func allVectors(width int) []pattern.Vector {
+	out := make([]pattern.Vector, 0, 1<<uint(width))
+	for v := 0; v < 1<<uint(width); v++ {
+		vec := make(pattern.Vector, width)
+		for i := range vec {
+			vec[i] = logic.FromBit(uint64(v >> uint(i) & 1))
+		}
+		out = append(out, vec)
+	}
+	return out
+}
+
+// detects reports whether vec detects f on c.
+func detects(view *netlist.ScanView, f fault.Fault, vec pattern.Vector) bool {
+	good := sim.EvalTernary(view, vec)
+	gv := logic.NewBitVec(view.NumOutputs())
+	for slot, g := range view.Outputs {
+		gv.Set(slot, good[g].Bit())
+	}
+	return !sim.RefFaultOutputs(view, f, vec).Equal(gv)
+}
+
+// TestDominanceSoundOnC17: exhaustively verify the defining property on
+// c17 — any test set that detects every dominance-collapsed fault also
+// detects every detectable equivalence-collapsed fault.
+func TestDominanceSoundOnC17(t *testing.T) {
+	c := gen.C17()
+	view := netlist.NewScanView(c)
+	col := fault.Collapse(c)
+	dom := fault.DominanceCollapse(c, col)
+	if len(dom) >= len(col.Faults) {
+		t.Fatalf("dominance did not shrink: %d of %d", len(dom), len(col.Faults))
+	}
+	vecs := allVectors(5)
+
+	// testsFor(f) = set of vectors detecting f.
+	testsFor := func(f fault.Fault) map[int]bool {
+		s := map[int]bool{}
+		for vi, vec := range vecs {
+			if detects(view, f, vec) {
+				s[vi] = true
+			}
+		}
+		return s
+	}
+
+	// Build a minimal-ish test set covering the dominance list greedily.
+	covered := make([]bool, len(dom))
+	var chosen []int
+	for {
+		bestVec, bestGain := -1, 0
+		for vi, vec := range vecs {
+			gain := 0
+			for di, f := range dom {
+				if !covered[di] && detects(view, f, vec) {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestVec, bestGain = vi, gain
+			}
+		}
+		if bestVec < 0 {
+			break
+		}
+		chosen = append(chosen, bestVec)
+		for di, f := range dom {
+			if !covered[di] && detects(view, f, vecs[bestVec]) {
+				covered[di] = true
+			}
+		}
+	}
+	for di, cv := range covered {
+		if !cv && len(testsFor(dom[di])) > 0 {
+			t.Fatalf("greedy cover failed on dominance fault %v", dom[di])
+		}
+	}
+
+	// The chosen set must detect every detectable fault of the
+	// equivalence-collapsed list.
+	for _, f := range col.Faults {
+		detectable := len(testsFor(f)) > 0
+		if !detectable {
+			continue
+		}
+		hit := false
+		for _, vi := range chosen {
+			if detects(view, f, vecs[vi]) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("fault %s detectable but missed by a dominance-complete test set", f.Name(c))
+		}
+	}
+}
+
+// TestDominanceSubset: the dominance list is a subset of the equivalence
+// list and strictly smaller on gate-rich circuits.
+func TestDominanceSubset(t *testing.T) {
+	c := gen.Profiles["s298"].MustGenerate(3)
+	comb := netlist.Combinationalize(c)
+	col := fault.Collapse(comb)
+	dom := fault.DominanceCollapse(comb, col)
+	if len(dom) >= len(col.Faults) {
+		t.Fatalf("no shrink: %d of %d", len(dom), len(col.Faults))
+	}
+	inCol := make(map[fault.Fault]bool, len(col.Faults))
+	for _, f := range col.Faults {
+		inCol[f] = true
+	}
+	for _, f := range dom {
+		if !inCol[f] {
+			t.Fatalf("dominance fault %v not in the equivalence list", f)
+		}
+	}
+	t.Logf("equivalence %d -> dominance %d targets", len(col.Faults), len(dom))
+}

@@ -1,0 +1,222 @@
+// Package fault defines the single stuck-at fault model used throughout:
+// the fault universe over a netlist (stem faults on every line plus
+// fanout-branch faults), structural equivalence collapsing, and the compact
+// fault descriptors the simulator and test generator inject.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"sddict/internal/netlist"
+)
+
+// StemPin marks a fault on a gate's output line rather than an input pin.
+const StemPin = -1
+
+// Fault is a single stuck-at fault. Pin == StemPin places the fault on the
+// output (stem) of Gate; Pin >= 0 places it on that input pin of Gate (a
+// fanout branch). Stuck is the stuck-at value, 0 or 1.
+type Fault struct {
+	Gate  int32
+	Pin   int32
+	Stuck uint8
+}
+
+// IsStem reports whether the fault sits on a gate output.
+func (f Fault) IsStem() bool { return f.Pin == StemPin }
+
+// Less orders faults by (gate, pin, stuck); used for deterministic lists.
+func (f Fault) Less(o Fault) bool {
+	if f.Gate != o.Gate {
+		return f.Gate < o.Gate
+	}
+	if f.Pin != o.Pin {
+		return f.Pin < o.Pin
+	}
+	return f.Stuck < o.Stuck
+}
+
+// Name renders the fault against a circuit, e.g. "g12 s-a-1" for a stem
+// fault or "g12.in2 s-a-0" for a branch fault.
+func (f Fault) Name(c *netlist.Circuit) string {
+	if f.IsStem() {
+		return fmt.Sprintf("%s s-a-%d", c.Gates[f.Gate].Name, f.Stuck)
+	}
+	return fmt.Sprintf("%s.in%d s-a-%d", c.Gates[f.Gate].Name, f.Pin, f.Stuck)
+}
+
+// Universe enumerates the standard uncollapsed single stuck-at fault
+// universe of c: both stuck values on every gate output (every circuit
+// line), and on every input pin whose driving line fans out to more than
+// one pin (fanout branches). Constant gates carry no faults. The result is
+// sorted.
+func Universe(c *netlist.Circuit) []Fault {
+	var fs []Fault
+	for i := range c.Gates {
+		g := int32(i)
+		switch c.Gates[i].Type {
+		case netlist.Const0, netlist.Const1:
+			continue
+		}
+		fs = append(fs, Fault{Gate: g, Pin: StemPin, Stuck: 0}, Fault{Gate: g, Pin: StemPin, Stuck: 1})
+		for pin, d := range c.Gates[i].Fanin {
+			if c.FanoutCount(d) > 1 {
+				fs = append(fs, Fault{Gate: g, Pin: int32(pin), Stuck: 0}, Fault{Gate: g, Pin: int32(pin), Stuck: 1})
+			}
+		}
+	}
+	sort.Slice(fs, func(a, b int) bool { return fs[a].Less(fs[b]) })
+	return fs
+}
+
+// CollapseResult holds the outcome of equivalence collapsing.
+type CollapseResult struct {
+	// Faults is the collapsed fault list (one representative per structural
+	// equivalence class), sorted.
+	Faults []Fault
+	// ClassOf maps every fault of the uncollapsed universe to the index of
+	// its representative in Faults.
+	ClassOf map[Fault]int
+	// Universe is the uncollapsed list the collapsing ran on.
+	Universe []Fault
+}
+
+// Collapse performs structural equivalence collapsing of the stuck-at
+// universe of c using the classic gate rules:
+//
+//	BUF:  input s-a-v ≡ output s-a-v
+//	NOT:  input s-a-v ≡ output s-a-(1-v)
+//	AND:  every input s-a-0 ≡ output s-a-0
+//	NAND: every input s-a-0 ≡ output s-a-1
+//	OR:   every input s-a-1 ≡ output s-a-1
+//	NOR:  every input s-a-1 ≡ output s-a-0
+//
+// An "input fault" is the branch fault when the driving line fans out, or
+// the driver's stem fault when it does not (a fanout-free line is a single
+// line). No collapsing happens across flip-flops or XOR/XNOR gates.
+func Collapse(c *netlist.Circuit) *CollapseResult {
+	uni := Universe(c)
+	idx := make(map[Fault]int, len(uni))
+	for i, f := range uni {
+		idx[f] = i
+	}
+	uf := newUnionFind(len(uni))
+
+	// inputFault returns the universe index of "input pin `pin` of gate g
+	// stuck at v": the branch fault if the driver fans out, else the
+	// driver's stem fault. Returns -1 for faults on constant drivers.
+	inputFault := func(g int32, pin int, v uint8) int {
+		d := c.Gates[g].Fanin[pin]
+		if c.FanoutCount(d) > 1 {
+			return idx[Fault{Gate: g, Pin: int32(pin), Stuck: v}]
+		}
+		if i, ok := idx[Fault{Gate: d, Pin: StemPin, Stuck: v}]; ok {
+			return i
+		}
+		return -1
+	}
+
+	for i := range c.Gates {
+		g := int32(i)
+		var inVal, outVal uint8
+		switch c.Gates[i].Type {
+		case netlist.And:
+			inVal, outVal = 0, 0
+		case netlist.Nand:
+			inVal, outVal = 0, 1
+		case netlist.Or:
+			inVal, outVal = 1, 1
+		case netlist.Nor:
+			inVal, outVal = 1, 0
+		case netlist.Buf:
+			// Both polarities collapse through a buffer.
+			for v := uint8(0); v <= 1; v++ {
+				if fi := inputFault(g, 0, v); fi >= 0 {
+					uf.union(fi, idx[Fault{Gate: g, Pin: StemPin, Stuck: v}])
+				}
+			}
+			continue
+		case netlist.Not:
+			for v := uint8(0); v <= 1; v++ {
+				if fi := inputFault(g, 0, v); fi >= 0 {
+					uf.union(fi, idx[Fault{Gate: g, Pin: StemPin, Stuck: 1 - v}])
+				}
+			}
+			continue
+		default:
+			continue
+		}
+		out := idx[Fault{Gate: g, Pin: StemPin, Stuck: outVal}]
+		for pin := range c.Gates[i].Fanin {
+			if fi := inputFault(g, pin, inVal); fi >= 0 {
+				uf.union(fi, out)
+			}
+		}
+	}
+
+	// Pick the smallest fault of each class as representative.
+	repOf := make(map[int]int, len(uni)) // root -> universe index of representative
+	for i := range uni {
+		r := uf.find(i)
+		if cur, ok := repOf[r]; !ok || uni[i].Less(uni[cur]) {
+			repOf[r] = i
+		}
+	}
+	reps := make([]int, 0, len(repOf))
+	for _, ri := range repOf {
+		reps = append(reps, ri)
+	}
+	sort.Slice(reps, func(a, b int) bool { return uni[reps[a]].Less(uni[reps[b]]) })
+
+	res := &CollapseResult{
+		Faults:   make([]Fault, len(reps)),
+		ClassOf:  make(map[Fault]int, len(uni)),
+		Universe: uni,
+	}
+	classIdx := make(map[int]int, len(reps)) // universe rep index -> class index
+	for ci, ri := range reps {
+		res.Faults[ci] = uni[ri]
+		classIdx[ri] = ci
+	}
+	for i, f := range uni {
+		res.ClassOf[f] = classIdx[repOf[uf.find(i)]]
+	}
+	return res
+}
+
+// unionFind is a plain weighted quick-union with path halving.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

@@ -1,0 +1,200 @@
+package fault_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sddict/internal/fault"
+	"sddict/internal/gen"
+	"sddict/internal/logic"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+	"sddict/internal/sim"
+)
+
+func TestUniverseC17(t *testing.T) {
+	c := gen.C17()
+	uni := fault.Universe(c)
+	// 11 lines (5 PIs + 6 gates) -> 22 stem faults. Fanout branches: a line
+	// with fanout f > 1 adds 2 branch faults per sink pin.
+	branchPins := 0
+	for i := range c.Gates {
+		for _, d := range c.Gates[i].Fanin {
+			if c.FanoutCount(d) > 1 {
+				branchPins++
+			}
+		}
+	}
+	want := 22 + 2*branchPins
+	if len(uni) != want {
+		t.Fatalf("universe has %d faults, want %d", len(uni), want)
+	}
+	// Sorted and unique.
+	for i := 1; i < len(uni); i++ {
+		if !uni[i-1].Less(uni[i]) {
+			t.Fatalf("universe not strictly sorted at %d", i)
+		}
+	}
+}
+
+func TestCollapseShrinksUniverse(t *testing.T) {
+	c := gen.C17()
+	col := fault.Collapse(c)
+	if len(col.Faults) >= len(col.Universe) {
+		t.Fatalf("collapsing did not shrink: %d of %d", len(col.Faults), len(col.Universe))
+	}
+	// Every universe fault maps to a representative; representatives map to
+	// themselves.
+	for i, f := range col.Faults {
+		if col.ClassOf[f] != i {
+			t.Fatalf("representative %v maps to class %d, want %d", f, col.ClassOf[f], i)
+		}
+	}
+	for _, f := range col.Universe {
+		ci, ok := col.ClassOf[f]
+		if !ok || ci < 0 || ci >= len(col.Faults) {
+			t.Fatalf("universe fault %v has no class", f)
+		}
+	}
+}
+
+// TestCollapseEquivalenceSound property-checks the core soundness of
+// structural collapsing: faults placed in the same class must produce
+// identical output responses on every input vector. Checked exhaustively
+// on c17 (32 input vectors) and on random vectors for a synthetic circuit.
+func TestCollapseEquivalenceSound(t *testing.T) {
+	check := func(c *netlist.Circuit, vecs []pattern.Vector) {
+		t.Helper()
+		col := fault.Collapse(c)
+		view := netlist.NewScanView(c)
+		classRep := make(map[int]logic.BitVec)
+		for _, vec := range vecs {
+			for k := range classRep {
+				delete(classRep, k)
+			}
+			for _, f := range col.Universe {
+				resp := sim.RefFaultOutputs(view, f, vec)
+				ci := col.ClassOf[f]
+				if prev, ok := classRep[ci]; ok {
+					if !prev.Equal(resp) {
+						t.Fatalf("%s: fault %s responds %s, classmates respond %s under %s",
+							c.Name, f.Name(c), resp.String(view.NumOutputs()),
+							prev.String(view.NumOutputs()), vec)
+					}
+				} else {
+					classRep[ci] = resp
+				}
+			}
+		}
+	}
+
+	// Exhaustive on c17.
+	c := gen.C17()
+	var vecs []pattern.Vector
+	for v := 0; v < 32; v++ {
+		vec := make(pattern.Vector, 5)
+		for i := range vec {
+			vec[i] = logic.FromBit(uint64(v >> uint(i) & 1))
+		}
+		vecs = append(vecs, vec)
+	}
+	check(c, vecs)
+
+	// Random vectors on a synthetic sequential circuit (scan view).
+	r := rand.New(rand.NewSource(3))
+	sc := gen.Profiles["s27"].MustGenerate(5)
+	view := netlist.NewScanView(sc)
+	vecs = vecs[:0]
+	for i := 0; i < 40; i++ {
+		vecs = append(vecs, pattern.Random(r, view.NumInputs()))
+	}
+	check(sc, vecs)
+}
+
+// TestInjectMatchesReference: simulating the good circuit of fault.Inject(c, f)
+// must equal the faulty reference simulation of f on c.
+func TestInjectMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	c := gen.Profiles["s27"].MustGenerate(9)
+	view := netlist.NewScanView(c)
+	col := fault.Collapse(c)
+	for _, f := range col.Faults {
+		bad := fault.MustInject(c, f)
+		badView := netlist.NewScanView(bad)
+		if badView.NumInputs() != view.NumInputs() || badView.NumOutputs() != view.NumOutputs() {
+			t.Fatalf("inject changed interface for %s", f.Name(c))
+		}
+		for trial := 0; trial < 8; trial++ {
+			vec := pattern.Random(r, view.NumInputs())
+			want := sim.RefFaultOutputs(view, f, vec)
+			vals := sim.EvalTernary(badView, vec)
+			got := logic.NewBitVec(badView.NumOutputs())
+			for slot, g := range badView.Outputs {
+				got.Set(slot, vals[g].Bit())
+			}
+			if !got.Equal(want) {
+				t.Fatalf("fault %s vec %s: injected %s, reference %s",
+					f.Name(c), vec, got.String(view.NumOutputs()), want.String(view.NumOutputs()))
+			}
+		}
+	}
+}
+
+func TestInjectStemOnPrimaryOutput(t *testing.T) {
+	b := netlist.NewBuilder("po")
+	a := b.Input("a")
+	x := b.Gate(netlist.Not, "x", a)
+	b.Output(x)
+	c, _ := b.Build()
+	bad := fault.MustInject(c, fault.Fault{Gate: x, Pin: fault.StemPin, Stuck: 1})
+	view := netlist.NewScanView(bad)
+	for _, bit := range []logic.Value{logic.Zero, logic.One} {
+		vals := sim.EvalTernary(view, pattern.Vector{bit})
+		if vals[view.Outputs[0]] != logic.One {
+			t.Fatalf("PO stuck-at-1 not observed for input %v", bit)
+		}
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	c := gen.C17()
+	if _, err := fault.Inject(c, fault.Fault{Gate: 999, Pin: fault.StemPin}); err == nil {
+		t.Error("Inject accepted out-of-range gate")
+	}
+	if _, err := fault.Inject(c, fault.Fault{Gate: 5, Pin: 99}); err == nil {
+		t.Error("Inject accepted out-of-range pin")
+	}
+}
+
+func TestFaultName(t *testing.T) {
+	c := gen.C17()
+	f := fault.Fault{Gate: c.GateByName("10"), Pin: fault.StemPin, Stuck: 1}
+	if got := f.Name(c); got != "10 s-a-1" {
+		t.Errorf("Name = %q", got)
+	}
+	fb := fault.Fault{Gate: c.GateByName("22"), Pin: 0, Stuck: 0}
+	if got := fb.Name(c); got != "22.in0 s-a-0" {
+		t.Errorf("Name = %q", got)
+	}
+	if fb.IsStem() || !f.IsStem() {
+		t.Error("IsStem misbehaves")
+	}
+}
+
+// TestCollapseDFFBoundary: no collapsing across a flip-flop — a fault on
+// the D line and a fault on the Q output must stay distinct classes.
+func TestCollapseDFFBoundary(t *testing.T) {
+	b := netlist.NewBuilder("ffb")
+	a := b.Input("a")
+	inv := b.Gate(netlist.Not, "inv", a)
+	ff := b.Gate(netlist.DFF, "ff", inv)
+	out := b.Gate(netlist.Buf, "out", ff)
+	b.Output(out)
+	c, _ := b.Build()
+	col := fault.Collapse(c)
+	dFault := fault.Fault{Gate: inv, Pin: fault.StemPin, Stuck: 0}
+	qFault := fault.Fault{Gate: ff, Pin: fault.StemPin, Stuck: 0}
+	if col.ClassOf[dFault] == col.ClassOf[qFault] {
+		t.Error("fault collapsed across the flip-flop boundary")
+	}
+}

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"fmt"
+
+	"sddict/internal/netlist"
+)
+
+// Inject returns a copy of c with fault f wired in structurally: the faulty
+// line is cut and its sinks driven by a constant of the stuck value. A stem
+// fault redirects every reader of the gate (and any primary-output
+// observation of it); a branch fault redirects only the faulty pin. The
+// result behaves exactly like the faulty machine and can be simulated,
+// composed into miters, or used to model non-modeled defects by injecting
+// several faults in sequence.
+func Inject(c *netlist.Circuit, f Fault) (*netlist.Circuit, error) {
+	if int(f.Gate) >= len(c.Gates) {
+		return nil, fmt.Errorf("fault: gate %d out of range", f.Gate)
+	}
+	b := netlist.NewBuilder(c.Name + "+" + f.Name(c))
+	// Copy gates verbatim; indices are preserved.
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		switch g.Type {
+		case netlist.Input:
+			b.Input(g.Name)
+		case netlist.DFF:
+			b.Gate(netlist.DFF, g.Name, g.Fanin...)
+		default:
+			b.Gate(g.Type, g.Name, append([]int32(nil), g.Fanin...)...)
+		}
+	}
+	konst := b.Const(fmt.Sprintf("sa%d", f.Stuck), int(f.Stuck))
+
+	if f.IsStem() {
+		for i := range c.Gates {
+			for pin, d := range c.Gates[i].Fanin {
+				if d == f.Gate {
+					fanin := append([]int32(nil), c.Gates[i].Fanin...)
+					fanin[pin] = konst
+					b.SetFanin(int32(i), fanin...)
+				}
+			}
+		}
+		for _, po := range c.POs {
+			if po == f.Gate {
+				b.Output(konst)
+			} else {
+				b.Output(po)
+			}
+		}
+	} else {
+		if int(f.Pin) >= len(c.Gates[f.Gate].Fanin) {
+			return nil, fmt.Errorf("fault: pin %d out of range for gate %d", f.Pin, f.Gate)
+		}
+		fanin := append([]int32(nil), c.Gates[f.Gate].Fanin...)
+		fanin[f.Pin] = konst
+		b.SetFanin(f.Gate, fanin...)
+		for _, po := range c.POs {
+			b.Output(po)
+		}
+	}
+	return b.Build()
+}
+
+// MustInject is Inject for known-valid faults; it panics on error.
+func MustInject(c *netlist.Circuit, f Fault) *netlist.Circuit {
+	n, err := Inject(c, f)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,293 @@
+// Package gen deterministically synthesizes gate-level benchmark circuits.
+//
+// The paper evaluates on the ISCAS-89 benchmark netlists, which are not
+// redistributable here. This package substitutes structurally similar
+// synthetic circuits: for each Table-6 circuit a Profile records the
+// published input/output/flip-flop/gate counts, and Generate produces a
+// random sequential netlist with exactly those counts, no dead logic, and a
+// gate-type mix typical of the benchmark family. Generation is fully
+// deterministic in (profile, seed).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sddict/internal/netlist"
+)
+
+// Profile describes the size parameters of a circuit to synthesize.
+type Profile struct {
+	Name  string
+	PIs   int // primary inputs
+	POs   int // primary outputs
+	DFFs  int // D flip-flops
+	Gates int // combinational logic gates
+}
+
+// drawFaninCount samples a fanin count; two-input gates dominate as in the
+// ISCAS-89 family.
+func drawFaninCount(r *rand.Rand) int {
+	// The ISCAS-89 family is inverter/buffer heavy (s9234 is more than
+	// half inverters), which keeps the per-gate fault density low; the
+	// distribution mirrors that.
+	switch n := r.Intn(100); {
+	case n < 30:
+		return 1
+	case n < 82:
+		return 2
+	case n < 95:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// typeChoices lists the candidate gate types per fanin count.
+var (
+	unaryTypes  = []netlist.GateType{netlist.Not, netlist.Not, netlist.Not, netlist.Buf}
+	binaryTypes = []netlist.GateType{
+		netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor,
+	}
+	wideTypes = []netlist.GateType{netlist.And, netlist.Nand, netlist.Or, netlist.Nor}
+)
+
+// outputProb estimates the signal probability of a gate's output from the
+// probabilities of its fanins under an independence assumption. Keeping
+// this near 0.5 avoids the near-constant internal signals that make random
+// circuits heavily redundant (untestable faults), which the ISCAS family is
+// not.
+func outputProb(t netlist.GateType, in []float64) float64 {
+	switch t {
+	case netlist.Buf:
+		return in[0]
+	case netlist.Not:
+		return 1 - in[0]
+	case netlist.And, netlist.Nand:
+		p := 1.0
+		for _, x := range in {
+			p *= x
+		}
+		if t == netlist.Nand {
+			p = 1 - p
+		}
+		return p
+	case netlist.Or, netlist.Nor:
+		q := 1.0
+		for _, x := range in {
+			q *= 1 - x
+		}
+		if t == netlist.Or {
+			return 1 - q
+		}
+		return q
+	case netlist.Xor, netlist.Xnor:
+		p := 0.0
+		for _, x := range in {
+			p = p*(1-x) + (1-p)*x
+		}
+		if t == netlist.Xnor {
+			p = 1 - p
+		}
+		return p
+	}
+	return 0.5
+}
+
+// drawType picks a gate type for the chosen fanins: among three randomly
+// sampled candidates compatible with the fanin count, the one whose
+// estimated output probability is closest to 0.5 wins. This preserves
+// type diversity while steering the circuit away from constant regions.
+func drawType(r *rand.Rand, probs []float64) netlist.GateType {
+	var pool []netlist.GateType
+	switch len(probs) {
+	case 1:
+		pool = unaryTypes
+	case 2:
+		pool = binaryTypes
+	default:
+		pool = wideTypes
+	}
+	best := pool[r.Intn(len(pool))]
+	bestDist := dist05(outputProb(best, probs))
+	for i := 0; i < 2; i++ {
+		t := pool[r.Intn(len(pool))]
+		if d := dist05(outputProb(t, probs)); d < bestDist {
+			best, bestDist = t, d
+		}
+	}
+	return best
+}
+
+func dist05(p float64) float64 {
+	if p < 0.5 {
+		return 0.5 - p
+	}
+	return p - 0.5
+}
+
+// Generate synthesizes a circuit for the profile. The construction
+// guarantees: exact PI/PO/DFF/gate counts; every logic gate either fans out
+// or drives a primary output or a flip-flop D line (no dead logic); and no
+// combinational cycles (flip-flops may close sequential loops).
+func (p Profile) Generate(seed int64) (*netlist.Circuit, error) {
+	if p.PIs < 1 || p.POs < 1 || p.Gates < 1 || p.DFFs < 0 {
+		return nil, fmt.Errorf("gen: profile %q: need at least 1 PI, 1 PO, 1 gate", p.Name)
+	}
+	if p.POs > p.Gates {
+		return nil, fmt.Errorf("gen: profile %q: more outputs (%d) than gates (%d)", p.Name, p.POs, p.Gates)
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := netlist.NewBuilder(p.Name)
+
+	// Sources: primary inputs and flip-flop Q outputs. Flip-flop D fanins
+	// are patched in at the end.
+	signals := make([]int32, 0, p.PIs+p.DFFs+p.Gates)
+	unusedSources := make([]int32, 0, p.PIs+p.DFFs)
+	for i := 0; i < p.PIs; i++ {
+		g := b.Input(fmt.Sprintf("pi%d", i))
+		signals = append(signals, g)
+		unusedSources = append(unusedSources, g)
+	}
+	dffs := make([]int32, p.DFFs)
+	for i := 0; i < p.DFFs; i++ {
+		// Temporary self-fanin; replaced below once drivers exist.
+		dffs[i] = b.Gate(netlist.DFF, fmt.Sprintf("ff%d", i))
+		signals = append(signals, dffs[i])
+		unusedSources = append(unusedSources, dffs[i])
+	}
+	r.Shuffle(len(unusedSources), func(i, j int) {
+		unusedSources[i], unusedSources[j] = unusedSources[j], unusedSources[i]
+	})
+
+	// sinksNeeded bounds the dangling pool: whenever more logic gates than
+	// this are dangling, the next gate must consume the oldest dangler, so
+	// the pool never exceeds the number of sink positions available.
+	sinksNeeded := p.POs + p.DFFs
+	dangling := make([]int32, 0, sinksNeeded+1)
+
+	pick := func(exclude map[int32]bool) int32 {
+		// Prefer an unused source so every input participates in the logic.
+		for len(unusedSources) > 0 {
+			s := unusedSources[len(unusedSources)-1]
+			unusedSources = unusedSources[:len(unusedSources)-1]
+			if !exclude[s] {
+				return s
+			}
+		}
+		// Bias toward recent signals for ISCAS-like locality.
+		for tries := 0; tries < 32; tries++ {
+			var idx int
+			if r.Intn(100) < 70 && len(signals) > 16 {
+				span := len(signals) / 4
+				if span < 16 {
+					span = 16
+				}
+				idx = len(signals) - 1 - r.Intn(span)
+			} else {
+				idx = r.Intn(len(signals))
+			}
+			if s := signals[idx]; !exclude[s] {
+				return s
+			}
+		}
+		for _, s := range signals {
+			if !exclude[s] {
+				return s
+			}
+		}
+		return signals[0]
+	}
+
+	// prob[g] is the estimated signal probability of each line; sources are
+	// 0.5 by definition of uniform random tests.
+	prob := make([]float64, p.PIs+p.DFFs, p.PIs+p.DFFs+p.Gates)
+	for i := range prob {
+		prob[i] = 0.5
+	}
+
+	for i := 0; i < p.Gates; i++ {
+		nf := drawFaninCount(r)
+		if nf > len(signals) {
+			nf = len(signals)
+		}
+		fanin := make([]int32, 0, nf)
+		exclude := make(map[int32]bool, nf)
+		if len(dangling) >= sinksNeeded {
+			// Consume the oldest dangler to keep the pool bounded.
+			d := dangling[0]
+			dangling = dangling[1:]
+			fanin = append(fanin, d)
+			exclude[d] = true
+		}
+		for len(fanin) < nf {
+			s := pick(exclude)
+			fanin = append(fanin, s)
+			exclude[s] = true
+		}
+		// Record consumption of danglers chosen by pick.
+		for _, f := range fanin {
+			for di, d := range dangling {
+				if d == f {
+					dangling = append(dangling[:di], dangling[di+1:]...)
+					break
+				}
+			}
+		}
+		probs := make([]float64, len(fanin))
+		for pi, f := range fanin {
+			probs[pi] = prob[f]
+		}
+		t := drawType(r, probs)
+		g := b.Gate(t, fmt.Sprintf("g%d", i), fanin...)
+		signals = append(signals, g)
+		prob = append(prob, outputProb(t, probs))
+		dangling = append(dangling, g)
+	}
+
+	// Assign sinks. Danglers become primary outputs first (they are
+	// distinct gates); leftover danglers drive flip-flop D lines; remaining
+	// sink positions draw random logic signals.
+	poSet := make(map[int32]bool, p.POs)
+	pos := make([]int32, 0, p.POs)
+	for len(pos) < p.POs && len(dangling) > 0 {
+		pos = append(pos, dangling[0])
+		poSet[dangling[0]] = true
+		dangling = dangling[1:]
+	}
+	firstGate := int32(p.PIs + p.DFFs)
+	for len(pos) < p.POs {
+		g := firstGate + int32(r.Intn(p.Gates))
+		if !poSet[g] {
+			pos = append(pos, g)
+			poSet[g] = true
+		}
+	}
+	for _, g := range pos {
+		b.Output(g)
+	}
+	for i := 0; i < p.DFFs; i++ {
+		var d int32
+		if len(dangling) > 0 {
+			d = dangling[0]
+			dangling = dangling[1:]
+		} else {
+			d = firstGate + int32(r.Intn(p.Gates))
+			if d == dffs[i] { // cannot happen (d is a logic gate) but keep the guard
+				d = firstGate
+			}
+		}
+		b.SetFanin(dffs[i], d)
+	}
+
+	return b.Build()
+}
+
+// MustGenerate is Generate for known-good profiles; it panics on error.
+func (p Profile) MustGenerate(seed int64) *netlist.Circuit {
+	c, err := p.Generate(seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"testing"
+
+	"sddict/internal/netlist"
+)
+
+func TestGenerateMatchesProfile(t *testing.T) {
+	for _, name := range []string{"s27", "s208", "s298", "s386", "s641", "s1423"} {
+		p, err := Named(name)
+		if err != nil {
+			t.Fatalf("Named(%s): %v", name, err)
+		}
+		c, err := p.Generate(1)
+		if err != nil {
+			t.Fatalf("%s: Generate: %v", name, err)
+		}
+		st := c.Stat()
+		if st.PIs != p.PIs || st.POs != p.POs || st.DFFs != p.DFFs || st.LogicGates != p.Gates {
+			t.Errorf("%s: got %+v, want PI=%d PO=%d FF=%d gates=%d",
+				name, st, p.PIs, p.POs, p.DFFs, p.Gates)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profiles["s298"]
+	a := p.MustGenerate(42)
+	b := p.MustGenerate(42)
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatalf("gate counts differ: %d vs %d", len(a.Gates), len(b.Gates))
+	}
+	for i := range a.Gates {
+		ga, gb := a.Gates[i], b.Gates[i]
+		if ga.Type != gb.Type || len(ga.Fanin) != len(gb.Fanin) {
+			t.Fatalf("gate %d differs between identical seeds", i)
+		}
+		for j := range ga.Fanin {
+			if ga.Fanin[j] != gb.Fanin[j] {
+				t.Fatalf("gate %d fanin %d differs", i, j)
+			}
+		}
+	}
+	c := p.MustGenerate(43)
+	same := true
+	for i := range a.Gates {
+		if a.Gates[i].Type != c.Gates[i].Type {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("different seeds produced identical gate types; suspicious but not fatal")
+	}
+}
+
+// TestNoDeadLogic: every logic gate must either fan out or drive a primary
+// output or a flip-flop D line.
+func TestNoDeadLogic(t *testing.T) {
+	for _, name := range []string{"s208", "s344", "s820", "s953"} {
+		c := Profiles[name].MustGenerate(7)
+		isPO := make(map[int32]bool)
+		for _, po := range c.POs {
+			isPO[po] = true
+		}
+		for i := range c.Gates {
+			g := int32(i)
+			if c.IsSource(g) {
+				continue
+			}
+			if c.FanoutCount(g) == 0 && !isPO[g] {
+				t.Errorf("%s: gate %d (%s) is dead logic", name, g, c.Gates[i].Name)
+			}
+		}
+	}
+}
+
+// TestAllSinksDriven: flip-flops have a real D driver, and no gate drives
+// itself combinationally.
+func TestAllSinksDriven(t *testing.T) {
+	c := Profiles["s526"].MustGenerate(3)
+	for _, ff := range c.DFFs {
+		d := c.Gates[ff].Fanin[0]
+		if d == ff {
+			t.Errorf("flip-flop %d drives itself directly", ff)
+		}
+		if c.Gates[d].Type == netlist.Input {
+			t.Logf("flip-flop %d driven directly by an input; unusual but legal", ff)
+		}
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := Named("does-not-exist"); err == nil {
+		t.Error("Named accepted unknown profile")
+	}
+	if _, err := (Profile{Name: "bad", PIs: 0, POs: 1, Gates: 5}).Generate(1); err == nil {
+		t.Error("Generate accepted zero inputs")
+	}
+	if _, err := (Profile{Name: "bad", PIs: 2, POs: 9, Gates: 5}).Generate(1); err == nil {
+		t.Error("Generate accepted more outputs than gates")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(Profiles) {
+		t.Fatalf("Names() returned %d entries, want %d", len(names), len(Profiles))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted at %d: %s >= %s", i, names[i-1], names[i])
+		}
+	}
+	for _, n := range Table6Circuits {
+		if _, ok := Profiles[n]; !ok {
+			t.Errorf("Table-6 circuit %s has no profile", n)
+		}
+	}
+}
+
+func TestC17(t *testing.T) {
+	c := C17()
+	st := c.Stat()
+	if st.PIs != 5 || st.POs != 2 || st.DFFs != 0 || st.LogicGates != 6 {
+		t.Fatalf("c17 stats = %+v, want 5/2/0/6", st)
+	}
+	for i := range c.Gates {
+		if c.Gates[i].Type != netlist.Input && c.Gates[i].Type != netlist.Nand {
+			t.Errorf("c17 gate %d has type %s, want NAND", i, c.Gates[i].Type)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profiles records the published size statistics (inputs, outputs,
+// flip-flops, gates) of the ISCAS-89 circuits used in the paper's Table 6,
+// plus a few small extras that are convenient for tests and examples.
+// Generate produces synthetic circuits with these exact counts; reports mark
+// them as synthetic analogs of the named benchmarks.
+var Profiles = map[string]Profile{
+	"s27":   {Name: "s27", PIs: 4, POs: 1, DFFs: 3, Gates: 10},
+	"s208":  {Name: "s208", PIs: 10, POs: 1, DFFs: 8, Gates: 96},
+	"s298":  {Name: "s298", PIs: 3, POs: 6, DFFs: 14, Gates: 119},
+	"s344":  {Name: "s344", PIs: 9, POs: 11, DFFs: 15, Gates: 160},
+	"s382":  {Name: "s382", PIs: 3, POs: 6, DFFs: 21, Gates: 158},
+	"s386":  {Name: "s386", PIs: 7, POs: 7, DFFs: 6, Gates: 159},
+	"s400":  {Name: "s400", PIs: 3, POs: 6, DFFs: 21, Gates: 162},
+	"s420":  {Name: "s420", PIs: 18, POs: 1, DFFs: 16, Gates: 196},
+	"s510":  {Name: "s510", PIs: 19, POs: 7, DFFs: 6, Gates: 211},
+	"s526":  {Name: "s526", PIs: 3, POs: 6, DFFs: 21, Gates: 193},
+	"s641":  {Name: "s641", PIs: 35, POs: 24, DFFs: 19, Gates: 379},
+	"s820":  {Name: "s820", PIs: 18, POs: 19, DFFs: 5, Gates: 289},
+	"s953":  {Name: "s953", PIs: 16, POs: 23, DFFs: 29, Gates: 395},
+	"s1196": {Name: "s1196", PIs: 14, POs: 14, DFFs: 18, Gates: 529},
+	"s1423": {Name: "s1423", PIs: 17, POs: 5, DFFs: 74, Gates: 657},
+	"s5378": {Name: "s5378", PIs: 35, POs: 49, DFFs: 179, Gates: 2779},
+	"s9234": {Name: "s9234", PIs: 36, POs: 39, DFFs: 211, Gates: 5597},
+}
+
+// Table6Circuits lists, in the paper's order, the circuits of Table 6.
+var Table6Circuits = []string{
+	"s208", "s298", "s344", "s382", "s386", "s400", "s420", "s510",
+	"s526", "s641", "s820", "s953", "s1196", "s1423", "s5378", "s9234",
+}
+
+// Named returns the profile registered under name.
+func Named(name string) (Profile, error) {
+	p, ok := Profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("gen: unknown circuit profile %q", name)
+	}
+	return p, nil
+}
+
+// Names returns all registered profile names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(Profiles))
+	for n := range Profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

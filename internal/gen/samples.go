@@ -1,0 +1,35 @@
+package gen
+
+import (
+	"strings"
+
+	"sddict/internal/bench"
+	"sddict/internal/netlist"
+)
+
+// C17Bench is the ISCAS-85 c17 benchmark in .bench format — small enough to
+// be public knowledge and to verify the toolchain against a real netlist.
+const C17Bench = `# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// C17 parses and returns the c17 benchmark circuit.
+func C17() *netlist.Circuit {
+	c, err := bench.Parse(strings.NewReader(C17Bench), "c17")
+	if err != nil {
+		panic("gen: embedded c17 is invalid: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,196 @@
+// Package logic provides the logic-value domains shared by the simulator and
+// the test generator: plain binary values, ternary (0/1/X) values for test
+// cubes, the five-valued D-calculus used by PODEM, and 64-way bit-parallel
+// words used by the pattern-parallel fault simulator.
+package logic
+
+import "fmt"
+
+// Value is a ternary logic value used for test cubes and partially specified
+// signals. The zero value is X (unassigned), so freshly allocated cubes are
+// fully unspecified.
+type Value uint8
+
+// Ternary logic values.
+const (
+	X    Value = iota // unassigned / don't-care
+	Zero              // logic 0
+	One               // logic 1
+)
+
+// Not returns the ternary complement; X maps to X.
+func (v Value) Not() Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// Known reports whether v is a definite binary value.
+func (v Value) Known() bool { return v == Zero || v == One }
+
+// Bit returns 0 or 1 for a known value and panics on X. Use Known first.
+func (v Value) Bit() uint64 {
+	switch v {
+	case Zero:
+		return 0
+	case One:
+		return 1
+	}
+	panic("logic: Bit of X")
+}
+
+// FromBit converts a binary digit (any nonzero means 1) to a Value.
+func FromBit(b uint64) Value {
+	if b != 0 {
+		return One
+	}
+	return Zero
+}
+
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "x"
+	}
+	return fmt.Sprintf("Value(%d)", uint8(v))
+}
+
+// V5 is a five-valued D-calculus value for PODEM-style test generation:
+// the value pair (good-circuit value, faulty-circuit value).
+type V5 uint8
+
+// Five-valued D-calculus. D means good=1/faulty=0; DBar the reverse.
+const (
+	X5 V5 = iota // unknown in at least one machine
+	Z5           // 0 in both machines
+	O5           // 1 in both machines
+	D5           // 1 in good machine, 0 in faulty machine
+	B5           // 0 in good machine, 1 in faulty machine (D-bar)
+)
+
+// good and faulty ternary projections of each V5, indexed by V5.
+var (
+	v5Good   = [5]Value{X, Zero, One, One, Zero}
+	v5Faulty = [5]Value{X, Zero, One, Zero, One}
+)
+
+// Good returns the good-machine ternary projection.
+func (v V5) Good() Value { return v5Good[v] }
+
+// Faulty returns the faulty-machine ternary projection.
+func (v V5) Faulty() Value { return v5Faulty[v] }
+
+// IsD reports whether v carries a fault effect (D or D-bar).
+func (v V5) IsD() bool { return v == D5 || v == B5 }
+
+// Known reports whether both machines have definite values.
+func (v V5) Known() bool { return v != X5 }
+
+// Not5 returns the five-valued complement.
+func (v V5) Not5() V5 {
+	switch v {
+	case Z5:
+		return O5
+	case O5:
+		return Z5
+	case D5:
+		return B5
+	case B5:
+		return D5
+	}
+	return X5
+}
+
+// FromPair builds a V5 from separate good and faulty ternary values. If
+// either is X the result is X5.
+func FromPair(good, faulty Value) V5 {
+	if !good.Known() || !faulty.Known() {
+		return X5
+	}
+	switch {
+	case good == Zero && faulty == Zero:
+		return Z5
+	case good == One && faulty == One:
+		return O5
+	case good == One && faulty == Zero:
+		return D5
+	default:
+		return B5
+	}
+}
+
+func (v V5) String() string {
+	switch v {
+	case X5:
+		return "x"
+	case Z5:
+		return "0"
+	case O5:
+		return "1"
+	case D5:
+		return "D"
+	case B5:
+		return "D'"
+	}
+	return fmt.Sprintf("V5(%d)", uint8(v))
+}
+
+// And5 returns the five-valued AND of two values.
+func And5(a, b V5) V5 {
+	if a == Z5 || b == Z5 {
+		return Z5
+	}
+	if a == X5 || b == X5 {
+		return X5
+	}
+	// Both in {1, D, D'}.
+	if a == O5 {
+		return b
+	}
+	if b == O5 {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return Z5 // D AND D' = 0
+}
+
+// Or5 returns the five-valued OR of two values.
+func Or5(a, b V5) V5 {
+	if a == O5 || b == O5 {
+		return O5
+	}
+	if a == X5 || b == X5 {
+		return X5
+	}
+	if a == Z5 {
+		return b
+	}
+	if b == Z5 {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return O5 // D OR D' = 1
+}
+
+// Xor5 returns the five-valued XOR of two values.
+func Xor5(a, b V5) V5 {
+	if a == X5 || b == X5 {
+		return X5
+	}
+	g := a.Good().Bit() ^ b.Good().Bit()
+	f := a.Faulty().Bit() ^ b.Faulty().Bit()
+	return FromPair(FromBit(g), FromBit(f))
+}

@@ -1,0 +1,153 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueBasics(t *testing.T) {
+	if Zero.Not() != One || One.Not() != Zero || X.Not() != X {
+		t.Error("Not misbehaves")
+	}
+	if !Zero.Known() || !One.Known() || X.Known() {
+		t.Error("Known misbehaves")
+	}
+	if Zero.Bit() != 0 || One.Bit() != 1 {
+		t.Error("Bit misbehaves")
+	}
+	if FromBit(0) != Zero || FromBit(1) != One || FromBit(7) != One {
+		t.Error("FromBit misbehaves")
+	}
+	if Zero.String() != "0" || One.String() != "1" || X.String() != "x" {
+		t.Error("String misbehaves")
+	}
+}
+
+func TestV5Projections(t *testing.T) {
+	cases := []struct {
+		v            V5
+		good, faulty Value
+	}{
+		{Z5, Zero, Zero},
+		{O5, One, One},
+		{D5, One, Zero},
+		{B5, Zero, One},
+		{X5, X, X},
+	}
+	for _, c := range cases {
+		if c.v.Good() != c.good || c.v.Faulty() != c.faulty {
+			t.Errorf("%v: projections (%v,%v), want (%v,%v)",
+				c.v, c.v.Good(), c.v.Faulty(), c.good, c.faulty)
+		}
+		if got := FromPair(c.good, c.faulty); got != c.v {
+			t.Errorf("FromPair(%v,%v) = %v, want %v", c.good, c.faulty, got, c.v)
+		}
+	}
+	if !D5.IsD() || !B5.IsD() || O5.IsD() || Z5.IsD() || X5.IsD() {
+		t.Error("IsD misbehaves")
+	}
+}
+
+// TestV5AlgebraConsistent property-checks the five-valued operators against
+// independent evaluation of the good and faulty machines: for known
+// operands, op5(a,b) must equal the pair (op(a.good,b.good),
+// op(a.faulty,b.faulty)).
+func TestV5AlgebraConsistent(t *testing.T) {
+	known := []V5{Z5, O5, D5, B5}
+	band := func(a, b Value) Value { return FromBit(a.Bit() & b.Bit()) }
+	bor := func(a, b Value) Value { return FromBit(a.Bit() | b.Bit()) }
+	bxor := func(a, b Value) Value { return FromBit(a.Bit() ^ b.Bit()) }
+	for _, a := range known {
+		for _, b := range known {
+			if got, want := And5(a, b), FromPair(band(a.Good(), b.Good()), band(a.Faulty(), b.Faulty())); got != want {
+				t.Errorf("And5(%v,%v) = %v, want %v", a, b, got, want)
+			}
+			if got, want := Or5(a, b), FromPair(bor(a.Good(), b.Good()), bor(a.Faulty(), b.Faulty())); got != want {
+				t.Errorf("Or5(%v,%v) = %v, want %v", a, b, got, want)
+			}
+			if got, want := Xor5(a, b), FromPair(bxor(a.Good(), b.Good()), bxor(a.Faulty(), b.Faulty())); got != want {
+				t.Errorf("Xor5(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+	// X absorbs except where a controlling value decides.
+	if And5(X5, Z5) != Z5 || And5(Z5, X5) != Z5 {
+		t.Error("And5 with controlling 0 must be 0")
+	}
+	if Or5(X5, O5) != O5 || Or5(O5, X5) != O5 {
+		t.Error("Or5 with controlling 1 must be 1")
+	}
+	if And5(X5, O5) != X5 || Or5(X5, Z5) != X5 || Xor5(X5, O5) != X5 {
+		t.Error("X must propagate when undecided")
+	}
+	for _, v := range []V5{Z5, O5, D5, B5, X5} {
+		if v.Not5().Not5() != v {
+			t.Errorf("double negation of %v", v)
+		}
+	}
+}
+
+func TestBitVec(t *testing.T) {
+	v := NewBitVec(130)
+	v.Set(0, 1)
+	v.Set(64, 1)
+	v.Set(129, 1)
+	if v.Get(0) != 1 || v.Get(64) != 1 || v.Get(129) != 1 || v.Get(1) != 0 {
+		t.Fatal("Set/Get misbehave")
+	}
+	if v.PopCount() != 3 {
+		t.Fatalf("PopCount = %d, want 3", v.PopCount())
+	}
+	v.Set(64, 0)
+	if v.Get(64) != 0 || v.PopCount() != 2 {
+		t.Fatal("clearing a bit failed")
+	}
+	c := v.Clone()
+	if !c.Equal(v) {
+		t.Fatal("Clone not equal")
+	}
+	c.Set(5, 1)
+	if c.Equal(v) {
+		t.Fatal("Clone shares storage")
+	}
+	if got := v.Hamming(c); got != 1 {
+		t.Fatalf("Hamming = %d, want 1", got)
+	}
+	if v.String(4) != "1000" {
+		t.Fatalf("String = %q", v.String(4))
+	}
+	if v.Equal(NewBitVec(4)) {
+		t.Fatal("Equal across different lengths")
+	}
+}
+
+// TestBitVecHashQuick: equal vectors hash equal; a single-bit flip changes
+// the hash (FNV-1a has no 1-bit collisions on short inputs in practice —
+// treat as regression guard).
+func TestBitVecHashQuick(t *testing.T) {
+	f := func(words []uint64, flip uint16) bool {
+		if len(words) == 0 {
+			return true
+		}
+		v := BitVec(words)
+		c := v.Clone()
+		if v.Hash() != c.Hash() {
+			return false
+		}
+		bit := int(flip) % (64 * len(words))
+		c.Set(bit, 1-c.Get(bit))
+		return v.Hash() != c.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for n, want := range cases {
+		if got := WordsFor(n); got != want {
+			t.Errorf("WordsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package logic
+
+import "math/bits"
+
+// WordBits is the number of test patterns evaluated in parallel by one
+// bit-parallel simulation word.
+const WordBits = 64
+
+// Word carries one bit per pattern for up to 64 patterns simulated in
+// parallel. Bit p of the word is the signal's value under pattern p.
+type Word = uint64
+
+// BitVec is a packed bit vector of arbitrary length, used for output
+// response vectors (one bit per circuit output).
+type BitVec []uint64
+
+// NewBitVec returns an all-zero vector with capacity for n bits.
+func NewBitVec(n int) BitVec { return make(BitVec, (n+63)/64) }
+
+// WordsFor returns the number of 64-bit words needed to hold n bits.
+func WordsFor(n int) int { return (n + 63) / 64 }
+
+// Get returns bit i.
+func (v BitVec) Get(i int) uint64 { return (v[i/64] >> (uint(i) % 64)) & 1 }
+
+// Set sets bit i to b (any nonzero means 1).
+func (v BitVec) Set(i int, b uint64) {
+	w, s := i/64, uint(i)%64
+	if b != 0 {
+		v[w] |= 1 << s
+	} else {
+		v[w] &^= 1 << s
+	}
+}
+
+// Equal reports whether two vectors hold identical bits. The vectors must
+// have the same word length.
+func (v BitVec) Equal(o BitVec) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (v BitVec) Clone() BitVec {
+	c := make(BitVec, len(v))
+	copy(c, v)
+	return c
+}
+
+// Hamming returns the number of differing bits between v and o, which must
+// have the same word length.
+func (v BitVec) Hamming(o BitVec) int {
+	d := 0
+	for i := range v {
+		d += bits.OnesCount64(v[i] ^ o[i])
+	}
+	return d
+}
+
+// PopCount returns the number of set bits.
+func (v BitVec) PopCount() int {
+	n := 0
+	for _, w := range v {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Hash returns a 64-bit FNV-1a hash of the vector contents.
+func (v BitVec) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range v {
+		for s := 0; s < 64; s += 8 {
+			h ^= (w >> uint(s)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// String renders the first n bits as a 0/1 string, LSB-first (bit 0 is the
+// first output). n must not exceed the capacity.
+func (v BitVec) String(n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b[i] = '0' + byte(v.Get(i))
+	}
+	return string(b)
+}

@@ -1,0 +1,87 @@
+package netlist
+
+import "fmt"
+
+// Builder constructs circuits incrementally. Gate indices returned by Add*
+// methods are stable and identify the gate in the finished Circuit.
+type Builder struct {
+	c       Circuit
+	names   map[string]int32
+	autoSeq int
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{c: Circuit{Name: name}, names: make(map[string]int32)}
+}
+
+// NumGates returns the number of gates added so far.
+func (b *Builder) NumGates() int { return len(b.c.Gates) }
+
+func (b *Builder) add(name string, t GateType, fanin ...int32) int32 {
+	if name == "" {
+		b.autoSeq++
+		name = fmt.Sprintf("n%d", b.autoSeq)
+	}
+	id := int32(len(b.c.Gates))
+	b.c.Gates = append(b.c.Gates, Gate{Name: name, Type: t, Fanin: fanin})
+	if _, dup := b.names[name]; !dup {
+		b.names[name] = id
+	}
+	return id
+}
+
+// Input adds a primary input. An empty name is auto-generated.
+func (b *Builder) Input(name string) int32 { return b.add(name, Input) }
+
+// DFF adds a D flip-flop with the given D-line driver.
+func (b *Builder) DFF(name string, d int32) int32 { return b.add(name, DFF, d) }
+
+// Gate adds a logic gate of type t driven by the given fanins.
+func (b *Builder) Gate(t GateType, name string, fanin ...int32) int32 {
+	return b.add(name, t, fanin...)
+}
+
+// Const adds a constant driver for the given bit.
+func (b *Builder) Const(name string, bit int) int32 {
+	t := Const0
+	if bit != 0 {
+		t = Const1
+	}
+	return b.add(name, t)
+}
+
+// SetFanin replaces the fanin list of an already-added gate. Parsers use it
+// when a format references signals before they are defined.
+func (b *Builder) SetFanin(g int32, fanin ...int32) { b.c.Gates[g].Fanin = fanin }
+
+// Output marks an existing gate as a primary output.
+func (b *Builder) Output(g int32) { b.c.POs = append(b.c.POs, g) }
+
+// Lookup returns the index of the first gate added with the given name,
+// or -1 if none exists.
+func (b *Builder) Lookup(name string) int32 {
+	if id, ok := b.names[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// Build validates the circuit and returns it. The Builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Circuit, error) {
+	c := b.c
+	if err := c.finalize(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// MustBuild is Build for circuits known to be valid; it panics on error.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,48 @@
+package netlist
+
+import "fmt"
+
+// Combinationalize returns the full-scan combinational equivalent of c:
+// every D flip-flop is replaced in place by an Input gate (its Q line is a
+// pseudo primary input), and for every flip-flop a buffer gate is appended
+// that observes its D line as a pseudo primary output. Gate indices of the
+// original circuit are preserved; the appended buffers occupy new indices.
+//
+// Input order of the result is original PIs followed by flip-flop Qs in
+// declaration order, and output order is original POs followed by D-line
+// buffers in declaration order — exactly matching ScanView on the original
+// circuit, so test vectors and responses are interchangeable between the
+// two representations.
+func Combinationalize(c *Circuit) *Circuit {
+	n := &Circuit{Name: c.Name}
+	n.Gates = make([]Gate, len(c.Gates), len(c.Gates)+len(c.DFFs))
+	for i, g := range c.Gates {
+		ng := Gate{Name: g.Name, Type: g.Type, Fanin: append([]int32(nil), g.Fanin...)}
+		if g.Type == DFF {
+			ng = Gate{Name: g.Name, Type: Input}
+		}
+		n.Gates[i] = ng
+	}
+	n.POs = append([]int32(nil), c.POs...)
+	for _, ff := range c.DFFs {
+		d := c.Gates[ff].Fanin[0]
+		buf := int32(len(n.Gates))
+		n.Gates = append(n.Gates, Gate{
+			Name:  fmt.Sprintf("%s.D", c.Gates[ff].Name),
+			Type:  Buf,
+			Fanin: []int32{d},
+		})
+		n.POs = append(n.POs, buf)
+	}
+	if err := n.finalize(); err != nil {
+		// c was valid and scan conversion cannot create cycles.
+		panic("netlist: Combinationalize: " + err.Error())
+	}
+	// finalize lists inputs in gate-index order; restore the documented
+	// PIs-then-flip-flops order (they coincide unless a flip-flop was
+	// declared before a primary input).
+	n.PIs = n.PIs[:0]
+	n.PIs = append(n.PIs, c.PIs...)
+	n.PIs = append(n.PIs, c.DFFs...)
+	return n
+}

@@ -1,0 +1,289 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildSeq returns a small sequential circuit:
+//
+//	a, b  inputs
+//	ff    DFF fed by n2
+//	n1 = AND(a, ff)
+//	n2 = NOR(n1, b)
+//	out = NOT(n2)   (primary output)
+func buildSeq(t *testing.T) (*Circuit, map[string]int32) {
+	t.Helper()
+	b := NewBuilder("tiny")
+	a := b.Input("a")
+	bb := b.Input("b")
+	ff := b.Gate(DFF, "ff") // fanin patched below
+	n1 := b.Gate(And, "n1", a, ff)
+	n2 := b.Gate(Nor, "n2", n1, bb)
+	out := b.Gate(Not, "out", n2)
+	b.SetFanin(ff, n2)
+	b.Output(out)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c, map[string]int32{"a": a, "b": bb, "ff": ff, "n1": n1, "n2": n2, "out": out}
+}
+
+func TestBuilderAndDerivedTables(t *testing.T) {
+	c, ids := buildSeq(t)
+	if got := c.NumGates(); got != 6 {
+		t.Fatalf("NumGates = %d, want 6", got)
+	}
+	if got := c.NumLogicGates(); got != 3 {
+		t.Fatalf("NumLogicGates = %d, want 3 (AND, NOR, NOT)", got)
+	}
+	if len(c.PIs) != 2 || len(c.DFFs) != 1 || len(c.POs) != 1 {
+		t.Fatalf("PI/DFF/PO = %d/%d/%d, want 2/1/1", len(c.PIs), len(c.DFFs), len(c.POs))
+	}
+	// Levels: sources at 0; n1 at 1; n2 at 2; out at 3.
+	wantLevels := map[string]int32{"a": 0, "b": 0, "ff": 0, "n1": 1, "n2": 2, "out": 3}
+	for name, want := range wantLevels {
+		if got := c.Level(ids[name]); got != want {
+			t.Errorf("Level(%s) = %d, want %d", name, got, want)
+		}
+	}
+	// Fanout of n2: the NOT gate and the flip-flop.
+	if got := c.FanoutCount(ids["n2"]); got != 2 {
+		t.Errorf("FanoutCount(n2) = %d, want 2", got)
+	}
+	// Topological order: each gate after its combinational fanins.
+	pos := make(map[int32]int)
+	for i, g := range c.Order() {
+		pos[g] = i
+	}
+	for i := range c.Gates {
+		g := int32(i)
+		if c.Gates[i].Type == DFF {
+			continue
+		}
+		for _, f := range c.Gates[i].Fanin {
+			if pos[f] >= pos[g] {
+				t.Errorf("gate %d ordered before its fanin %d", g, f)
+			}
+		}
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	b := NewBuilder("cycle")
+	a := b.Input("a")
+	g1 := b.Gate(And, "g1", a, a) // placeholder; patched into a cycle
+	g2 := b.Gate(Or, "g2", g1, a)
+	b.SetFanin(g1, a, g2)
+	b.Output(g2)
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("Build accepted a combinational cycle")
+	}
+}
+
+func TestSequentialLoopAllowed(t *testing.T) {
+	// A loop through a flip-flop is legal.
+	c, _ := buildSeq(t)
+	if c == nil {
+		t.Fatal("sequential loop rejected")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() error
+	}{
+		{"empty circuit", func() error {
+			_, err := NewBuilder("e").Build()
+			return err
+		}},
+		{"NOT with two fanins", func() error {
+			b := NewBuilder("e")
+			a := b.Input("a")
+			x := b.Gate(Not, "x", a, a)
+			b.Output(x)
+			_, err := b.Build()
+			return err
+		}},
+		{"AND with one fanin", func() error {
+			b := NewBuilder("e")
+			a := b.Input("a")
+			x := b.Gate(And, "x", a)
+			b.Output(x)
+			_, err := b.Build()
+			return err
+		}},
+		{"duplicate primary output", func() error {
+			b := NewBuilder("e")
+			a := b.Input("a")
+			x := b.Gate(Not, "x", a)
+			b.Output(x)
+			b.Output(x)
+			_, err := b.Build()
+			return err
+		}},
+		{"fanin out of range", func() error {
+			b := NewBuilder("e")
+			a := b.Input("a")
+			x := b.Gate(Not, "x", a)
+			b.SetFanin(x, 99)
+			b.Output(x)
+			_, err := b.Build()
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.build(); err == nil {
+			t.Errorf("%s: Build accepted invalid circuit", tc.name)
+		}
+	}
+}
+
+func TestScanView(t *testing.T) {
+	c, ids := buildSeq(t)
+	v := NewScanView(c)
+	if v.NumInputs() != 3 {
+		t.Fatalf("NumInputs = %d, want 3 (a, b, ff)", v.NumInputs())
+	}
+	if v.NumOutputs() != 2 {
+		t.Fatalf("NumOutputs = %d, want 2 (out, ff.D)", v.NumOutputs())
+	}
+	if v.Inputs[2] != ids["ff"] {
+		t.Errorf("pseudo input should be the flip-flop Q")
+	}
+	if v.Outputs[1] != ids["n2"] {
+		t.Errorf("pseudo output should be the flip-flop D line (n2)")
+	}
+}
+
+func TestCombinationalize(t *testing.T) {
+	c, ids := buildSeq(t)
+	comb := Combinationalize(c)
+	if len(comb.DFFs) != 0 {
+		t.Fatalf("combinationalized circuit still has flip-flops")
+	}
+	if got, want := len(comb.PIs), 3; got != want {
+		t.Fatalf("comb PIs = %d, want %d", got, want)
+	}
+	if got, want := len(comb.POs), 2; got != want {
+		t.Fatalf("comb POs = %d, want %d", got, want)
+	}
+	// Gate indices preserved; the flip-flop is now an input.
+	if comb.Gates[ids["ff"]].Type != Input {
+		t.Errorf("flip-flop not converted to input")
+	}
+	// The appended buffer observes n2.
+	buf := comb.POs[1]
+	if comb.Gates[buf].Type != Buf || comb.Gates[buf].Fanin[0] != ids["n2"] {
+		t.Errorf("pseudo output buffer wrong: %+v", comb.Gates[buf])
+	}
+	// Input/output order matches ScanView of the original.
+	v := NewScanView(c)
+	for i, g := range v.Inputs {
+		if comb.PIs[i] != g {
+			t.Errorf("comb input %d = gate %d, want %d", i, comb.PIs[i], g)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	c, ids := buildSeq(t)
+	cl := c.Clone()
+	cl.Gates[ids["n1"]].Fanin[0] = ids["b"]
+	if c.Gates[ids["n1"]].Fanin[0] == ids["b"] {
+		t.Fatalf("Clone shares fanin storage")
+	}
+}
+
+func TestGateByNameAndStats(t *testing.T) {
+	c, ids := buildSeq(t)
+	if got := c.GateByName("n2"); got != ids["n2"] {
+		t.Errorf("GateByName(n2) = %d, want %d", got, ids["n2"])
+	}
+	if got := c.GateByName("nope"); got != -1 {
+		t.Errorf("GateByName(nope) = %d, want -1", got)
+	}
+	st := c.Stat()
+	if st.PIs != 2 || st.POs != 1 || st.DFFs != 1 || st.LogicGates != 3 || st.Levels != 3 {
+		t.Errorf("Stat = %+v", st)
+	}
+}
+
+// TestLevelsAndOrderOnSyntheticQuick property-checks structural invariants
+// on randomly generated circuits: every gate's level exceeds its
+// combinational fanins' levels, the topological order respects edges, and
+// fanout is the exact transpose of fanin.
+func TestLevelsAndOrderOnSyntheticQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		b := NewBuilder("q")
+		// Small random circuit driven directly by the seed.
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int((rng >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		var signals []int32
+		for i := 0; i < 3; i++ {
+			signals = append(signals, b.Input(""))
+		}
+		for i := 0; i < 12; i++ {
+			t1 := []GateType{And, Or, Nand, Nor, Xor, Not, Buf}[next(7)]
+			nf := t1.MinFanin()
+			fanin := make([]int32, 0, nf)
+			for len(fanin) < nf || (nf >= 2 && len(fanin) < 2) {
+				fanin = append(fanin, signals[next(len(signals))])
+			}
+			signals = append(signals, b.Gate(t1, "", fanin...))
+		}
+		b.Output(signals[len(signals)-1])
+		c, err := b.Build()
+		if err != nil {
+			return false
+		}
+		pos := make(map[int32]int)
+		for i, g := range c.Order() {
+			pos[g] = i
+		}
+		for i := range c.Gates {
+			g := int32(i)
+			if c.Gates[i].Type == DFF {
+				continue
+			}
+			for pin, d := range c.Gates[i].Fanin {
+				if c.Level(g) <= c.Level(d) {
+					return false
+				}
+				if pos[d] >= pos[g] {
+					return false
+				}
+				// Fanout must list g once per pin driven by d.
+				count := 0
+				for _, s := range c.Fanout(d) {
+					if s == g {
+						count++
+					}
+				}
+				want := 0
+				for _, dd := range c.Gates[i].Fanin {
+					if dd == d {
+						want++
+					}
+				}
+				_ = pin
+				if count != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

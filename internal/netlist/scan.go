@@ -1,0 +1,37 @@
+package netlist
+
+// ScanView is the full-scan interpretation of a sequential circuit: every
+// flip-flop becomes a pseudo primary input (its Q output is directly
+// controllable through the scan chain) and a pseudo primary output (its D
+// line is directly observable). Test vectors and responses are defined over
+// the combined input and output lists. For a purely combinational circuit
+// the view degenerates to the plain PI/PO lists.
+type ScanView struct {
+	C *Circuit
+	// Inputs lists the controllable source gates: primary inputs followed by
+	// flip-flop outputs (pseudo inputs), in declaration order.
+	Inputs []int32
+	// Outputs lists the observable lines: primary outputs followed by
+	// flip-flop D lines (pseudo outputs), in declaration order.
+	Outputs []int32
+}
+
+// NewScanView builds the full-scan view of c.
+func NewScanView(c *Circuit) *ScanView {
+	v := &ScanView{C: c}
+	v.Inputs = make([]int32, 0, len(c.PIs)+len(c.DFFs))
+	v.Inputs = append(v.Inputs, c.PIs...)
+	v.Inputs = append(v.Inputs, c.DFFs...)
+	v.Outputs = make([]int32, 0, len(c.POs)+len(c.DFFs))
+	v.Outputs = append(v.Outputs, c.POs...)
+	for _, ff := range c.DFFs {
+		v.Outputs = append(v.Outputs, c.Gates[ff].Fanin[0])
+	}
+	return v
+}
+
+// NumInputs returns the test-vector width (PIs + pseudo PIs).
+func (v *ScanView) NumInputs() int { return len(v.Inputs) }
+
+// NumOutputs returns the response width (POs + pseudo POs).
+func (v *ScanView) NumOutputs() int { return len(v.Outputs) }

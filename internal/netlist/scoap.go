@@ -1,0 +1,206 @@
+package netlist
+
+// SCOAP implements the classic Goldstein testability measures: CC0/CC1
+// (combinational 0- and 1-controllability, the minimum number of input
+// assignments needed to set a line to 0/1) and CO (combinational
+// observability, the effort to propagate a line to an output). The test
+// generator uses them to steer backtrace toward easy-to-control inputs,
+// and they are useful on their own for testability reports.
+//
+// Flip-flop outputs are treated as directly controllable and flip-flop D
+// lines as directly observable, matching the full-scan assumption used
+// everywhere else.
+type SCOAP struct {
+	CC0 []int32 // per gate: cost of setting the output to 0
+	CC1 []int32 // per gate: cost of setting the output to 1
+	CO  []int32 // per gate: cost of observing the output
+}
+
+// scoapInf is the cost assigned to uncontrollable/unobservable lines
+// (constant gates' impossible value); additions saturate at it.
+const scoapInf = int32(1 << 28)
+
+func scoapAdd(a, b int32) int32 {
+	s := a + b
+	if s > scoapInf || s < 0 {
+		return scoapInf
+	}
+	return s
+}
+
+// ComputeSCOAP returns the SCOAP measures of c under the full-scan view.
+func ComputeSCOAP(c *Circuit) *SCOAP {
+	n := len(c.Gates)
+	s := &SCOAP{
+		CC0: make([]int32, n),
+		CC1: make([]int32, n),
+		CO:  make([]int32, n),
+	}
+
+	// Controllability in topological order.
+	for _, g := range c.Order() {
+		gate := &c.Gates[g]
+		switch gate.Type {
+		case Input, DFF:
+			s.CC0[g], s.CC1[g] = 1, 1
+		case Const0:
+			s.CC0[g], s.CC1[g] = 0, scoapInf
+		case Const1:
+			s.CC0[g], s.CC1[g] = scoapInf, 0
+		case Buf:
+			d := gate.Fanin[0]
+			s.CC0[g] = scoapAdd(s.CC0[d], 1)
+			s.CC1[g] = scoapAdd(s.CC1[d], 1)
+		case Not:
+			d := gate.Fanin[0]
+			s.CC0[g] = scoapAdd(s.CC1[d], 1)
+			s.CC1[g] = scoapAdd(s.CC0[d], 1)
+		case And, Nand:
+			// Output 0 (for AND): any one input 0 — the cheapest.
+			// Output 1: all inputs 1.
+			min0 := scoapInf
+			var sum1 int32
+			for _, d := range gate.Fanin {
+				if s.CC0[d] < min0 {
+					min0 = s.CC0[d]
+				}
+				sum1 = scoapAdd(sum1, s.CC1[d])
+			}
+			c0 := scoapAdd(min0, 1)
+			c1 := scoapAdd(sum1, 1)
+			if gate.Type == Nand {
+				c0, c1 = c1, c0
+			}
+			s.CC0[g], s.CC1[g] = c0, c1
+		case Or, Nor:
+			var sum0 int32
+			min1 := scoapInf
+			for _, d := range gate.Fanin {
+				sum0 = scoapAdd(sum0, s.CC0[d])
+				if s.CC1[d] < min1 {
+					min1 = s.CC1[d]
+				}
+			}
+			c0 := scoapAdd(sum0, 1)
+			c1 := scoapAdd(min1, 1)
+			if gate.Type == Nor {
+				c0, c1 = c1, c0
+			}
+			s.CC0[g], s.CC1[g] = c0, c1
+		case Xor, Xnor:
+			// Two-input form generalized: parity of choices; use the
+			// cheapest even/odd combination computed incrementally.
+			even, odd := int32(0), scoapInf // cost of parity-0 / parity-1 over processed inputs
+			for _, d := range gate.Fanin {
+				ne := minCost(scoapAdd(even, s.CC0[d]), scoapAdd(odd, s.CC1[d]))
+				no := minCost(scoapAdd(even, s.CC1[d]), scoapAdd(odd, s.CC0[d]))
+				even, odd = ne, no
+			}
+			c0 := scoapAdd(even, 1)
+			c1 := scoapAdd(odd, 1)
+			if gate.Type == Xnor {
+				c0, c1 = c1, c0
+			}
+			s.CC0[g], s.CC1[g] = c0, c1
+		}
+	}
+
+	// Observability in reverse topological order. Primary outputs and
+	// flip-flop D lines are directly observable.
+	for i := range s.CO {
+		s.CO[i] = scoapInf
+	}
+	for _, po := range c.POs {
+		s.CO[po] = 0
+	}
+	for _, ff := range c.DFFs {
+		s.CO[c.Gates[ff].Fanin[0]] = 0
+	}
+	order := c.Order()
+	for idx := len(order) - 1; idx >= 0; idx-- {
+		g := order[idx]
+		gate := &c.Gates[g]
+		if gate.Type == DFF {
+			continue // observation stops at the scan cell
+		}
+		for pin, d := range gate.Fanin {
+			var cost int32
+			switch gate.Type {
+			case Buf, Not:
+				cost = scoapAdd(s.CO[g], 1)
+			case And, Nand:
+				// Other inputs must be non-controlling (1).
+				sum := s.CO[g]
+				for p2, d2 := range gate.Fanin {
+					if p2 != pin {
+						sum = scoapAdd(sum, s.CC1[d2])
+					}
+				}
+				cost = scoapAdd(sum, 1)
+			case Or, Nor:
+				sum := s.CO[g]
+				for p2, d2 := range gate.Fanin {
+					if p2 != pin {
+						sum = scoapAdd(sum, s.CC0[d2])
+					}
+				}
+				cost = scoapAdd(sum, 1)
+			case Xor, Xnor:
+				// Other inputs must merely be known; charge the cheaper
+				// controllability of each.
+				sum := s.CO[g]
+				for p2, d2 := range gate.Fanin {
+					if p2 != pin {
+						sum = scoapAdd(sum, minCost(s.CC0[d2], s.CC1[d2]))
+					}
+				}
+				cost = scoapAdd(sum, 1)
+			default:
+				continue
+			}
+			if cost < s.CO[d] {
+				s.CO[d] = cost
+			}
+		}
+	}
+	return s
+}
+
+func minCost(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// HardestLines returns the k gate indices with the largest
+// CC0+CC1+CO sum — a quick testability hot-spot report.
+func (s *SCOAP) HardestLines(k int) []int32 {
+	type entry struct {
+		g    int32
+		cost int64
+	}
+	entries := make([]entry, len(s.CC0))
+	for i := range entries {
+		entries[i] = entry{int32(i),
+			int64(s.CC0[i]) + int64(s.CC1[i]) + int64(s.CO[i])}
+	}
+	// Partial selection sort: k is small.
+	if k > len(entries) {
+		k = len(entries)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(entries); j++ {
+			if entries[j].cost > entries[best].cost {
+				best = j
+			}
+		}
+		entries[i], entries[best] = entries[best], entries[i]
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = entries[i].g
+	}
+	return out
+}

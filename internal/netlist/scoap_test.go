@@ -1,0 +1,122 @@
+package netlist
+
+import "testing"
+
+func TestSCOAPBasicGates(t *testing.T) {
+	b := NewBuilder("sc")
+	a := b.Input("a")
+	bb := b.Input("b")
+	and := b.Gate(And, "and", a, bb)
+	or := b.Gate(Or, "or", a, bb)
+	inv := b.Gate(Not, "inv", and)
+	b.Output(inv)
+	b.Output(or)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeSCOAP(c)
+	// Inputs: CC0 = CC1 = 1.
+	if s.CC0[a] != 1 || s.CC1[a] != 1 {
+		t.Errorf("input controllability = %d/%d, want 1/1", s.CC0[a], s.CC1[a])
+	}
+	// AND: CC0 = min(1,1)+1 = 2; CC1 = 1+1+1 = 3.
+	if s.CC0[and] != 2 || s.CC1[and] != 3 {
+		t.Errorf("AND controllability = %d/%d, want 2/3", s.CC0[and], s.CC1[and])
+	}
+	// OR mirrors AND.
+	if s.CC0[or] != 3 || s.CC1[or] != 2 {
+		t.Errorf("OR controllability = %d/%d, want 3/2", s.CC0[or], s.CC1[or])
+	}
+	// NOT swaps: CC0(inv) = CC1(and)+1 = 4.
+	if s.CC0[inv] != 4 || s.CC1[inv] != 3 {
+		t.Errorf("NOT controllability = %d/%d, want 4/3", s.CC0[inv], s.CC1[inv])
+	}
+	// Observability: inv is a PO -> CO 0; and observes through inv: 0+1=1.
+	if s.CO[inv] != 0 {
+		t.Errorf("CO(po) = %d, want 0", s.CO[inv])
+	}
+	if s.CO[and] != 1 {
+		t.Errorf("CO(and) = %d, want 1", s.CO[and])
+	}
+	// a observes through AND (needs b=1: CC1(b)=1): 1+1+1 = 3, or through
+	// OR (PO, needs b=0): 0+1+1 = 2 -> min 2.
+	if s.CO[a] != 2 {
+		t.Errorf("CO(a) = %d, want 2", s.CO[a])
+	}
+}
+
+func TestSCOAPXorParity(t *testing.T) {
+	b := NewBuilder("x")
+	a := b.Input("a")
+	bb := b.Input("b")
+	x := b.Gate(Xor, "x", a, bb)
+	b.Output(x)
+	c, _ := b.Build()
+	s := ComputeSCOAP(c)
+	// XOR CC0: even parity: both 0 (1+1) or both 1 (1+1) -> 2+1 = 3.
+	// CC1: odd parity -> 2+1 = 3.
+	if s.CC0[x] != 3 || s.CC1[x] != 3 {
+		t.Errorf("XOR controllability = %d/%d, want 3/3", s.CC0[x], s.CC1[x])
+	}
+}
+
+func TestSCOAPConstants(t *testing.T) {
+	b := NewBuilder("k")
+	a := b.Input("a")
+	k := b.Const("k1", 1)
+	and := b.Gate(And, "and", a, k)
+	b.Output(and)
+	c, _ := b.Build()
+	s := ComputeSCOAP(c)
+	if s.CC1[k] != 0 {
+		t.Errorf("CC1(const1) = %d, want 0", s.CC1[k])
+	}
+	if s.CC0[k] < scoapInf {
+		t.Errorf("CC0(const1) = %d, want saturated", s.CC0[k])
+	}
+	// AND with a constant-1 side input: CC1 = CC1(a)+CC1(k)+1 = 2.
+	if s.CC1[and] != 2 {
+		t.Errorf("CC1(and) = %d, want 2", s.CC1[and])
+	}
+}
+
+func TestSCOAPScanBoundaries(t *testing.T) {
+	b := NewBuilder("ffsc")
+	a := b.Input("a")
+	inv := b.Gate(Not, "inv", a)
+	ff := b.Gate(DFF, "ff", inv)
+	out := b.Gate(Buf, "out", ff)
+	b.Output(out)
+	c, _ := b.Build()
+	s := ComputeSCOAP(c)
+	// Flip-flop output is a pseudo input.
+	if s.CC0[ff] != 1 || s.CC1[ff] != 1 {
+		t.Errorf("flip-flop controllability = %d/%d, want 1/1", s.CC0[ff], s.CC1[ff])
+	}
+	// The D line (inv) is a pseudo output.
+	if s.CO[inv] != 0 {
+		t.Errorf("CO(D line) = %d, want 0", s.CO[inv])
+	}
+}
+
+func TestHardestLines(t *testing.T) {
+	b := NewBuilder("h")
+	a := b.Input("a")
+	prev := a
+	for i := 0; i < 6; i++ {
+		prev = b.Gate(Not, "", prev)
+	}
+	deep := prev
+	b.Output(b.Gate(And, "po", a, deep))
+	c, _ := b.Build()
+	s := ComputeSCOAP(c)
+	top := s.HardestLines(3)
+	if len(top) != 3 {
+		t.Fatalf("HardestLines returned %d entries", len(top))
+	}
+	// The hardest line should be deeper than the input.
+	if c.Level(top[0]) == 0 {
+		t.Errorf("hardest line is a source; expected deep logic")
+	}
+}

@@ -1,0 +1,166 @@
+// Package pattern represents test vectors and test sets over a circuit's
+// full-scan input list, and packs them into 64-pattern batches for the
+// bit-parallel simulator.
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sddict/internal/logic"
+)
+
+// Vector is one test: a ternary value per scan-view input. Dictionary
+// construction requires fully specified vectors; ATPG produces cubes with
+// don't-cares that are filled before use.
+type Vector []logic.Value
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// FullySpecified reports whether the vector contains no X values.
+func (v Vector) FullySpecified() bool {
+	for _, b := range v {
+		if !b.Known() {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomFill replaces every X with a random binary value drawn from r.
+func (v Vector) RandomFill(r *rand.Rand) {
+	for i, b := range v {
+		if !b.Known() {
+			v[i] = logic.FromBit(uint64(r.Intn(2)))
+		}
+	}
+}
+
+// Key returns a compact string key for deduplication; X renders as 'x'.
+func (v Vector) Key() string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, val := range v {
+		b.WriteString(val.String())
+	}
+	return b.String()
+}
+
+func (v Vector) String() string { return v.Key() }
+
+// Random returns a fully specified random vector of the given width.
+func Random(r *rand.Rand, width int) Vector {
+	v := make(Vector, width)
+	for i := range v {
+		v[i] = logic.FromBit(uint64(r.Intn(2)))
+	}
+	return v
+}
+
+// FromString parses a vector from a 0/1/x string, e.g. "01x1".
+func FromString(s string) (Vector, error) {
+	v := make(Vector, len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+			v[i] = logic.Zero
+		case '1':
+			v[i] = logic.One
+		case 'x', 'X':
+			v[i] = logic.X
+		default:
+			return nil, fmt.Errorf("pattern: invalid character %q in %q", c, s)
+		}
+	}
+	return v, nil
+}
+
+// Set is an ordered test set.
+type Set struct {
+	Width int
+	Vecs  []Vector
+}
+
+// NewSet returns an empty set for vectors of the given width.
+func NewSet(width int) *Set { return &Set{Width: width} }
+
+// Len returns the number of tests.
+func (s *Set) Len() int { return len(s.Vecs) }
+
+// Add appends a vector, which must match the set width.
+func (s *Set) Add(v Vector) {
+	if len(v) != s.Width {
+		panic(fmt.Sprintf("pattern: vector width %d != set width %d", len(v), s.Width))
+	}
+	s.Vecs = append(s.Vecs, v)
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	n := NewSet(s.Width)
+	n.Vecs = make([]Vector, len(s.Vecs))
+	for i, v := range s.Vecs {
+		n.Vecs[i] = v.Clone()
+	}
+	return n
+}
+
+// Dedup removes duplicate vectors, keeping first occurrences and preserving
+// order.
+func (s *Set) Dedup() {
+	seen := make(map[string]bool, len(s.Vecs))
+	out := s.Vecs[:0]
+	for _, v := range s.Vecs {
+		k := v.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	s.Vecs = out
+}
+
+// Shuffle permutes the test order using r.
+func (s *Set) Shuffle(r *rand.Rand) {
+	r.Shuffle(len(s.Vecs), func(i, j int) { s.Vecs[i], s.Vecs[j] = s.Vecs[j], s.Vecs[i] })
+}
+
+// Batch is up to 64 packed patterns: Words[i] carries, in bit p, the value
+// of input i under the batch's p-th pattern. Count is the number of valid
+// patterns (low bits).
+type Batch struct {
+	Words []logic.Word
+	Count int
+}
+
+// Mask returns a word with the low Count bits set.
+func (b *Batch) Mask() uint64 {
+	if b.Count >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(b.Count)) - 1
+}
+
+// Pack splits the set into 64-pattern batches. Vectors must be fully
+// specified.
+func (s *Set) Pack() []Batch {
+	var batches []Batch
+	for start := 0; start < len(s.Vecs); start += logic.WordBits {
+		end := start + logic.WordBits
+		if end > len(s.Vecs) {
+			end = len(s.Vecs)
+		}
+		b := Batch{Words: make([]logic.Word, s.Width), Count: end - start}
+		for p := start; p < end; p++ {
+			v := s.Vecs[p]
+			bit := uint(p - start)
+			for i, val := range v {
+				b.Words[i] |= val.Bit() << bit
+			}
+		}
+		batches = append(batches, b)
+	}
+	return batches
+}

@@ -1,0 +1,150 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sddict/internal/logic"
+)
+
+func TestFromStringAndKey(t *testing.T) {
+	v, err := FromString("01x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Key() != "01x1" {
+		t.Fatalf("Key = %q", v.Key())
+	}
+	if v.FullySpecified() {
+		t.Fatal("vector with x reported fully specified")
+	}
+	if _, err := FromString("012"); err == nil {
+		t.Fatal("FromString accepted invalid character")
+	}
+}
+
+func TestRandomFill(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	v, _ := FromString("x0x1xxxx")
+	v.RandomFill(r)
+	if !v.FullySpecified() {
+		t.Fatal("RandomFill left X values")
+	}
+	if v[1] != logic.Zero || v[3] != logic.One {
+		t.Fatal("RandomFill overwrote specified bits")
+	}
+}
+
+func TestSetDedupAndClone(t *testing.T) {
+	s := NewSet(3)
+	a, _ := FromString("010")
+	b, _ := FromString("011")
+	s.Add(a)
+	s.Add(b)
+	s.Add(a.Clone())
+	s.Dedup()
+	if s.Len() != 2 {
+		t.Fatalf("Dedup left %d vectors, want 2", s.Len())
+	}
+	c := s.Clone()
+	c.Vecs[0][0] = logic.One
+	if s.Vecs[0][0] == logic.One {
+		t.Fatal("Clone shares vector storage")
+	}
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	s := NewSet(9)
+	for i := 0; i < 130; i++ { // 3 batches: 64 + 64 + 2
+		s.Add(Random(r, 9))
+	}
+	batches := s.Pack()
+	if len(batches) != 3 || batches[0].Count != 64 || batches[2].Count != 2 {
+		t.Fatalf("unexpected batching: %d batches", len(batches))
+	}
+	for bi, b := range batches {
+		for p := 0; p < b.Count; p++ {
+			vec := s.Vecs[bi*64+p]
+			for i, val := range vec {
+				got := (b.Words[i] >> uint(p)) & 1
+				if got != val.Bit() {
+					t.Fatalf("batch %d pattern %d input %d: packed %d, want %d", bi, p, i, got, val.Bit())
+				}
+			}
+		}
+	}
+	if batches[2].Mask() != 3 {
+		t.Fatalf("Mask = %x, want 3", batches[2].Mask())
+	}
+	if batches[0].Mask() != ^uint64(0) {
+		t.Fatalf("full batch mask = %x", batches[0].Mask())
+	}
+}
+
+func TestAddWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add accepted wrong width")
+		}
+	}()
+	NewSet(3).Add(Vector{logic.One})
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	mk := func(seed int64) []string {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSet(4)
+		for i := 0; i < 20; i++ {
+			s.Add(Random(rand.New(rand.NewSource(int64(i))), 4))
+		}
+		s.Shuffle(r)
+		keys := make([]string, s.Len())
+		for i, v := range s.Vecs {
+			keys[i] = v.Key()
+		}
+		return keys
+	}
+	a, b := mk(5), mk(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Shuffle not deterministic for equal seeds")
+		}
+	}
+}
+
+// TestKeyQuick: Key is injective over fully specified vectors of the same
+// width.
+func TestKeyQuick(t *testing.T) {
+	f := func(aBits, bBits []bool) bool {
+		n := len(aBits)
+		if len(bBits) < n {
+			n = len(bBits)
+		}
+		if n == 0 {
+			return true
+		}
+		a := make(Vector, n)
+		b := make(Vector, n)
+		equal := true
+		for i := 0; i < n; i++ {
+			a[i] = logic.FromBit(boolBit(aBits[i]))
+			b[i] = logic.FromBit(boolBit(bBits[i]))
+			if aBits[i] != bBits[i] {
+				equal = false
+			}
+		}
+		return (a.Key() == b.Key()) == equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

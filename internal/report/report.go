@@ -1,0 +1,116 @@
+// Package report renders aligned plain-text tables for the experiment
+// drivers, mirroring the layout of the paper's tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of string cells and renders them with
+// right-alignment for numeric-looking cells and left-alignment otherwise.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; it must match the header width.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.header) {
+		panic(fmt.Sprintf("report: row has %d cells, header has %d", len(cells), len(t.header)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// Addf appends a row of formatted values: each value is rendered with %v.
+func (t *Table) Addf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprintf("%v", v)
+	}
+	t.AddRow(cells...)
+}
+
+func isNumeric(s string) bool {
+	if s == "" || s == "-" {
+		return true
+	}
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '.' || c == '-' || c == '+' || c == '%' || c == 'e':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	numeric := make([]bool, len(t.header))
+	for i := range numeric {
+		numeric[i] = true
+		for _, row := range t.rows {
+			if !isNumeric(row[i]) {
+				numeric[i] = false
+				break
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if numeric[i] {
+				parts[i] = fmt.Sprintf("%*s", width[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%-*s", width[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+// Comma formats an integer with thousands separators for readability.
+func Comma(v int64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := fmt.Sprintf("%d", v)
+	var b strings.Builder
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(c)
+	}
+	if neg {
+		return "-" + b.String()
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("name", "count")
+	tab.AddRow("alpha", "5")
+	tab.Addf("beta", 1234)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("rule missing: %q", lines[1])
+	}
+	// Numeric column is right-aligned: "5" should be padded to width of
+	// "count" (5) and "1234".
+	if !strings.Contains(lines[2], "    5") {
+		t.Errorf("numeric cell not right-aligned: %q", lines[2])
+	}
+	// Text column left-aligned.
+	if !strings.HasPrefix(lines[2], "alpha") {
+		t.Errorf("text cell not left-aligned: %q", lines[2])
+	}
+}
+
+func TestTableRowWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRow accepted wrong arity")
+		}
+	}()
+	NewTable("a", "b").AddRow("only-one")
+}
+
+func TestComma(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		7:          "7",
+		999:        "999",
+		1000:       "1,000",
+		1234567:    "1,234,567",
+		-98765:     "-98,765",
+		1000000000: "1,000,000,000",
+	}
+	for v, want := range cases {
+		if got := Comma(v); got != want {
+			t.Errorf("Comma(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for _, s := range []string{"5", "-3.2", "12%", "", "-", "1e9"} {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"abc", "12a", "s208"} {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+}

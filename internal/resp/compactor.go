@@ -1,0 +1,78 @@
+package resp
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"sddict/internal/logic"
+)
+
+// CompactOutputs models a spatial test-response compactor, which the paper
+// notes makes the output count m — and with it the same/different
+// dictionary's baseline overhead k·m — much smaller: every observed output
+// vector is reduced to mPrime parity bits of random output subsets before
+// any dictionary sees it. Distinct responses may alias to the same
+// signature, so resolution can only degrade; the returned matrix re-derives
+// the response classes under the compactor so all dictionary machinery
+// applies unchanged.
+//
+// The compactor is deterministic in (m.M, mPrime, seed); a tester would
+// implement it as an XOR network in hardware.
+func (m *Matrix) CompactOutputs(mPrime int, seed int64) *Matrix {
+	if mPrime <= 0 {
+		panic("resp: compactor width must be positive")
+	}
+	r := rand.New(rand.NewSource(seed))
+	// parity[p] selects the outputs feeding parity bit p. Each output
+	// feeds at least one parity bit so no observation is lost outright.
+	parity := make([]logic.BitVec, mPrime)
+	for p := range parity {
+		parity[p] = logic.NewBitVec(m.M)
+	}
+	for o := 0; o < m.M; o++ {
+		parity[r.Intn(mPrime)].Set(o, 1)
+		// A second tap halves structured aliasing.
+		parity[r.Intn(mPrime)].Set(o, 1)
+	}
+
+	compress := func(v logic.BitVec) logic.BitVec {
+		out := logic.NewBitVec(mPrime)
+		for p := 0; p < mPrime; p++ {
+			acc := 0
+			for w := range v {
+				acc += bits.OnesCount64(v[w] & parity[p][w])
+			}
+			out.Set(p, uint64(acc&1))
+		}
+		return out
+	}
+
+	next := &Matrix{N: m.N, K: m.K, M: mPrime}
+	next.Class = make([][]int32, m.K)
+	next.Vecs = make([][]logic.BitVec, m.K)
+	for j := 0; j < m.K; j++ {
+		// Compress each old class vector, then re-deduplicate: aliased
+		// classes merge. The fault-free class stays class 0.
+		oldToNew := make([]int32, m.NumClasses(j))
+		for oc := 0; oc < m.NumClasses(j); oc++ {
+			cv := compress(m.Vecs[j][oc])
+			cls := int32(-1)
+			for nc, seen := range next.Vecs[j] {
+				if seen.Equal(cv) {
+					cls = int32(nc)
+					break
+				}
+			}
+			if cls < 0 {
+				cls = int32(len(next.Vecs[j]))
+				next.Vecs[j] = append(next.Vecs[j], cv)
+			}
+			oldToNew[oc] = cls
+		}
+		next.Class[j] = make([]int32, m.N)
+		for i := 0; i < m.N; i++ {
+			next.Class[j][i] = oldToNew[m.Class[j][i]]
+		}
+	}
+	return next
+}

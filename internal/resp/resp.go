@@ -1,0 +1,178 @@
+// Package resp builds and stores the full-response information all fault
+// dictionaries are derived from: for every test, the set of distinct output
+// vectors produced by the modeled faults (the paper's Z_j), with each fault
+// mapped to its vector's class id. Class 0 of every test is the fault-free
+// response, so pass/fail information is directly readable and the
+// same/different baseline search never has to touch raw vectors.
+package resp
+
+import (
+	"fmt"
+
+	"sddict/internal/fault"
+	"sddict/internal/logic"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+	"sddict/internal/sim"
+)
+
+// Matrix is the deduplicated full-response matrix of a fault set under a
+// test set.
+type Matrix struct {
+	N int // number of faults
+	K int // number of tests
+	M int // number of outputs
+
+	// Class[j][i] is the response class of fault i under test j. Class 0 is
+	// always the fault-free response z_ff,j.
+	Class [][]int32
+	// Vecs[j][c] is the output vector of class c under test j;
+	// Vecs[j][0] is the fault-free output vector.
+	Vecs [][]logic.BitVec
+}
+
+// NumClasses returns the number of distinct responses observed for test j
+// (including the fault-free response).
+func (m *Matrix) NumClasses(j int) int { return len(m.Vecs[j]) }
+
+// Detected reports whether fault i is detected by test j (its response
+// differs from the fault-free response).
+func (m *Matrix) Detected(j, i int) bool { return m.Class[j][i] != 0 }
+
+// DetectedCount returns how many of the N faults test j detects.
+func (m *Matrix) DetectedCount(j int) int {
+	n := 0
+	for _, c := range m.Class[j] {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FullSizeBits returns the storage size of a full fault dictionary for this
+// matrix: k·n·m bits (paper, Section 2).
+func (m *Matrix) FullSizeBits() int64 { return int64(m.K) * int64(m.N) * int64(m.M) }
+
+// PassFailSizeBits returns the storage size of a pass/fail dictionary:
+// k·n bits.
+func (m *Matrix) PassFailSizeBits() int64 { return int64(m.K) * int64(m.N) }
+
+// SameDiffSizeBits returns the storage size of a same/different dictionary
+// with one baseline vector per test: k·(n+m) bits.
+func (m *Matrix) SameDiffSizeBits() int64 { return int64(m.K) * (int64(m.N) + int64(m.M)) }
+
+// Build fault-simulates every fault under every test (64 patterns per pass)
+// and returns the deduplicated response matrix.
+func Build(view *netlist.ScanView, faults []fault.Fault, tests *pattern.Set) *Matrix {
+	if tests.Width != view.NumInputs() {
+		panic(fmt.Sprintf("resp: test width %d != %d scan inputs", tests.Width, view.NumInputs()))
+	}
+	m := &Matrix{N: len(faults), K: tests.Len(), M: view.NumOutputs()}
+	m.Class = make([][]int32, m.K)
+	m.Vecs = make([][]logic.BitVec, m.K)
+
+	s := sim.New(view)
+	goodWords := make([]logic.Word, m.M)
+	base := 0
+	for _, batch := range tests.Pack() {
+		b := batch
+		s.Apply(&b)
+		s.GoodOutputs(goodWords)
+
+		// Transpose the good outputs into per-pattern vectors and seed each
+		// test's class table with the fault-free class 0.
+		type classTable struct {
+			byHash map[uint64][]int32
+		}
+		tables := make([]classTable, b.Count)
+		for p := 0; p < b.Count; p++ {
+			j := base + p
+			good := logic.NewBitVec(m.M)
+			for o := 0; o < m.M; o++ {
+				good.Set(o, (goodWords[o]>>uint(p))&1)
+			}
+			m.Class[j] = make([]int32, m.N)
+			m.Vecs[j] = []logic.BitVec{good}
+			tables[p].byHash = map[uint64][]int32{good.Hash(): {0}}
+		}
+
+		for i, f := range faults {
+			eff := s.Propagate(f)
+			if eff.Detect == 0 {
+				continue // class 0 everywhere; Class rows start zeroed
+			}
+			for p := 0; p < b.Count; p++ {
+				if eff.Detect&(1<<uint(p)) == 0 {
+					continue
+				}
+				j := base + p
+				vec := m.Vecs[j][0].Clone()
+				for _, d := range eff.Diffs {
+					if d.Bits&(1<<uint(p)) != 0 {
+						vec.Set(int(d.Slot), 1-vec.Get(int(d.Slot)))
+					}
+				}
+				h := vec.Hash()
+				cls := int32(-1)
+				for _, cand := range tables[p].byHash[h] {
+					if m.Vecs[j][cand].Equal(vec) {
+						cls = cand
+						break
+					}
+				}
+				if cls < 0 {
+					cls = int32(len(m.Vecs[j]))
+					m.Vecs[j] = append(m.Vecs[j], vec)
+					tables[p].byHash[h] = append(tables[p].byHash[h], cls)
+				}
+				m.Class[j][i] = cls
+			}
+		}
+		base += b.Count
+	}
+	return m
+}
+
+// FromResponses builds a matrix from explicit output vectors, e.g. when
+// responses come from an external fault simulator or from a worked example:
+// ff[j] is the fault-free output vector of test j and responses[j][i] the
+// output vector of fault i under test j. All vectors must hold m bits.
+func FromResponses(m int, ff []logic.BitVec, responses [][]logic.BitVec) *Matrix {
+	mat := &Matrix{N: 0, K: len(ff), M: m}
+	if mat.K > 0 {
+		mat.N = len(responses[0])
+	}
+	mat.Class = make([][]int32, mat.K)
+	mat.Vecs = make([][]logic.BitVec, mat.K)
+	for j := 0; j < mat.K; j++ {
+		if len(responses[j]) != mat.N {
+			panic(fmt.Sprintf("resp: test %d has %d responses, want %d", j, len(responses[j]), mat.N))
+		}
+		mat.Class[j] = make([]int32, mat.N)
+		mat.Vecs[j] = []logic.BitVec{ff[j].Clone()}
+		for i, v := range responses[j] {
+			cls := int32(-1)
+			for c, seen := range mat.Vecs[j] {
+				if seen.Equal(v) {
+					cls = int32(c)
+					break
+				}
+			}
+			if cls < 0 {
+				cls = int32(len(mat.Vecs[j]))
+				mat.Vecs[j] = append(mat.Vecs[j], v.Clone())
+			}
+			mat.Class[j][i] = cls
+		}
+	}
+	return mat
+}
+
+// BuildForCircuit is a convenience wrapper: full-scan view plus collapsed
+// faults in one call.
+func BuildForCircuit(c *netlist.Circuit, tests *pattern.Set) (*Matrix, []fault.Fault) {
+	view := netlist.NewScanView(c)
+	col := fault.Collapse(c)
+	return Build(view, col.Faults, tests), col.Faults
+}

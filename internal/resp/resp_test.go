@@ -1,0 +1,115 @@
+package resp
+
+import (
+	"math/rand"
+	"testing"
+
+	"sddict/internal/fault"
+	"sddict/internal/gen"
+	"sddict/internal/logic"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+	"sddict/internal/sim"
+)
+
+// TestBuildMatchesScalarReference: every Class/Vecs entry must agree with
+// naive scalar faulty simulation.
+func TestBuildMatchesScalarReference(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	c := gen.Profiles["s27"].MustGenerate(15)
+	view := netlist.NewScanView(c)
+	col := fault.Collapse(c)
+	tests := pattern.NewSet(view.NumInputs())
+	for i := 0; i < 70; i++ { // crosses a batch boundary
+		tests.Add(pattern.Random(r, view.NumInputs()))
+	}
+	m := Build(view, col.Faults, tests)
+	if m.N != len(col.Faults) || m.K != 70 || m.M != view.NumOutputs() {
+		t.Fatalf("dims N=%d K=%d M=%d", m.N, m.K, m.M)
+	}
+	for j := 0; j < m.K; j++ {
+		// Class 0 is the fault-free response.
+		goodVals := sim.EvalTernary(view, tests.Vecs[j])
+		good := logic.NewBitVec(m.M)
+		for slot, g := range view.Outputs {
+			good.Set(slot, goodVals[g].Bit())
+		}
+		if !m.Vecs[j][0].Equal(good) {
+			t.Fatalf("test %d: class 0 vector is not the fault-free response", j)
+		}
+		for i, f := range col.Faults {
+			want := sim.RefFaultOutputs(view, f, tests.Vecs[j])
+			got := m.Vecs[j][m.Class[j][i]]
+			if !got.Equal(want) {
+				t.Fatalf("test %d fault %s: matrix %s, reference %s",
+					j, f.Name(c), got.String(m.M), want.String(m.M))
+			}
+			if m.Detected(j, i) != !want.Equal(good) {
+				t.Fatalf("test %d fault %s: Detected mismatch", j, f.Name(c))
+			}
+		}
+		// Vectors within a test must be pairwise distinct (deduplication).
+		for a := 0; a < m.NumClasses(j); a++ {
+			for b := a + 1; b < m.NumClasses(j); b++ {
+				if m.Vecs[j][a].Equal(m.Vecs[j][b]) {
+					t.Fatalf("test %d: classes %d and %d share a vector", j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	m := &Matrix{N: 100, K: 20, M: 7}
+	if m.FullSizeBits() != 100*20*7 {
+		t.Errorf("full size %d", m.FullSizeBits())
+	}
+	if m.PassFailSizeBits() != 100*20 {
+		t.Errorf("p/f size %d", m.PassFailSizeBits())
+	}
+	if m.SameDiffSizeBits() != 20*(100+7) {
+		t.Errorf("s/d size %d", m.SameDiffSizeBits())
+	}
+}
+
+func TestFromResponses(t *testing.T) {
+	mk := func(s string) logic.BitVec {
+		v := logic.NewBitVec(len(s))
+		for i, c := range s {
+			if c == '1' {
+				v.Set(i, 1)
+			}
+		}
+		return v
+	}
+	ff := []logic.BitVec{mk("00")}
+	m := FromResponses(2, ff, [][]logic.BitVec{{mk("00"), mk("01"), mk("01"), mk("11")}})
+	if m.N != 4 || m.K != 1 || m.NumClasses(0) != 3 {
+		t.Fatalf("dims N=%d K=%d classes=%d", m.N, m.K, m.NumClasses(0))
+	}
+	if m.Class[0][0] != 0 {
+		t.Errorf("fault 0 should share the fault-free class")
+	}
+	if m.Class[0][1] != m.Class[0][2] {
+		t.Errorf("identical responses must share a class")
+	}
+	if m.Class[0][1] == m.Class[0][3] {
+		t.Errorf("different responses must not share a class")
+	}
+	if m.DetectedCount(0) != 3 {
+		t.Errorf("DetectedCount = %d, want 3", m.DetectedCount(0))
+	}
+}
+
+func TestBuildForCircuit(t *testing.T) {
+	c := gen.C17()
+	r := rand.New(rand.NewSource(8))
+	tests := pattern.NewSet(5)
+	for i := 0; i < 16; i++ {
+		tests.Add(pattern.Random(r, 5))
+	}
+	m, faults := BuildForCircuit(c, tests)
+	if m.N != len(faults) || m.K != 16 || m.M != 2 {
+		t.Fatalf("dims N=%d/%d K=%d M=%d", m.N, len(faults), m.K, m.M)
+	}
+}

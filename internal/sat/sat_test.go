@@ -1,0 +1,226 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Var() != 5 || l.Neg() {
+		t.Fatal("positive literal wrong")
+	}
+	n := l.Not()
+	if n.Var() != 5 || !n.Neg() || n.Not() != l {
+		t.Fatal("negation wrong")
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	s := NewSolver(2)
+	s.AddClause(MkLit(0, false))                 // x0
+	s.AddClause(MkLit(0, true), MkLit(1, false)) // ¬x0 ∨ x1
+	if got := s.Solve(0); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+	if !s.Value(0) || !s.Value(1) {
+		t.Fatalf("model wrong: %v %v", s.Value(0), s.Value(1))
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	s := NewSolver(1)
+	s.AddClause(MkLit(0, false))
+	s.AddClause(MkLit(0, true))
+	if got := s.Solve(0); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestEmptyClauseRejected(t *testing.T) {
+	s := NewSolver(1)
+	if s.AddClause() {
+		t.Fatal("empty clause accepted")
+	}
+	if got := s.Solve(0); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := NewSolver(2)
+	s.AddClause(MkLit(0, false), MkLit(0, true)) // tautology: ignored
+	s.AddClause(MkLit(1, false), MkLit(1, false), MkLit(0, false))
+	if got := s.Solve(0); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+}
+
+// pigeonhole(n) encodes n+1 pigeons into n holes — classically UNSAT and a
+// workout for clause learning.
+func pigeonhole(n int) *Solver {
+	vars := (n + 1) * n // p*n + h: pigeon p in hole h
+	s := NewSolver(vars)
+	v := func(p, h int) Lit { return MkLit(p*n+h, false) }
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = v(p, h)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(v(p1, h).Not(), v(p2, h).Not())
+			}
+		}
+	}
+	return s
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := pigeonhole(n)
+		if got := s.Solve(0); got != Unsat {
+			t.Fatalf("PHP(%d): %v, want unsat", n, got)
+		}
+	}
+}
+
+func TestPigeonExactFitSat(t *testing.T) {
+	// n pigeons in n holes is satisfiable: drop pigeon n's clauses by
+	// building a permutation instance directly.
+	n := 5
+	s := NewSolver(n * n)
+	v := func(p, h int) Lit { return MkLit(p*n+h, false) }
+	for p := 0; p < n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = v(p, h)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 < n; p1++ {
+			for p2 := p1 + 1; p2 < n; p2++ {
+				s.AddClause(v(p1, h).Not(), v(p2, h).Not())
+			}
+		}
+	}
+	if got := s.Solve(0); got != Sat {
+		t.Fatalf("%v, want sat", got)
+	}
+	// Verify the model is a valid assignment: every pigeon somewhere, no
+	// hole shared.
+	used := make([]int, n)
+	for p := 0; p < n; p++ {
+		cnt := 0
+		for h := 0; h < n; h++ {
+			if s.Value(p*n + h) {
+				cnt++
+				used[h]++
+			}
+		}
+		if cnt < 1 {
+			t.Fatalf("pigeon %d unplaced", p)
+		}
+	}
+	for h, u := range used {
+		if u > 1 {
+			t.Fatalf("hole %d shared by %d pigeons", h, u)
+		}
+	}
+}
+
+// TestRandomCNFMatchesBruteForce cross-validates the solver against
+// exhaustive enumeration on small random 3-CNF instances, both
+// satisfiable and unsatisfiable.
+func TestRandomCNFMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 400; trial++ {
+		nv := 3 + r.Intn(10)
+		nc := 2 + r.Intn(6*nv)
+		type cl []Lit
+		clauses := make([]cl, nc)
+		for i := range clauses {
+			width := 1 + r.Intn(3)
+			c := make(cl, width)
+			for k := range c {
+				c[k] = MkLit(r.Intn(nv), r.Intn(2) == 0)
+			}
+			clauses[i] = c
+		}
+		// Brute force.
+		want := false
+		var model uint32
+		for m := uint32(0); m < 1<<uint(nv); m++ {
+			ok := true
+			for _, c := range clauses {
+				sat := false
+				for _, l := range c {
+					bit := m>>uint(l.Var())&1 == 1
+					if bit != l.Neg() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want = true
+				model = m
+				break
+			}
+		}
+		_ = model
+		s := NewSolver(nv)
+		for _, c := range clauses {
+			s.AddClause([]Lit(c)...)
+		}
+		got := s.Solve(0)
+		if want && got != Sat {
+			t.Fatalf("trial %d: solver says %v, brute force says sat", trial, got)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("trial %d: solver says %v, brute force says unsat", trial, got)
+		}
+		if got == Sat {
+			// The returned model must satisfy every clause.
+			for ci, c := range clauses {
+				ok := false
+				for _, l := range c {
+					if s.Value(l.Var()) != l.Neg() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: model violates clause %d", trial, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	s := pigeonhole(8) // hard enough to exceed a tiny budget
+	if got := s.Solve(5); got != Unknown {
+		t.Fatalf("Solve with 5-conflict budget = %v, want unknown", got)
+	}
+}
+
+func TestAddVar(t *testing.T) {
+	s := NewSolver(1)
+	v := s.AddVar()
+	if v != 1 || s.NumVars() != 2 {
+		t.Fatalf("AddVar gave %d, NumVars %d", v, s.NumVars())
+	}
+	s.AddClause(MkLit(v, false))
+	if s.Solve(0) != Sat || !s.Value(v) {
+		t.Fatal("fresh variable unusable")
+	}
+}

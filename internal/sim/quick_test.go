@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sddict/internal/logic"
+	"sddict/internal/netlist"
+)
+
+// TestEvalWordsMatchesScalar property-checks the bit-parallel gate kernels
+// against per-bit scalar ternary evaluation for every gate type: each of
+// the 64 lanes of EvalWords must equal the scalar function of that lane.
+func TestEvalWordsMatchesScalar(t *testing.T) {
+	types := []netlist.GateType{
+		netlist.Buf, netlist.Not, netlist.And, netlist.Nand,
+		netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor,
+	}
+	f := func(a, b, c logic.Word, pick uint8) bool {
+		typ := types[int(pick)%len(types)]
+		in := []logic.Word{a, b, c}
+		if typ == netlist.Buf || typ == netlist.Not {
+			in = in[:1]
+		}
+		got := EvalWords(typ, in)
+		fanin := make([]int32, len(in))
+		for i := range fanin {
+			fanin[i] = int32(i)
+		}
+		for bit := 0; bit < 64; bit++ {
+			want := EvalGateTernary(typ, fanin, func(pin int, _ int32) logic.Value {
+				return logic.FromBit((in[pin] >> uint(bit)) & 1)
+			})
+			if logic.FromBit((got>>uint(bit))&1) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConstEval checks the constant kernels.
+func TestConstEval(t *testing.T) {
+	if EvalWords(netlist.Const0, nil) != 0 {
+		t.Error("Const0 kernel wrong")
+	}
+	if EvalWords(netlist.Const1, nil) != ^logic.Word(0) {
+		t.Error("Const1 kernel wrong")
+	}
+}

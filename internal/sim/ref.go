@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"sddict/internal/fault"
+	"sddict/internal/logic"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+)
+
+// EvalTernary evaluates the full-scan view for a single ternary input
+// vector and returns the value of every gate. X values propagate
+// pessimistically through the standard ternary gate functions. This scalar
+// evaluator is the reference the bit-parallel simulator is validated
+// against, and the good-value engine used by the test generator.
+func EvalTernary(view *netlist.ScanView, vec pattern.Vector) []logic.Value {
+	c := view.C
+	vals := make([]logic.Value, len(c.Gates))
+	for i, g := range view.Inputs {
+		vals[g] = vec[i]
+	}
+	for _, g := range c.Order() {
+		if c.IsSource(g) {
+			switch c.Gates[g].Type {
+			case netlist.Const0:
+				vals[g] = logic.Zero
+			case netlist.Const1:
+				vals[g] = logic.One
+			}
+			continue
+		}
+		vals[g] = EvalGateTernary(c.Gates[g].Type, c.Gates[g].Fanin, func(_ int, f int32) logic.Value {
+			return vals[f]
+		})
+	}
+	return vals
+}
+
+// EvalGateTernary evaluates one gate in ternary logic. The reader receives
+// both the pin position and the driving gate, so callers can override a
+// single branch.
+func EvalGateTernary(t netlist.GateType, fanin []int32, val func(pin int, driver int32) logic.Value) logic.Value {
+	switch t {
+	case netlist.Const0:
+		return logic.Zero
+	case netlist.Const1:
+		return logic.One
+	case netlist.Buf:
+		return val(0, fanin[0])
+	case netlist.Not:
+		return val(0, fanin[0]).Not()
+	case netlist.And, netlist.Nand:
+		out := logic.One
+		for pin, f := range fanin {
+			switch val(pin, f) {
+			case logic.Zero:
+				out = logic.Zero
+			case logic.X:
+				if out == logic.One {
+					out = logic.X
+				}
+			}
+		}
+		if t == netlist.Nand {
+			out = out.Not()
+		}
+		return out
+	case netlist.Or, netlist.Nor:
+		out := logic.Zero
+		for pin, f := range fanin {
+			switch val(pin, f) {
+			case logic.One:
+				out = logic.One
+			case logic.X:
+				if out == logic.Zero {
+					out = logic.X
+				}
+			}
+		}
+		if t == netlist.Nor {
+			out = out.Not()
+		}
+		return out
+	case netlist.Xor, netlist.Xnor:
+		out := logic.Zero
+		for pin, f := range fanin {
+			v := val(pin, f)
+			if v == logic.X {
+				return logic.X
+			}
+			if v == logic.One {
+				out = out.Not()
+			}
+		}
+		if t == netlist.Xnor {
+			out = out.Not()
+		}
+		return out
+	}
+	panic("sim: ternary eval of source gate")
+}
+
+// RefFaultOutputs computes, for a single fully specified test vector, the
+// output response of the circuit under fault f by naive scalar evaluation.
+// It is the correctness reference for Simulator.Propagate.
+func RefFaultOutputs(view *netlist.ScanView, f fault.Fault, vec pattern.Vector) logic.BitVec {
+	c := view.C
+	forced := logic.FromBit(uint64(f.Stuck))
+	vals := make([]logic.Value, len(c.Gates))
+	for i, g := range view.Inputs {
+		vals[g] = vec[i]
+	}
+	for _, g := range c.Order() {
+		switch {
+		case c.IsSource(g):
+			switch c.Gates[g].Type {
+			case netlist.Const0:
+				vals[g] = logic.Zero
+			case netlist.Const1:
+				vals[g] = logic.One
+			}
+		default:
+			gate := &c.Gates[g]
+			vals[g] = EvalGateTernary(gate.Type, gate.Fanin, func(pin int, d int32) logic.Value {
+				if !f.IsStem() && f.Gate == g && int32(pin) == f.Pin {
+					return forced
+				}
+				return vals[d]
+			})
+		}
+		if f.IsStem() && f.Gate == g {
+			vals[g] = forced
+		}
+	}
+	out := logic.NewBitVec(view.NumOutputs())
+	for slot, g := range view.Outputs {
+		v := vals[g]
+		// A branch fault on a flip-flop D pin is observed only at that
+		// flip-flop's pseudo output.
+		if !f.IsStem() && c.Gates[f.Gate].Type == netlist.DFF &&
+			slot >= len(c.POs) && c.DFFs[slot-len(c.POs)] == f.Gate {
+			v = forced
+		}
+		out.Set(slot, v.Bit())
+	}
+	return out
+}

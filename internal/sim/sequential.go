@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+
+	"sddict/internal/logic"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+)
+
+// Sequential is a cycle-accurate three-valued simulator for circuits with
+// flip-flops, used when a design is exercised as a state machine rather
+// than through scan. State starts unknown (X) and is updated once per
+// applied input vector; primary outputs are sampled combinationally after
+// each application.
+//
+// The dictionary pipeline works on the full-scan view; this simulator
+// exists for validating netlists as sequential machines (reset behaviour,
+// state reachability) and for users who load ISCAS-89 benchmarks and want
+// to run them as designed.
+type Sequential struct {
+	c    *netlist.Circuit
+	vals []logic.Value // current combinational values
+	next []logic.Value // D-line values captured for the next cycle
+	// state[q] is the current flip-flop output value, indexed like c.DFFs.
+	state []logic.Value
+	cycle int
+}
+
+// NewSequential returns a simulator with all flip-flops initialized to X.
+func NewSequential(c *netlist.Circuit) *Sequential {
+	s := &Sequential{
+		c:     c,
+		vals:  make([]logic.Value, len(c.Gates)),
+		next:  make([]logic.Value, len(c.DFFs)),
+		state: make([]logic.Value, len(c.DFFs)),
+	}
+	s.Reset()
+	return s
+}
+
+// Reset returns every flip-flop to the unknown state.
+func (s *Sequential) Reset() {
+	for i := range s.state {
+		s.state[i] = logic.X
+	}
+	s.cycle = 0
+}
+
+// SetState forces the flip-flop states (indexed like Circuit.DFFs), e.g.
+// to model a reset line or scan-load.
+func (s *Sequential) SetState(state []logic.Value) error {
+	if len(state) != len(s.state) {
+		return fmt.Errorf("sim: %d state values for %d flip-flops", len(state), len(s.state))
+	}
+	copy(s.state, state)
+	return nil
+}
+
+// State returns a copy of the current flip-flop values.
+func (s *Sequential) State() []logic.Value {
+	return append([]logic.Value(nil), s.state...)
+}
+
+// Cycle returns how many vectors have been applied since the last Reset.
+func (s *Sequential) Cycle() int { return s.cycle }
+
+// Step applies one primary-input vector (width = len(PIs)), evaluates the
+// combinational logic against the current state, captures the D lines into
+// the flip-flops, and returns the primary-output values sampled before the
+// state update (Mealy-style observation).
+func (s *Sequential) Step(pi pattern.Vector) ([]logic.Value, error) {
+	c := s.c
+	if len(pi) != len(c.PIs) {
+		return nil, fmt.Errorf("sim: vector width %d, circuit has %d primary inputs", len(pi), len(c.PIs))
+	}
+	for i, g := range c.PIs {
+		s.vals[g] = pi[i]
+	}
+	for i, ff := range c.DFFs {
+		s.vals[ff] = s.state[i]
+	}
+	for _, g := range c.Order() {
+		if c.IsSource(g) {
+			switch c.Gates[g].Type {
+			case netlist.Const0:
+				s.vals[g] = logic.Zero
+			case netlist.Const1:
+				s.vals[g] = logic.One
+			}
+			continue
+		}
+		gate := &c.Gates[g]
+		s.vals[g] = EvalGateTernary(gate.Type, gate.Fanin, func(_ int, d int32) logic.Value {
+			return s.vals[d]
+		})
+	}
+	outs := make([]logic.Value, len(c.POs))
+	for i, po := range c.POs {
+		outs[i] = s.vals[po]
+	}
+	for i, ff := range c.DFFs {
+		s.next[i] = s.vals[c.Gates[ff].Fanin[0]]
+	}
+	copy(s.state, s.next)
+	s.cycle++
+	return outs, nil
+}
+
+// Run applies a sequence of vectors and returns the output trace.
+func (s *Sequential) Run(seq []pattern.Vector) ([][]logic.Value, error) {
+	trace := make([][]logic.Value, 0, len(seq))
+	for _, v := range seq {
+		out, err := s.Step(v)
+		if err != nil {
+			return trace, err
+		}
+		trace = append(trace, out)
+	}
+	return trace, nil
+}
+
+// Value returns the current combinational value of a gate (valid after a
+// Step).
+func (s *Sequential) Value(g int32) logic.Value { return s.vals[g] }

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sddict/internal/gen"
+	"sddict/internal/logic"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+)
+
+// buildCounterBit returns a 1-bit toggle register: ff' = ff XOR en,
+// out = ff.
+func buildCounterBit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("toggle")
+	en := b.Input("en")
+	ff := b.Gate(netlist.DFF, "ff") // fanin patched
+	x := b.Gate(netlist.Xor, "x", ff, en)
+	b.SetFanin(ff, x)
+	out := b.Gate(netlist.Buf, "out", ff)
+	b.Output(out)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSequentialToggle(t *testing.T) {
+	c := buildCounterBit(t)
+	s := NewSequential(c)
+
+	// Unknown state propagates to the output.
+	out, err := s.Step(pattern.Vector{logic.Zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != logic.X {
+		t.Fatalf("cycle 0 output %v, want x (uninitialized state)", out[0])
+	}
+
+	// Force a known state and toggle.
+	if err := s.SetState([]logic.Value{logic.Zero}); err != nil {
+		t.Fatal(err)
+	}
+	seq := []pattern.Vector{
+		{logic.One},  // out samples 0, state -> 1
+		{logic.Zero}, // out 1, state stays 1
+		{logic.One},  // out 1, state -> 0
+		{logic.Zero}, // out 0
+	}
+	trace, err := s.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []logic.Value{logic.Zero, logic.One, logic.One, logic.Zero}
+	for i, w := range want {
+		if trace[i][0] != w {
+			t.Errorf("cycle %d: out %v, want %v", i, trace[i][0], w)
+		}
+	}
+	if s.Cycle() != 5 {
+		t.Errorf("Cycle = %d, want 5", s.Cycle())
+	}
+}
+
+// TestSequentialMatchesScanUnrolling: one Step from a fully known state
+// must equal combinational scan-view evaluation with that state as pseudo
+// inputs, and the captured next state must equal the pseudo outputs.
+func TestSequentialMatchesScanUnrolling(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	c := gen.Profiles["s298"].MustGenerate(6)
+	view := netlist.NewScanView(c)
+	s := NewSequential(c)
+	for trial := 0; trial < 25; trial++ {
+		pi := pattern.Random(r, len(c.PIs))
+		state := pattern.Random(r, len(c.DFFs))
+		if err := s.SetState(state); err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Step(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scan-view evaluation of the same (pi, state).
+		vec := make(pattern.Vector, 0, view.NumInputs())
+		vec = append(vec, pi...)
+		vec = append(vec, state...)
+		vals := EvalTernary(view, vec)
+		for i, po := range c.POs {
+			if out[i] != vals[po] {
+				t.Fatalf("trial %d: PO %d sequential %v, scan %v", trial, i, out[i], vals[po])
+			}
+		}
+		next := s.State()
+		for i, ff := range c.DFFs {
+			d := c.Gates[ff].Fanin[0]
+			if next[i] != vals[d] {
+				t.Fatalf("trial %d: FF %d next state %v, scan D line %v", trial, i, next[i], vals[d])
+			}
+		}
+	}
+}
+
+func TestSequentialErrors(t *testing.T) {
+	c := buildCounterBit(t)
+	s := NewSequential(c)
+	if _, err := s.Step(pattern.Vector{logic.One, logic.One}); err == nil {
+		t.Error("Step accepted wrong vector width")
+	}
+	if err := s.SetState([]logic.Value{logic.One, logic.One}); err == nil {
+		t.Error("SetState accepted wrong width")
+	}
+}
+
+func TestSequentialReset(t *testing.T) {
+	c := buildCounterBit(t)
+	s := NewSequential(c)
+	s.SetState([]logic.Value{logic.One})
+	s.Step(pattern.Vector{logic.One})
+	s.Reset()
+	if s.Cycle() != 0 {
+		t.Error("Reset did not clear the cycle counter")
+	}
+	for _, v := range s.State() {
+		if v != logic.X {
+			t.Error("Reset did not clear the state to X")
+		}
+	}
+}
