@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet fuzz check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the .bench parser; CI-friendly budget.
+fuzz:
+	$(GO) test -run=FuzzParse -fuzz=FuzzParse -fuzztime=30s ./internal/bench/
+
+# The gate for every change: static analysis plus the full suite under the
+# race detector.
+check: vet race
+
+clean:
+	$(GO) clean ./...

@@ -9,22 +9,30 @@
 //
 // The output file holds one fully specified test vector per line, ordered
 // over the full-scan inputs (primary inputs, then flip-flop pseudo inputs).
+// On SIGINT/SIGTERM generation stops early and the tests earned so far are
+// still reported (and written with -o); the exit code is 130.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"sddict/internal/atpg"
 	"sddict/internal/bench"
+	"sddict/internal/cli"
 	"sddict/internal/fault"
 	"sddict/internal/gen"
 	"sddict/internal/netlist"
 )
 
 func main() {
+	cli.Main("atpg", run)
+}
+
+func run(ctx context.Context) error {
 	var (
 		circuit   = flag.String("circuit", "", "named synthetic circuit profile")
 		benchPath = flag.String("bench", "", ".bench netlist to load instead of a profile")
@@ -43,7 +51,7 @@ func main() {
 	case *benchPath != "":
 		f, ferr := os.Open(*benchPath)
 		if ferr != nil {
-			fatal("%v", ferr)
+			return ferr
 		}
 		c, err = bench.Parse(f, *benchPath)
 		f.Close()
@@ -54,10 +62,10 @@ func main() {
 			c, err = p.Generate(*seed + 1)
 		}
 	default:
-		fatal("need -circuit or -bench")
+		return cli.Usagef("need -circuit or -bench")
 	}
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 
 	comb := netlist.Combinationalize(c)
@@ -67,42 +75,46 @@ func main() {
 	cfg := atpg.DefaultConfig(*n)
 	cfg.Seed = *seed + 2
 	cfg.Compact = *n == 1
-	tests, st := atpg.GenerateDetection(comb, col.Faults, cfg)
+	tests, st := atpg.GenerateDetectionCtx(ctx, comb, col.Faults, cfg)
 	fmt.Printf("detection: %d tests (%d random, %d podem), coverage %.2f%%, %d/%d reach %d detections, %d untestable, %d aborted\n",
 		tests.Len(), st.RandomTests, st.PodemTests, 100*st.Coverage(),
 		st.NDetected, st.Faults, *n, st.Untestable, st.Aborted)
+	interrupted := st.Interrupted
 
-	if *diag {
+	if *diag && !interrupted {
 		dcfg := atpg.DefaultDiagConfig()
 		dcfg.Seed = *seed + 3
 		var dst atpg.DiagStats
-		tests, dst = atpg.GenerateDiagnostic(comb, col.Faults, tests, dcfg)
+		tests, dst = atpg.GenerateDiagnosticCtx(ctx, comb, col.Faults, tests, dcfg)
 		fmt.Printf("diagnostic: +%d random +%d miter tests over %d rounds (%d miter calls); "+
 			"%d equivalent pairs, %d aborted, %d response-identical pairs remain\n",
 			dst.RandomTests, dst.AddedTests, dst.Rounds, dst.MiterCalls,
 			dst.Equivalent, dst.Aborted, dst.IndistPairs)
+		interrupted = interrupted || dst.Interrupted
+	}
+	if interrupted {
+		fmt.Println("interrupted: the test set above is partial but every kept test is valid")
 	}
 
 	if *out != "" {
 		f, ferr := os.Create(*out)
 		if ferr != nil {
-			fatal("%v", ferr)
+			return ferr
 		}
 		w := bufio.NewWriter(f)
 		for _, v := range tests.Vecs {
 			fmt.Fprintln(w, v.Key())
 		}
 		if err := w.Flush(); err != nil {
-			fatal("%v", err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal("%v", err)
+			return err
 		}
 		fmt.Printf("wrote %d vectors (%d inputs each) to %s\n", tests.Len(), tests.Width, *out)
 	}
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "atpg: "+format+"\n", args...)
-	os.Exit(1)
+	if interrupted {
+		return cli.ErrInterrupted
+	}
+	return nil
 }

@@ -9,17 +9,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"sddict/internal/bench"
+	"sddict/internal/cli"
 	"sddict/internal/gen"
 	"sddict/internal/netlist"
 )
 
 func main() {
+	cli.Main("benchgen", run)
+}
+
+func run(ctx context.Context) error {
 	var (
 		circuit = flag.String("circuit", "", "profile name to synthesize")
 		all     = flag.Bool("all", false, "emit every registered profile")
@@ -29,7 +35,7 @@ func main() {
 	)
 	flag.Parse()
 
-	emit := func(c *netlist.Circuit, path string) {
+	emit := func(c *netlist.Circuit, path string) error {
 		var w *os.File
 		var err error
 		if path == "" {
@@ -37,42 +43,47 @@ func main() {
 		} else {
 			w, err = os.Create(path)
 			if err != nil {
-				fatal("%v", err)
+				return err
 			}
 		}
 		if err := bench.Write(w, c); err != nil {
-			fatal("%v", err)
+			return err
 		}
 		if path != "" {
 			if err := w.Close(); err != nil {
-				fatal("%v", err)
+				return err
 			}
 			fmt.Printf("%s: %s\n", path, c.Stat())
 		}
+		return nil
 	}
 
 	switch {
 	case *all:
 		for _, name := range gen.Names() {
-			c := gen.Profiles[name].MustGenerate(*seed + 1)
-			emit(c, filepath.Join(*dir, name+".bench"))
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			c, err := gen.Profiles[name].Generate(*seed + 1)
+			if err != nil {
+				return err
+			}
+			if err := emit(c, filepath.Join(*dir, name+".bench")); err != nil {
+				return err
+			}
 		}
 	case *circuit != "":
 		p, err := gen.Named(*circuit)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		c, err := p.Generate(*seed + 1)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
-		emit(c, *out)
+		return emit(c, *out)
 	default:
-		fatal("need -circuit or -all")
+		return cli.Usagef("need -circuit or -all")
 	}
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "benchgen: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -13,39 +13,53 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"sddict/internal/cli"
 	"sddict/internal/core"
 	"sddict/internal/logic"
 )
 
 func main() {
+	cli.Main("diagnose", run)
+}
+
+// errNoMatch reports a defect outside the modeled fault universe; mapped to
+// a runtime (non-usage) failure exit.
+type errNoMatch struct{}
+
+func (errNoMatch) Error() string {
+	return "no exact match: the defect does not behave like any modeled fault"
+}
+
+func run(ctx context.Context) error {
 	var (
 		dictPath = flag.String("dict", "", "compiled dictionary file (from sdd -save-dict)")
 		respPath = flag.String("responses", "", "observed responses, one 0/1 output vector per test")
 	)
 	flag.Parse()
 	if *dictPath == "" || *respPath == "" {
-		fatal("need -dict and -responses")
+		return cli.Usagef("need -dict and -responses")
 	}
 
 	df, err := os.Open(*dictPath)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	dict, err := core.ReadCompiled(df)
 	df.Close()
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	fmt.Printf("dictionary: %s, %d faults, %d tests, %d outputs, %d payload bits\n",
 		dict.Kind, len(dict.Rows), dict.NumTests, dict.Outputs, dict.SizeBits())
 
 	rf, err := os.Open(*respPath)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	defer rf.Close()
 	var observed []logic.BitVec
@@ -58,7 +72,8 @@ func main() {
 			continue
 		}
 		if len(txt) != dict.Outputs {
-			fatal("line %d: vector has %d bits, dictionary has %d outputs", line, len(txt), dict.Outputs)
+			return fmt.Errorf("%s line %d: vector has %d bits, dictionary has %d outputs",
+				*respPath, line, len(txt), dict.Outputs)
 		}
 		v := logic.NewBitVec(dict.Outputs)
 		for i, c := range txt {
@@ -67,36 +82,31 @@ func main() {
 			case '1':
 				v.Set(i, 1)
 			default:
-				fatal("line %d: invalid character %q", line, c)
+				return fmt.Errorf("%s line %d: invalid character %q", *respPath, line, c)
 			}
 		}
 		observed = append(observed, v)
 	}
 	if err := sc.Err(); err != nil {
-		fatal("%v", err)
+		return err
 	}
 
 	sig, err := dict.Signature(observed)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	failing := sig.PopCount()
 	fmt.Printf("signature: %d/%d tests flag \"different\"\n", failing, dict.NumTests)
 
 	cands := dict.Candidates(sig)
 	if len(cands) == 0 {
-		fmt.Println("no exact match: the defect does not behave like any modeled fault")
 		fmt.Println("(nearest-match ranking requires the full library; see internal/diagnose)")
-		os.Exit(2)
+		return errNoMatch{}
 	}
 	fmt.Printf("candidate faults (%d):", len(cands))
 	for _, c := range cands {
 		fmt.Printf(" #%d", c)
 	}
 	fmt.Println()
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "diagnose: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -12,12 +12,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
 	"sddict/internal/bench"
+	"sddict/internal/cli"
 	"sddict/internal/fault"
 	"sddict/internal/gen"
 	"sddict/internal/netlist"
@@ -26,6 +28,10 @@ import (
 )
 
 func main() {
+	cli.Main("faultsim", run)
+}
+
+func run(ctx context.Context) error {
 	var (
 		circuit   = flag.String("circuit", "", "named synthetic circuit profile")
 		benchPath = flag.String("bench", "", ".bench netlist to load instead of a profile")
@@ -44,7 +50,7 @@ func main() {
 	case *benchPath != "":
 		f, ferr := os.Open(*benchPath)
 		if ferr != nil {
-			fatal("%v", ferr)
+			return ferr
 		}
 		c, err = bench.Parse(f, *benchPath)
 		f.Close()
@@ -55,10 +61,10 @@ func main() {
 			c, err = p.Generate(*seed + 1)
 		}
 	default:
-		fatal("need -circuit or -bench")
+		return cli.Usagef("need -circuit or -bench")
 	}
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 
 	comb := netlist.Combinationalize(c)
@@ -70,7 +76,7 @@ func main() {
 	case *testsPath != "":
 		f, ferr := os.Open(*testsPath)
 		if ferr != nil {
-			fatal("%v", ferr)
+			return ferr
 		}
 		sc := bufio.NewScanner(f)
 		line := 0
@@ -82,19 +88,23 @@ func main() {
 			}
 			v, verr := pattern.FromString(txt)
 			if verr != nil {
-				fatal("line %d: %v", line, verr)
+				f.Close()
+				return fmt.Errorf("%s line %d: %v", *testsPath, line, verr)
 			}
 			if len(v) != view.NumInputs() {
-				fatal("line %d: vector width %d, circuit has %d scan inputs", line, len(v), view.NumInputs())
+				f.Close()
+				return fmt.Errorf("%s line %d: vector width %d, circuit has %d scan inputs",
+					*testsPath, line, len(v), view.NumInputs())
 			}
 			if !v.FullySpecified() {
-				fatal("line %d: vector contains x; fully specified vectors required", line)
+				f.Close()
+				return fmt.Errorf("%s line %d: vector contains x; fully specified vectors required", *testsPath, line)
 			}
 			tests.Add(v)
 		}
 		f.Close()
 		if err := sc.Err(); err != nil {
-			fatal("%v", err)
+			return err
 		}
 	case *random > 0:
 		r := rand.New(rand.NewSource(*seed + 2))
@@ -102,10 +112,10 @@ func main() {
 			tests.Add(pattern.Random(r, view.NumInputs()))
 		}
 	default:
-		fatal("need -tests or -random")
+		return cli.Usagef("need -tests or -random")
 	}
 	if tests.Len() == 0 {
-		fatal("empty test set")
+		return fmt.Errorf("empty test set")
 	}
 
 	s := sim.New(view)
@@ -115,14 +125,16 @@ func main() {
 	for _, batch := range tests.Pack() {
 		b := batch
 		s.Apply(&b)
-		for fi, f := range col.Faults {
-			eff := s.Propagate(f)
+		sweepErr := s.ForEachFault(ctx, col.Faults, func(fi int, eff sim.Effect) {
 			for p := 0; p < b.Count; p++ {
 				if eff.Detect&(1<<uint(p)) != 0 {
 					counts[fi]++
 					perTestDet[base+p]++
 				}
 			}
+		})
+		if sweepErr != nil {
+			return sweepErr
 		}
 		base += b.Count
 	}
@@ -146,6 +158,7 @@ func main() {
 			fmt.Printf("t%-5d detects %d faults\n", j, n)
 		}
 	}
+	return nil
 }
 
 func maxInt(a, b int) int {
@@ -153,9 +166,4 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "faultsim: "+format+"\n", args...)
-	os.Exit(1)
 }

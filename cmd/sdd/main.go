@@ -12,15 +12,22 @@
 // Example:
 //
 //	$ sdd -circuit s344 -tests 10det
+//
+// Ctrl-C during dictionary construction does not discard the run: the
+// best-so-far dictionary is reported (and saved with -save-dict) before
+// the command exits with code 130. With -checkpoint the restart state is
+// persisted so a later identical invocation resumes the search.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"sddict/internal/bench"
+	"sddict/internal/cli"
 	"sddict/internal/core"
 	"sddict/internal/diagnose"
 	"sddict/internal/experiment"
@@ -30,6 +37,10 @@ import (
 )
 
 func main() {
+	cli.Main("sdd", run)
+}
+
+func run(ctx context.Context) error {
 	var (
 		circuit   = flag.String("circuit", "", "named synthetic circuit profile (see -list)")
 		benchPath = flag.String("bench", "", "ISCAS-89 .bench netlist to load instead of a profile")
@@ -40,6 +51,7 @@ func main() {
 		saveDict  = flag.String("save-dict", "", "write the compiled same/different dictionary to this file")
 		inject    = flag.Int("inject", -1, "inject the i-th collapsed fault as a defect (with -dump-responses)")
 		dumpResp  = flag.String("dump-responses", "", "write the observed responses of the injected defect (cmd/diagnose input)")
+		ckpt      = flag.String("checkpoint", "", "persist/resume dictionary-search state at this file")
 	)
 	flag.Parse()
 
@@ -50,38 +62,38 @@ func main() {
 			tab.Addf(name, p.PIs, p.POs, p.DFFs, p.Gates)
 		}
 		tab.Render(os.Stdout)
-		return
+		return nil
 	}
 
 	tt := experiment.TestSetType(*tests)
 	if tt != experiment.Diagnostic && tt != experiment.TenDetect {
-		fatal("unknown -tests %q (want diag or 10det)", *tests)
+		return cli.Usagef("unknown -tests %q (want diag or 10det)", *tests)
 	}
 
 	var (
 		pr  *experiment.Prepared
 		err error
 	)
-	cfg := experiment.Config{Seed: *seed, Effort: *effort}
+	cfg := experiment.Config{Seed: *seed, Effort: *effort, CheckpointPath: *ckpt}
 	switch {
 	case *benchPath != "":
 		f, ferr := os.Open(*benchPath)
 		if ferr != nil {
-			fatal("%v", ferr)
+			return ferr
 		}
 		c, perr := bench.Parse(f, *benchPath)
 		f.Close()
 		if perr != nil {
-			fatal("%v", perr)
+			return perr
 		}
-		pr, err = experiment.Prepare(c, tt, cfg)
+		pr, err = experiment.PrepareCtx(ctx, c, tt, cfg)
 	case *circuit != "":
-		pr, err = experiment.PrepareProfile(*circuit, tt, cfg)
+		pr, err = experiment.PrepareProfileCtx(ctx, *circuit, tt, cfg)
 	default:
-		fatal("need -circuit or -bench (or -list)")
+		return cli.Usagef("need -circuit or -bench (or -list)")
 	}
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 
 	st := pr.Circuit.Stat()
@@ -91,7 +103,18 @@ func main() {
 	fmt.Printf("tests: %d (%s)\n", pr.Tests.Len(), pr.GenInfo)
 	fmt.Println()
 
-	row := experiment.BuildRow(pr, tt, cfg)
+	row, err := experiment.BuildRowCtx(ctx, pr, tt, cfg)
+	if err != nil && row.Dict == nil {
+		return err
+	}
+	if err != nil {
+		// Checkpoint-save failure: the row is still valid, warn and go on.
+		fmt.Fprintf(os.Stderr, "sdd: warning: %v\n", err)
+	}
+	if row.Status == experiment.RowInterrupted {
+		fmt.Println("INTERRUPTED: dictionary construction stopped early; figures below are best-so-far")
+		fmt.Println()
+	}
 	m := pr.Matrix
 	full := core.NewFull(m)
 	pf := core.NewPassFail(m)
@@ -119,29 +142,32 @@ func main() {
 		row.IndSDRand, row.BuildStats.Restarts, row.IndSDRepl,
 		row.BuildStats.IndistSeeded, row.StoredBaselines, row.Tests,
 		report.Comma(row.SizeSDMinimized))
+	if row.Status == experiment.RowInterrupted && *ckpt != "" {
+		fmt.Printf("checkpoint kept at %s; rerun the same command to resume the search\n", *ckpt)
+	}
 
 	if *dumpResp != "" {
 		if *inject < 0 || *inject >= len(pr.Faults) {
-			fatal("-dump-responses needs -inject in [0,%d)", len(pr.Faults))
+			return cli.Usagef("-dump-responses needs -inject in [0,%d)", len(pr.Faults))
 		}
 		defect := pr.Faults[*inject]
 		obs, err := diagnose.ObservedResponses(pr.Circuit, []fault.Fault{defect}, pr.Tests)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		f, err := os.Create(*dumpResp)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		w := bufio.NewWriter(f)
 		for _, v := range obs {
 			fmt.Fprintln(w, v.String(m.M))
 		}
 		if err := w.Flush(); err != nil {
-			fatal("%v", err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal("%v", err)
+			return err
 		}
 		fmt.Printf("defect #%d (%s) injected; %d observed responses written to %s\n",
 			*inject, defect.Name(pr.Circuit), len(obs), *dumpResp)
@@ -150,25 +176,24 @@ func main() {
 	if *saveDict != "" {
 		compiled, err := sd.Compile()
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		f, err := os.Create(*saveDict)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		n, err := compiled.WriteTo(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fatal("writing %s: %v", *saveDict, err)
+			return fmt.Errorf("writing %s: %v", *saveDict, err)
 		}
 		fmt.Printf("compiled same/different dictionary written to %s (%s bytes on disk, %s payload bits)\n",
 			*saveDict, report.Comma(n), report.Comma(compiled.SizeBits()))
 	}
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "sdd: "+format+"\n", args...)
-	os.Exit(1)
+	if row.Status == experiment.RowInterrupted {
+		return cli.ErrInterrupted
+	}
+	return nil
 }

@@ -10,55 +10,116 @@
 // Usage:
 //
 //	table6 [-circuits s208,s298,...] [-seed N] [-effort 0..1] [-v]
+//	table6 -checkpoint-dir ./ckpt     # survive kills: rerun to resume
+//
+// Ctrl-C renders the rows completed so far before exiting with code 130.
+// A circuit whose pipeline fails (including an internal panic, recovered
+// per row) is reported to stderr and skipped; the sweep continues.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"sddict/internal/cli"
 	"sddict/internal/experiment"
 	"sddict/internal/gen"
 	"sddict/internal/report"
 )
 
 func main() {
+	cli.Main("table6", run)
+}
+
+func run(ctx context.Context) error {
 	var (
 		circuits = flag.String("circuits", strings.Join(gen.Table6Circuits, ","),
 			"comma-separated circuit profiles to run")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		effort  = flag.Float64("effort", 0, "search effort in (0,1]; 0 = auto-scale by circuit size")
 		verbose = flag.Bool("v", false, "print per-row generation details")
+		ckptDir = flag.String("checkpoint-dir", "", "persist/resume per-row dictionary-search state in this directory")
 	)
 	flag.Parse()
+
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
 
 	tab := report.NewTable(
 		"circuit", "Ttype", "|T|",
 		"size full", "size p/f", "size s/d",
 		"ind full", "ind p/f", "ind s/d rand", "ind s/d repl")
 
+	interrupted := false
+	failures := 0
+
+	render := func() {
+		fmt.Println("Table 6: experimental results (synthetic ISCAS-89 analogs)")
+		fmt.Println()
+		tab.Render(os.Stdout)
+		fmt.Println()
+		fmt.Println(`Columns follow the paper: "ind s/d rand" is the best Procedure 1 result over
+random test orders; "ind s/d repl" is the Procedure 2 result, shown only when
+it improves on Procedure 1 (the paper omits it otherwise).`)
+	}
+
+sweep:
 	for _, name := range strings.Split(*circuits, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
 		for _, tt := range []experiment.TestSetType{experiment.Diagnostic, experiment.TenDetect} {
+			if ctx.Err() != nil {
+				interrupted = true
+				break sweep
+			}
 			cfg := experiment.Config{Seed: *seed, Effort: *effort}
-			pr, err := experiment.PrepareProfile(name, tt, cfg)
+			if *ckptDir != "" {
+				cfg.CheckpointPath = filepath.Join(*ckptDir, fmt.Sprintf("%s-%s.ckpt", name, tt))
+			}
+			pr, err := experiment.PrepareProfileCtx(ctx, name, tt, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "table6: %s/%s: %v\n", name, tt, err)
-				os.Exit(1)
+				if ctx.Err() != nil {
+					interrupted = true
+					break sweep
+				}
+				// One bad circuit (even a recovered panic) must not take
+				// down the whole sweep.
+				fmt.Fprintf(os.Stderr, "table6: %s/%s: %v (skipped)\n", name, tt, err)
+				failures++
+				continue
 			}
 			if *verbose {
 				fmt.Fprintf(os.Stderr, "%s/%s: %s\n", name, tt, pr.GenInfo)
 			}
-			row := experiment.BuildRow(pr, tt, cfg)
+			row, err := experiment.BuildRowCtx(ctx, pr, tt, cfg)
+			if err != nil {
+				if row.Dict == nil {
+					fmt.Fprintf(os.Stderr, "table6: %s/%s: %v (skipped)\n", name, tt, err)
+					failures++
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "table6: %s/%s: warning: %v\n", name, tt, err)
+			}
+			label := name
+			if row.Status == experiment.RowInterrupted {
+				label = name + "*" // best-so-far, not a completed search
+				interrupted = true
+			}
 			repl := "-"
 			if row.Proc2Gain {
 				repl = fmt.Sprintf("%d", row.IndSDRepl)
 			}
-			tab.Addf(name, string(tt), row.Tests,
+			tab.Addf(label, string(tt), row.Tests,
 				report.Comma(row.SizeFull), report.Comma(row.SizePF), report.Comma(row.SizeSD),
 				row.IndFull, row.IndPF, row.IndSDRand, repl)
 			if *verbose {
@@ -66,13 +127,31 @@ func main() {
 					name, tt, row.IndSDFinal, row.StoredBaselines, row.Tests,
 					report.Comma(row.SizeSDMinimized), row.BuildStats.Restarts, row.Elapsed)
 			}
+			if row.Status == experiment.RowInterrupted {
+				break sweep
+			}
 		}
 	}
-	fmt.Println("Table 6: experimental results (synthetic ISCAS-89 analogs)")
-	fmt.Println()
-	tab.Render(os.Stdout)
-	fmt.Println()
-	fmt.Println(`Columns follow the paper: "ind s/d rand" is the best Procedure 1 result over
-random test orders; "ind s/d repl" is the Procedure 2 result, shown only when
-it improves on Procedure 1 (the paper omits it otherwise).`)
+	render()
+	if interrupted {
+		fmt.Println()
+		fmt.Println("interrupted: rows marked * hold the best dictionary found before the signal;")
+		if *ckptDir != "" {
+			fmt.Println("rerun the same command to resume from the checkpoints in " + *ckptDir)
+		} else {
+			fmt.Println("rerun with -checkpoint-dir to make interrupted searches resumable")
+		}
+		return cli.ErrInterrupted
+	}
+	if failures > 0 {
+		return errors.New(plural(failures, "row") + " failed (see stderr)")
+	}
+	return nil
+}
+
+func plural(n int, noun string) string {
+	if n == 1 {
+		return fmt.Sprintf("%d %s", n, noun)
+	}
+	return fmt.Sprintf("%d %ss", n, noun)
 }

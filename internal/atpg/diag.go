@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -69,6 +70,10 @@ type DiagStats struct {
 	// IndistPairs is the number of fault pairs left with identical full
 	// responses under the final test set (the paper's "full" column).
 	IndistPairs int64
+	// Interrupted is set when generation stopped early on context
+	// cancellation or deadline; the returned test set is valid but some
+	// response-identical pairs were never targeted.
+	Interrupted bool
 }
 
 // GenerateDiagnostic extends a detection test set into a diagnostic test
@@ -77,17 +82,34 @@ type DiagStats struct {
 // two-faulty-copy miter output to 1 distinguishes the pair), until every
 // remaining pair is proven equivalent or exceeds the effort budget.
 func GenerateDiagnostic(c *netlist.Circuit, faults []fault.Fault, base *pattern.Set, cfg DiagConfig) (*pattern.Set, DiagStats) {
+	return GenerateDiagnosticCtx(context.Background(), c, faults, base, cfg)
+}
+
+// GenerateDiagnosticCtx is GenerateDiagnostic under a context, honoured at
+// batch, pair and PODEM-decision granularity. On cancellation it degrades
+// gracefully: the distinguishing tests added so far are kept and the base
+// detection set is never lost; DiagStats.Interrupted is set.
+func GenerateDiagnosticCtx(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, base *pattern.Set, cfg DiagConfig) (*pattern.Set, DiagStats) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := rand.New(rand.NewSource(cfg.Seed))
 	view := netlist.NewScanView(c)
 	tests := base.Clone()
 	stats := DiagStats{BaseTests: base.Len()}
 
 	// Partition faults by full response under the current tests, and track
-	// which faults the base tests detect at all.
+	// which faults the base tests detect at all. If even this initial
+	// simulation is cancelled the partition is meaningless, so return the
+	// base set unchanged.
 	p := core.NewPartition(len(faults))
 	detected := make([]bool, len(faults))
 	{
-		m := resp.Build(view, faults, tests)
+		m, err := resp.BuildCtx(ctx, view, faults, tests)
+		if err != nil {
+			stats.Interrupted = true
+			return tests, stats
+		}
 		for j := 0; j < m.K; j++ {
 			p.RefineByClass(m.Class[j])
 			for i := 0; i < m.N; i++ {
@@ -154,6 +176,7 @@ func GenerateDiagnostic(c *netlist.Circuit, faults []fault.Fault, base *pattern.
 	quickEng := NewEngine(c)
 	quickEng.BacktrackLimit = cfg.BacktrackLimit
 	quickEng.Randomize(r)
+	quickEng.SetContext(ctx)
 	quickDistinguish := func(a, b int32) (pattern.Vector, bool) {
 		for attempt := 0; attempt < 6; attempt++ {
 			target := faults[a]
@@ -181,6 +204,10 @@ func GenerateDiagnostic(c *netlist.Circuit, faults []fault.Fault, base *pattern.
 		useless := 0
 		row := make([]int32, len(faults))
 		for b := 0; b < cfg.MaxRandomBatches && useless < patience && p.Pairs() > 0; b++ {
+			if ctx.Err() != nil {
+				stats.Interrupted = true
+				return
+			}
 			// Simulate only faults still sharing a group.
 			var live []int32
 			for i := 0; i < p.Len(); i++ {
@@ -236,6 +263,10 @@ func GenerateDiagnostic(c *netlist.Circuit, faults []fault.Fault, base *pattern.
 	if cfg.SATConflictBudget > 0 {
 		fresh := pattern.NewSet(tests.Width)
 		for i := range faults {
+			if ctx.Err() != nil {
+				stats.Interrupted = true
+				break
+			}
 			if detected[i] || p.Label(i) == core.Isolated {
 				continue
 			}
@@ -272,7 +303,11 @@ func GenerateDiagnostic(c *netlist.Circuit, faults []fault.Fault, base *pattern.
 		stats.AddedTests += fresh.Len()
 	}
 
-	for round := 0; round < cfg.MaxRounds && budget(); round++ {
+	for round := 0; round < cfg.MaxRounds && budget() && !stats.Interrupted; round++ {
+		if ctx.Err() != nil {
+			stats.Interrupted = true
+			break
+		}
 		stats.Rounds = round + 1
 		groups := groupMembers(p)
 		added := pattern.NewSet(tests.Width)
@@ -298,6 +333,10 @@ func GenerateDiagnostic(c *netlist.Circuit, faults []fault.Fault, base *pattern.
 					if !budget() {
 						break pairLoop
 					}
+					if ctx.Err() != nil {
+						stats.Interrupted = true
+						break pairLoop
+					}
 					attempts++
 					attemptedAny = true
 					if v, ok := quickDistinguish(a, b); ok {
@@ -308,9 +347,9 @@ func GenerateDiagnostic(c *netlist.Circuit, faults []fault.Fault, base *pattern.
 						break pairLoop
 					}
 					stats.MiterCalls++
-					cube, status, err := Distinguish(c, faults[a], faults[b], cfg.BacktrackLimit)
-					if err == nil && status == Aborted && cfg.RetryBacktrackLimit > cfg.BacktrackLimit {
-						cube, status, err = Distinguish(c, faults[a], faults[b], cfg.RetryBacktrackLimit)
+					cube, status, err := DistinguishCtx(ctx, c, faults[a], faults[b], cfg.BacktrackLimit)
+					if err == nil && status == Aborted && ctx.Err() == nil && cfg.RetryBacktrackLimit > cfg.BacktrackLimit {
+						cube, status, err = DistinguishCtx(ctx, c, faults[a], faults[b], cfg.RetryBacktrackLimit)
 					}
 					if err == nil && status == Aborted && cfg.SATConflictBudget > 0 && satUseless < 5 &&
 						(cfg.MaxSATCalls == 0 || stats.SATCalls < cfg.MaxSATCalls) {

@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"math/rand"
 
 	"sddict/internal/fault"
@@ -58,6 +59,10 @@ type GenStats struct {
 	Detected    int // faults detected at least once
 	NDetected   int // faults detected at least NDetect times
 	Faults      int // faults targeted
+	// Interrupted is set when generation stopped early on context
+	// cancellation or deadline; the returned test set is valid but may
+	// leave faults short of their detection targets.
+	Interrupted bool
 }
 
 // Coverage returns the single-detection fault coverage over the targeted
@@ -75,6 +80,17 @@ func (s GenStats) Coverage() float64 {
 // short. Untestable faults are excluded from the targets once proven
 // redundant.
 func GenerateDetection(c *netlist.Circuit, faults []fault.Fault, cfg Config) (*pattern.Set, GenStats) {
+	return GenerateDetectionCtx(context.Background(), c, faults, cfg)
+}
+
+// GenerateDetectionCtx is GenerateDetection under a context, honoured at
+// batch, fault and PODEM-decision granularity. On cancellation it degrades
+// gracefully: the tests kept so far are returned (every one of them earned
+// its place by detecting some fault) with GenStats.Interrupted set.
+func GenerateDetectionCtx(ctx context.Context, c *netlist.Circuit, faults []fault.Fault, cfg Config) (*pattern.Set, GenStats) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.NDetect < 1 {
 		cfg.NDetect = 1
 	}
@@ -157,6 +173,10 @@ func GenerateDetection(c *netlist.Circuit, faults []fault.Fault, cfg Config) (*p
 	// Random phase.
 	useless := 0
 	for b := 0; b < cfg.MaxRandomBatches && useless < cfg.UselessBatchLimit && !randomFull(tests); b++ {
+		if ctx.Err() != nil {
+			stats.Interrupted = true
+			break
+		}
 		if len(active()) == 0 {
 			break
 		}
@@ -176,6 +196,7 @@ func GenerateDetection(c *netlist.Circuit, faults []fault.Fault, cfg Config) (*p
 	eng := NewEngine(c)
 	eng.BacktrackLimit = cfg.BacktrackLimit
 	eng.Randomize(r)
+	eng.SetContext(ctx)
 	abortTries := make([]int, len(faults))
 	seen := make(map[string]bool, tests.Len())
 	for _, v := range tests.Vecs {
@@ -188,6 +209,10 @@ func GenerateDetection(c *netlist.Circuit, faults []fault.Fault, cfg Config) (*p
 		}
 		progress := false
 		for _, fi := range pending {
+			if ctx.Err() != nil {
+				stats.Interrupted = true
+				break
+			}
 			if counts[fi] >= cfg.NDetect || dead[fi] || full(tests) {
 				continue
 			}
@@ -240,12 +265,14 @@ func GenerateDetection(c *netlist.Circuit, faults []fault.Fault, cfg Config) (*p
 				progress = true
 			}
 		}
-		if !progress {
+		if !progress || stats.Interrupted {
 			break
 		}
 	}
 
-	if cfg.Compact && cfg.NDetect == 1 {
+	// Compaction is an optimization, not a correctness step: skip it when
+	// already interrupted rather than start more fault simulation.
+	if cfg.Compact && cfg.NDetect == 1 && !stats.Interrupted && ctx.Err() == nil {
 		tests = Compact(view, faults, tests)
 	}
 	for i := range faults {

@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 
 	"sddict/internal/fault"
@@ -111,12 +112,19 @@ func buildMiter(c *netlist.Circuit, fa, fb *fault.Fault, name string) (*netlist.
 // the miter, targeting stuck-at-0 on the miter output (whose test is any
 // vector driving the output to 1). The returned cube is over c's inputs.
 func Distinguish(c *netlist.Circuit, fa, fb fault.Fault, backtrackLimit int) (pattern.Vector, Status, error) {
+	return DistinguishCtx(context.Background(), c, fa, fb, backtrackLimit)
+}
+
+// DistinguishCtx is Distinguish under a context: a cancelled or expired
+// context aborts the miter PODEM run (status Aborted, no error).
+func DistinguishCtx(ctx context.Context, c *netlist.Circuit, fa, fb fault.Fault, backtrackLimit int) (pattern.Vector, Status, error) {
 	m, err := BuildMiter(c, fa, fb)
 	if err != nil {
 		return nil, Aborted, err
 	}
 	e := NewEngine(m)
 	e.BacktrackLimit = backtrackLimit
+	e.SetContext(ctx)
 	cube, status := e.Generate(fault.Fault{Gate: m.POs[0], Pin: fault.StemPin, Stuck: 0})
 	if status != Success {
 		return nil, status, nil

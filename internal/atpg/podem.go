@@ -7,6 +7,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -60,6 +61,7 @@ type Engine struct {
 	target fault.Fault
 	isPO   []bool
 	scoap  *netlist.SCOAP
+	ctx    context.Context // optional; cancels Generate with Aborted
 
 	// scratch
 	in      []logic.V5
@@ -108,6 +110,12 @@ func NewEngine(c *netlist.Circuit) *Engine {
 // cubes. A nil source restores deterministic behaviour.
 func (e *Engine) Randomize(r *rand.Rand) { e.rng = r }
 
+// SetContext installs a context checked once per decision of the PODEM
+// search loop; when it is cancelled or past its deadline, Generate gives up
+// on the current fault with Aborted. A nil context (the default) makes
+// runs uninterruptible.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
 // Generate attempts to build a test cube for fault f. On Success the
 // returned vector has a ternary value per scan input; unassigned inputs are
 // X and may be filled freely without losing detection.
@@ -126,6 +134,9 @@ func (e *Engine) Generate(f fault.Fault) (pattern.Vector, Status) {
 	backtracks := 0
 
 	for {
+		if e.ctx != nil && e.ctx.Err() != nil {
+			return nil, Aborted
+		}
 		if e.detected() {
 			cube := make(pattern.Vector, e.view.NumInputs())
 			for s, g := range e.view.Inputs {

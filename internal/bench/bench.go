@@ -47,6 +47,25 @@ var nameByType = map[netlist.GateType]string{
 	netlist.DFF:  "DFF",
 }
 
+// Error describes a .bench parse failure with the file and line it was
+// found on, so malformed netlists can be fixed without guessing.
+type Error struct {
+	File string
+	Line int // 1-based; 0 when the failure is not tied to one line
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("bench: %s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("bench: %s: %s", e.File, e.Msg)
+}
+
+func errf(file string, line int, format string, args ...interface{}) *Error {
+	return &Error{File: file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
 type rawGate struct {
 	name  string
 	typ   netlist.GateType
@@ -54,12 +73,18 @@ type rawGate struct {
 	line  int
 }
 
+type decl struct {
+	name string
+	line int
+}
+
 // Parse reads a .bench netlist. The circuit name is taken from the caller
-// since the format carries none.
+// since the format carries none; it is also used as the file name in
+// errors, which are always *Error values locating the failure.
 func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 	var (
-		inputs  []string
-		outputs []string
+		inputs  []decl
+		outputs []decl
 		gates   []rawGate
 	)
 	sc := bufio.NewScanner(r)
@@ -77,19 +102,23 @@ func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 		}
 		switch {
 		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
-			arg, err := parenArg(line)
+			arg, err := parenArg(name, lineNo, line)
 			if err != nil {
-				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+				return nil, err
 			}
-			inputs = append(inputs, arg)
+			inputs = append(inputs, decl{arg, lineNo})
 		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
-			arg, err := parenArg(line)
+			arg, err := parenArg(name, lineNo, line)
 			if err != nil {
-				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+				return nil, err
 			}
-			outputs = append(outputs, arg)
+			outputs = append(outputs, decl{arg, lineNo})
 		default:
-			g, err := parseAssign(line, lineNo)
+			if up := strings.ToUpper(line); !strings.ContainsRune(line, '=') &&
+				(strings.HasPrefix(up, "INPUT") || strings.HasPrefix(up, "OUTPUT")) {
+				return nil, errf(name, lineNo, "malformed declaration %q (want INPUT(signal) or OUTPUT(signal))", line)
+			}
+			g, err := parseAssign(name, lineNo, line)
 			if err != nil {
 				return nil, err
 			}
@@ -97,20 +126,22 @@ func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bench: %v", err)
+		return nil, errf(name, lineNo, "read error: %v", err)
 	}
 
 	b := netlist.NewBuilder(name)
 	ids := make(map[string]int32, len(inputs)+len(gates))
-	declare := func(nm string, id int32) error {
-		if _, dup := ids[nm]; dup {
-			return fmt.Errorf("bench: signal %q defined twice", nm)
+	defLine := make(map[string]int, len(inputs)+len(gates))
+	declare := func(nm string, id int32, line int) error {
+		if first, dup := defLine[nm]; dup {
+			return errf(name, line, "signal %q defined twice (first defined at line %d)", nm, first)
 		}
 		ids[nm] = id
+		defLine[nm] = line
 		return nil
 	}
-	for _, nm := range inputs {
-		if err := declare(nm, b.Input(nm)); err != nil {
+	for _, in := range inputs {
+		if err := declare(in.name, b.Input(in.name), in.line); err != nil {
 			return nil, err
 		}
 	}
@@ -119,7 +150,7 @@ func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 	gateIDs := make([]int32, len(gates))
 	for i, g := range gates {
 		gateIDs[i] = b.Gate(g.typ, g.name) // fanins patched below
-		if err := declare(g.name, gateIDs[i]); err != nil {
+		if err := declare(g.name, gateIDs[i], g.line); err != nil {
 			return nil, err
 		}
 	}
@@ -128,57 +159,130 @@ func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 		for j, fn := range g.fanin {
 			id, ok := ids[fn]
 			if !ok {
-				return nil, fmt.Errorf("bench: line %d: undefined signal %q", g.line, fn)
+				return nil, errf(name, g.line, "gate %q reads undefined signal %q", g.name, fn)
 			}
 			fanin[j] = id
 		}
 		b.SetFanin(gateIDs[i], fanin...)
 	}
-	for _, nm := range outputs {
-		id, ok := ids[nm]
+	if err := checkAcyclic(name, gates); err != nil {
+		return nil, err
+	}
+	for _, out := range outputs {
+		id, ok := ids[out.name]
 		if !ok {
-			return nil, fmt.Errorf("bench: OUTPUT(%s): undefined signal", nm)
+			return nil, errf(name, out.line, "OUTPUT(%s): undefined signal", out.name)
 		}
 		b.Output(id)
 	}
-	return b.Build()
+	c, err := b.Build()
+	if err != nil {
+		return nil, errf(name, 0, "%v", err)
+	}
+	return c, nil
 }
 
-func parenArg(line string) (string, error) {
+// checkAcyclic rejects combinational cycles among the parsed gates before
+// handing them to the netlist builder, so the error can name the signals
+// involved instead of just reporting that a cycle exists. Edges through a
+// DFF do not count: its Q output does not combinationally depend on D.
+func checkAcyclic(file string, gates []rawGate) error {
+	index := make(map[string]int, len(gates))
+	for i, g := range gates {
+		index[g.name] = i
+	}
+	indeg := make([]int, len(gates))
+	adj := make([][]int, len(gates))
+	for i, g := range gates {
+		if g.typ == netlist.DFF {
+			continue
+		}
+		for _, fn := range g.fanin {
+			if j, ok := index[fn]; ok {
+				adj[j] = append(adj[j], i)
+				indeg[i]++
+			}
+		}
+	}
+	queue := make([]int, 0, len(gates))
+	for i := range gates {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		done++
+		for _, s := range adj[g] {
+			if indeg[s]--; indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if done == len(gates) {
+		return nil
+	}
+	// Everything left has indeg > 0: it is on or downstream of a cycle.
+	// Report the earliest-defined survivor and its companions.
+	var cyclic []string
+	first := -1
+	for i := range gates {
+		if indeg[i] > 0 {
+			cyclic = append(cyclic, gates[i].name)
+			if first < 0 || gates[i].line < gates[first].line {
+				first = i
+			}
+		}
+	}
+	const show = 6
+	names := cyclic
+	suffix := ""
+	if len(names) > show {
+		names = names[:show]
+		suffix = fmt.Sprintf(", ... (%d signals total)", len(cyclic))
+	}
+	return errf(file, gates[first].line,
+		"combinational cycle through %s%s; break the loop with a DFF or remove the feedback",
+		strings.Join(names, " -> "), suffix)
+}
+
+func parenArg(file string, lineNo int, line string) (string, error) {
 	open := strings.IndexByte(line, '(')
 	close := strings.LastIndexByte(line, ')')
 	if open < 0 || close < open {
-		return "", fmt.Errorf("malformed declaration %q", line)
+		return "", errf(file, lineNo, "malformed declaration %q (want NAME(signal))", line)
 	}
 	arg := strings.TrimSpace(line[open+1 : close])
 	if arg == "" {
-		return "", fmt.Errorf("empty argument in %q", line)
+		return "", errf(file, lineNo, "empty argument in %q", line)
 	}
 	return arg, nil
 }
 
-func parseAssign(line string, lineNo int) (rawGate, error) {
+func parseAssign(file string, lineNo int, line string) (rawGate, error) {
 	eq := strings.IndexByte(line, '=')
 	if eq < 0 {
-		return rawGate{}, fmt.Errorf("bench: line %d: expected assignment, got %q", lineNo, line)
+		return rawGate{}, errf(file, lineNo, "expected assignment, got %q", line)
 	}
 	name := strings.TrimSpace(line[:eq])
 	rhs := strings.TrimSpace(line[eq+1:])
 	open := strings.IndexByte(rhs, '(')
 	close := strings.LastIndexByte(rhs, ')')
 	if name == "" || open <= 0 || close < open {
-		return rawGate{}, fmt.Errorf("bench: line %d: malformed gate %q", lineNo, line)
+		return rawGate{}, errf(file, lineNo, "malformed gate %q (want name = TYPE(a, b, ...))", line)
 	}
 	tname := strings.ToUpper(strings.TrimSpace(rhs[:open]))
 	typ, ok := typeByName[tname]
 	if !ok {
-		return rawGate{}, fmt.Errorf("bench: line %d: unknown gate type %q", lineNo, tname)
+		return rawGate{}, errf(file, lineNo, "unknown gate type %q", tname)
 	}
 	var fanin []string
 	for _, f := range strings.Split(rhs[open+1:close], ",") {
 		f = strings.TrimSpace(f)
 		if f == "" {
-			return rawGate{}, fmt.Errorf("bench: line %d: empty fanin in %q", lineNo, line)
+			return rawGate{}, errf(file, lineNo, "empty fanin in %q", line)
 		}
 		fanin = append(fanin, f)
 	}

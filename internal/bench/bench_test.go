@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -49,19 +50,70 @@ func TestParseForwardReferences(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
-	cases := []struct{ name, src string }{
-		{"undefined signal", "INPUT(a)\nOUTPUT(y)\ny = NOT(zzz)\n"},
-		{"undefined output", "INPUT(a)\nOUTPUT(q)\ny = NOT(a)\n"},
-		{"double definition", "INPUT(a)\ny = NOT(a)\ny = BUFF(a)\nOUTPUT(y)\n"},
-		{"unknown gate type", "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n"},
-		{"malformed line", "INPUT(a)\nwhat is this\nOUTPUT(a)\n"},
-		{"empty fanin", "INPUT(a)\ny = AND(a, )\nOUTPUT(y)\n"},
-		{"missing paren", "INPUT a\nOUTPUT(a)\n"},
+	// Every failure path must produce a *Error carrying the file name and
+	// the 1-based line the problem was found on, plus a message naming the
+	// offending signal or construct.
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantSub  string
+	}{
+		{"undefined signal", "INPUT(a)\nOUTPUT(y)\ny = NOT(zzz)\n", 3, `undefined signal "zzz"`},
+		{"undefined output", "INPUT(a)\nOUTPUT(q)\ny = NOT(a)\n", 2, "OUTPUT(q): undefined signal"},
+		{"double definition", "INPUT(a)\ny = NOT(a)\ny = BUFF(a)\nOUTPUT(y)\n", 3, `"y" defined twice (first defined at line 2)`},
+		{"input redefined as gate", "INPUT(a)\na = NOT(a)\nOUTPUT(a)\n", 2, `"a" defined twice (first defined at line 1)`},
+		{"duplicate input", "INPUT(a)\nINPUT(a)\ny = NOT(a)\nOUTPUT(y)\n", 2, `"a" defined twice`},
+		{"unknown gate type", "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n", 2, `unknown gate type "FROB"`},
+		{"malformed line", "INPUT(a)\nwhat is this\nOUTPUT(a)\n", 2, "expected assignment"},
+		{"empty fanin", "INPUT(a)\ny = AND(a, )\nOUTPUT(y)\n", 2, "empty fanin"},
+		{"missing paren", "INPUT a\nOUTPUT(a)\n", 1, "malformed declaration"},
+		{"empty declaration", "INPUT()\n", 1, "empty argument"},
+		{"assignment without rhs", "INPUT(a)\ny =\nOUTPUT(y)\n", 2, "malformed gate"},
+		{"self cycle", "INPUT(a)\nx = AND(x, a)\nOUTPUT(x)\n", 2, "combinational cycle"},
+		{"two-gate cycle", "INPUT(a)\nx = AND(y, a)\ny = NOT(x)\nOUTPUT(y)\n", 2, "combinational cycle"},
 	}
 	for _, tc := range cases {
-		if _, err := Parse(strings.NewReader(tc.src), "bad"); err == nil {
-			t.Errorf("%s: Parse accepted invalid input", tc.name)
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src), "bad.bench")
+			if err == nil {
+				t.Fatalf("Parse accepted invalid input")
+			}
+			var be *Error
+			if !errors.As(err, &be) {
+				t.Fatalf("error is %T, want *bench.Error: %v", err, err)
+			}
+			if be.File != "bad.bench" {
+				t.Errorf("File = %q, want %q", be.File, "bad.bench")
+			}
+			if be.Line != tc.wantLine {
+				t.Errorf("Line = %d, want %d (error: %v)", be.Line, tc.wantLine, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseCycleNamesSignals(t *testing.T) {
+	src := "INPUT(a)\np = NOT(q)\nq = AND(p, a)\nOUTPUT(q)\n"
+	_, err := Parse(strings.NewReader(src), "loop.bench")
+	if err == nil {
+		t.Fatalf("Parse accepted a cyclic netlist")
+	}
+	for _, nm := range []string{"p", "q"} {
+		if !strings.Contains(err.Error(), nm) {
+			t.Errorf("cycle error %q does not name signal %q", err, nm)
 		}
+	}
+}
+
+func TestParseDFFBreaksCycle(t *testing.T) {
+	// Feedback through a DFF is sequential, not combinational: legal.
+	src := "INPUT(a)\nff = DFF(n)\nn = AND(ff, a)\nOUTPUT(n)\n"
+	if _, err := Parse(strings.NewReader(src), "seq.bench"); err != nil {
+		t.Fatalf("Parse rejected DFF feedback: %v", err)
 	}
 }
 

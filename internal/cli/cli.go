@@ -1,0 +1,77 @@
+// Package cli holds the shared command scaffolding: every command runs as
+// a run(ctx) error function under a context cancelled by SIGINT/SIGTERM,
+// and its error is mapped onto a conventional exit code. This keeps
+// os.Exit out of the command logic (so defers run and tests can call run
+// directly) and gives all commands the same interruption behaviour.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Process exit codes.
+const (
+	ExitOK          = 0   // success
+	ExitRuntime     = 1   // runtime failure
+	ExitUsage       = 2   // command-line usage error
+	ExitInterrupted = 130 // terminated by SIGINT/SIGTERM (128 + SIGINT)
+)
+
+// UsageError marks a command-line usage mistake (missing or inconsistent
+// flags). Main prints it followed by the flag defaults hint and exits with
+// ExitUsage instead of ExitRuntime.
+type UsageError struct{ Msg string }
+
+func (e *UsageError) Error() string { return e.Msg }
+
+// Usagef builds a *UsageError.
+func Usagef(format string, args ...interface{}) error {
+	return &UsageError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrInterrupted is returned by run functions that observed the
+// cancellation themselves and already reported whatever partial results
+// they had; Main exits ExitInterrupted without printing a second error.
+var ErrInterrupted = errors.New("interrupted")
+
+// ExitCode maps a run function's error to a process exit code.
+// signalled reports whether the run's context was cancelled by a signal.
+func ExitCode(err error, signalled bool) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, ErrInterrupted),
+		signalled && errors.Is(err, context.Canceled):
+		return ExitInterrupted
+	default:
+		var ue *UsageError
+		if errors.As(err, &ue) {
+			return ExitUsage
+		}
+		return ExitRuntime
+	}
+}
+
+// Main runs fn under a context that signal.NotifyContext cancels on
+// SIGINT/SIGTERM, prints any error to stderr prefixed with the command
+// name, and exits with the matching code: 0 on success, 2 for usage
+// errors, 130 when interrupted, 1 otherwise.
+func Main(name string, fn func(ctx context.Context) error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := fn(ctx)
+	signalled := ctx.Err() != nil
+	stop() // restore default signal handling: a second Ctrl-C kills hard
+	code := ExitCode(err, signalled)
+	if err != nil && !errors.Is(err, ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	}
+	if code == ExitInterrupted {
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", name)
+	}
+	os.Exit(code)
+}

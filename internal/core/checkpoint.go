@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sddict/internal/resp"
+)
+
+// checkpointVersion is bumped whenever the on-disk layout or the meaning of
+// a field changes; Load rejects files from other versions.
+const checkpointVersion = 1
+
+// Checkpoint is a resumable snapshot of same/different dictionary
+// construction, taken at a Procedure 1 restart boundary. It captures the
+// best baseline selection found so far together with the restart counters;
+// the random state is not stored explicitly — it is reproduced on resume by
+// replaying the (deterministic) shuffle sequence from Seed, so a resumed
+// run continues exactly where an uninterrupted run with the same seed would
+// have been. The file format is versioned JSON (see DESIGN.md §7).
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Seed is the Options.Seed of the interrupted run; resuming under a
+	// different seed is rejected.
+	Seed int64 `json:"seed"`
+	// MatrixN/MatrixK/Fingerprint identify the response matrix the
+	// checkpoint was taken over; resuming over a different matrix is
+	// rejected.
+	MatrixN     int    `json:"matrix_n"`
+	MatrixK     int    `json:"matrix_k"`
+	Fingerprint uint64 `json:"fingerprint"`
+	// Restarts is the number of completed Procedure 1 runs.
+	Restarts int `json:"restarts"`
+	// NoImprove is the CALLS_1 counter: consecutive completed restarts
+	// without improvement.
+	NoImprove int `json:"no_improve"`
+	// BestBaselines is the best baseline selection over the completed
+	// restarts (length MatrixK).
+	BestBaselines []int32 `json:"best_baselines"`
+	// BestIndist is the indistinguished-pair count of BestBaselines.
+	BestIndist int64 `json:"best_indist"`
+	// CandidateEvals is the dist(z) evaluation count over the completed
+	// restarts.
+	CandidateEvals int64 `json:"candidate_evals"`
+}
+
+// MatrixFingerprint returns a cheap identity hash of a response matrix's
+// class structure, used to detect a checkpoint applied to the wrong matrix.
+func MatrixFingerprint(m *resp.Matrix) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	put := func(v int32) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf[:])
+	}
+	put(int32(m.N))
+	put(int32(m.K))
+	for _, row := range m.Class {
+		for _, c := range row {
+			put(c)
+		}
+	}
+	return h.Sum64()
+}
+
+// ValidateFor reports whether the checkpoint can resume a build of m under
+// opt, returning a descriptive error when it cannot.
+func (cp *Checkpoint) ValidateFor(m *resp.Matrix, opt Options) error {
+	switch {
+	case cp.Version != checkpointVersion:
+		return fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	case cp.Seed != opt.Seed:
+		return fmt.Errorf("core: checkpoint seed %d does not match Options.Seed %d", cp.Seed, opt.Seed)
+	case cp.MatrixN != m.N || cp.MatrixK != m.K:
+		return fmt.Errorf("core: checkpoint matrix %dx%d does not match %dx%d", cp.MatrixN, cp.MatrixK, m.N, m.K)
+	case cp.Fingerprint != MatrixFingerprint(m):
+		return fmt.Errorf("core: checkpoint fingerprint mismatch (different response matrix)")
+	case len(cp.BestBaselines) != m.K:
+		return fmt.Errorf("core: checkpoint has %d baselines, matrix has %d tests", len(cp.BestBaselines), m.K)
+	case cp.Restarts < 1:
+		return fmt.Errorf("core: checkpoint has no completed restarts")
+	}
+	for j, b := range cp.BestBaselines {
+		if b < 0 || int(b) >= m.NumClasses(j) {
+			return fmt.Errorf("core: checkpoint baseline %d of test %d out of range [0,%d)", b, j, m.NumClasses(j))
+		}
+	}
+	return nil
+}
+
+// Encode writes the checkpoint as JSON.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(cp)
+}
+
+// DecodeCheckpoint reads a checkpoint written by Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	return &cp, nil
+}
+
+// Save writes the checkpoint to path atomically (temp file + rename), so a
+// crash mid-write never leaves a truncated checkpoint behind.
+func (cp *Checkpoint) Save(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: saving checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := cp.Encode(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: saving checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: saving checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: saving checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint file written by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeCheckpoint(f)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"sddict/internal/resp"
@@ -13,10 +14,33 @@ import (
 // and applied, then the best candidate against the refined partition — with
 // the same random-order restart scheme as the one-baseline construction.
 // The dictionary costs 2·k·n bits plus storage for the non-fault-free
-// baselines.
+// baselines. It panics on invalid options or matrix (the context-aware
+// form returns the error).
 func BuildSameDiffMulti(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
+	d, st, err := BuildSameDiffMultiCtx(context.Background(), m, opt)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return d, st
+}
+
+// BuildSameDiffMultiCtx is BuildSameDiffMulti under a context: cancellation
+// and deadline stop the search at restart/sweep/test granularity and return
+// the best two-baseline dictionary found so far with BuildStats.Interrupted
+// set. Checkpoint/resume (Options.Resume, Options.OnCheckpoint) applies
+// only to the single-baseline construction and is ignored here.
+func BuildSameDiffMultiCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictionary, BuildStats, error) {
 	var st BuildStats
 	st.IndistSeeded = -1
+	if err := opt.Validate(); err != nil {
+		return nil, st, err
+	}
+	if err := ValidateMatrix(m); err != nil {
+		return nil, st, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := rand.New(rand.NewSource(opt.Seed))
 	st.IndistFull = NewFull(m).Indistinguished()
 
@@ -28,13 +52,22 @@ func BuildSameDiffMulti(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
 	for j := range order {
 		order[j] = j
 	}
-	best1, best2, bestIndist := procedure1Multi(m, order, opt.Lower, &st.CandidateEvals)
+	best1, best2, bestIndist, done := procedure1Multi(ctx, m, order, opt.Lower, &st.CandidateEvals)
 	st.Restarts = 1
+	st.Interrupted = !done
 	noImprove := 0
-	for noImprove < opt.Calls1 && st.Restarts < maxRestarts && bestIndist > st.IndistFull {
+	for !st.Interrupted && noImprove < opt.Calls1 && st.Restarts < maxRestarts && bestIndist > st.IndistFull {
+		if ctx.Err() != nil {
+			st.Interrupted = true
+			break
+		}
 		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		b1, b2, indist := procedure1Multi(m, order, opt.Lower, &st.CandidateEvals)
+		b1, b2, indist, done := procedure1Multi(ctx, m, order, opt.Lower, &st.CandidateEvals)
 		st.Restarts++
+		if !done {
+			st.Interrupted = true
+			break
+		}
 		if indist < bestIndist {
 			best1, best2, bestIndist = b1, b2, indist
 			noImprove = 0
@@ -44,12 +77,13 @@ func BuildSameDiffMulti(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
 	}
 	st.IndistProc1 = bestIndist
 	st.IndistProc2 = bestIndist
-	if opt.RunProcedure2 && bestIndist > st.IndistFull {
-		indist, sweeps := procedure2Multi(m, best1, best2)
+	if opt.RunProcedure2 && !st.Interrupted && bestIndist > st.IndistFull {
+		indist, sweeps, done := procedure2Multi(ctx, m, best1, best2)
 		st.Proc2Sweeps = sweeps
 		st.IndistProc2 = indist
 		st.Proc2Improved = indist < st.IndistProc1
 		bestIndist = indist
+		st.Interrupted = st.Interrupted || !done
 	}
 	st.IndistFinal = bestIndist
 	st.ReachedFullFloor = bestIndist == st.IndistFull
@@ -61,10 +95,13 @@ func BuildSameDiffMulti(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
 			st.StoredBaselines++
 		}
 	}
-	return &Dictionary{Kind: SameDiff, M: m, Baselines: best1, ExtraBaselines: best2}, st
+	return &Dictionary{Kind: SameDiff, M: m, Baselines: best1, ExtraBaselines: best2}, st, nil
 }
 
-func procedure1Multi(m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, []int32, int64) {
+// procedure1Multi mirrors procedure1 with two baseline slots per test. done
+// is false when ctx cut the run short; like procedure1, the partial
+// baselines remain a valid selection.
+func procedure1Multi(ctx context.Context, m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, []int32, int64, bool) {
 	p := NewPartition(m.N)
 	b1 := make([]int32, m.K)
 	b2 := make([]int32, m.K)
@@ -72,6 +109,9 @@ func procedure1Multi(m *resp.Matrix, order []int, lower int, evals *int64) ([]in
 	for _, j := range order {
 		if p.Done() {
 			break
+		}
+		if ctx.Err() != nil {
+			return b1, b2, p.Pairs(), false
 		}
 		dist := scratch.perClass(p, m.Class[j], m.NumClasses(j))
 		first := selectWithLower(dist, lower, evals)
@@ -85,7 +125,7 @@ func procedure1Multi(m *resp.Matrix, order []int, lower int, evals *int64) ([]in
 		b2[j] = second
 		p.RefineByBaseline(m.Class[j], second)
 	}
-	return b1, b2, p.Pairs()
+	return b1, b2, p.Pairs(), true
 }
 
 // procedure2Multi extends Procedure 2 to the two-baseline dictionary: each
@@ -93,8 +133,9 @@ func procedure1Multi(m *resp.Matrix, order []int, lower int, evals *int64) ([]in
 // other slot (and all other tests) stay fixed, sweeping until no
 // replacement improves the distinguished-pair count. The same
 // prefix/suffix partition scheme as procedure2 applies, with each test
-// contributing two refinements.
-func procedure2Multi(m *resp.Matrix, b1, b2 []int32) (int64, int) {
+// contributing two refinements. done is false when ctx cut the sweeps
+// short; the in-place baselines remain valid and no worse than the input.
+func procedure2Multi(ctx context.Context, m *resp.Matrix, b1, b2 []int32) (int64, int, bool) {
 	var scratch distScratch
 	sweeps := 0
 	var finalIndist int64
@@ -111,6 +152,9 @@ func procedure2Multi(m *resp.Matrix, b1, b2 []int32) (int64, int) {
 		}
 		prefix := NewPartition(m.N)
 		for j := 0; j < m.K; j++ {
+			if ctx.Err() != nil {
+				return sdMultiIndist(m, b1, b2), sweeps, false
+			}
 			// Optimize slot 1 with slot 2 fixed.
 			restBase := Meet(prefix, suffix[j+1])
 			rest1 := restBase.Clone()
@@ -146,7 +190,24 @@ func procedure2Multi(m *resp.Matrix, b1, b2 []int32) (int64, int) {
 		}
 		finalIndist = prefix.Pairs()
 		if !improved {
-			return finalIndist, sweeps
+			return finalIndist, sweeps, true
+		}
+		if ctx.Err() != nil {
+			return finalIndist, sweeps, false
 		}
 	}
+}
+
+// sdMultiIndist returns the indistinguished-pair count of the two-baseline
+// dictionary with the given slots, by direct refinement.
+func sdMultiIndist(m *resp.Matrix, b1, b2 []int32) int64 {
+	p := NewPartition(m.N)
+	for j := 0; j < m.K; j++ {
+		if p.Done() {
+			break
+		}
+		p.RefineByBaseline(m.Class[j], b1[j])
+		p.RefineByBaseline(m.Class[j], b2[j])
+	}
+	return p.Pairs()
 }

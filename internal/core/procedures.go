@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"sddict/internal/resp"
@@ -25,11 +26,25 @@ type Options struct {
 	RunProcedure2 bool
 	// SeedFaultFree additionally runs Procedure 2 from all-fault-free
 	// baselines (the pass/fail dictionary) and keeps the better outcome.
-	// This guarantees the result is never worse than pass/fail.
+	// This guarantees the result is never worse than pass/fail — including
+	// when the build is interrupted.
 	SeedFaultFree bool
 	// MinimizeStorage replaces selected baselines by the fault-free vector
 	// whenever that loses no resolution, shrinking baseline storage.
 	MinimizeStorage bool
+
+	// Resume continues an earlier run from a checkpoint taken with the same
+	// seed over the same matrix; construction proceeds exactly as the
+	// uninterrupted run would have.
+	Resume *Checkpoint
+	// CheckpointEvery invokes OnCheckpoint after every CheckpointEvery
+	// completed Procedure 1 restarts (0 disables periodic checkpoints). A
+	// final checkpoint is also emitted when the restart phase is
+	// interrupted, so cancellation never loses completed work.
+	CheckpointEvery int
+	// OnCheckpoint receives construction snapshots; typically it saves them
+	// with Checkpoint.Save. It is called synchronously from BuildSameDiff.
+	OnCheckpoint func(Checkpoint)
 }
 
 // DefaultOptions reproduces the paper's setup (LOWER = 10, CALLS_1 = 100,
@@ -46,7 +61,7 @@ var DefaultOptions = Options{
 
 // BuildStats reports how a same/different dictionary was obtained.
 type BuildStats struct {
-	Restarts         int   // Procedure 1 runs performed
+	Restarts         int   // Procedure 1 runs performed (cumulative across resumes)
 	CandidateEvals   int64 // dist(z) evaluations across all runs
 	IndistFull       int64 // full-dictionary floor
 	IndistProc1      int64 // best over Procedure 1 restarts
@@ -59,15 +74,45 @@ type BuildStats struct {
 	StoredBaselines  int  // baselines differing from fault-free after minimization
 	MinimizedSaved   int  // baselines reverted to fault-free by minimization
 	ReachedFullFloor bool // dictionary distinguishes everything the full one does
+	// Interrupted is set when the build stopped early on context
+	// cancellation or deadline; the returned dictionary is the best found
+	// so far (and, with SeedFaultFree, never worse than pass/fail).
+	Interrupted bool
+	// Resumed is set when the build continued from Options.Resume.
+	Resumed bool
 }
 
 // BuildSameDiff selects baseline vectors for a same/different dictionary
 // over m using Procedure 1 with random-order restarts followed by
 // Procedure 2, per the paper, and returns the dictionary with construction
-// statistics.
+// statistics. It is BuildSameDiffCtx with a background context; it panics
+// on invalid options or matrix (the context-aware form returns the error).
 func BuildSameDiff(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
+	d, st, err := BuildSameDiffCtx(context.Background(), m, opt)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return d, st
+}
+
+// BuildSameDiffCtx is BuildSameDiff under a context: cancellation and
+// deadline are honoured at restart, sweep and per-test granularity. An
+// interrupted build is not an error — it returns the best valid dictionary
+// found so far with BuildStats.Interrupted set (never worse than pass/fail
+// when Options.SeedFaultFree is set). Errors are reserved for invalid
+// options, an invalid matrix, or an incompatible resume checkpoint.
+func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictionary, BuildStats, error) {
 	var st BuildStats
 	st.IndistSeeded = -1
+	if err := opt.Validate(); err != nil {
+		return nil, st, err
+	}
+	if err := ValidateMatrix(m); err != nil {
+		return nil, st, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := rand.New(rand.NewSource(opt.Seed))
 	st.IndistFull = NewFull(m).Indistinguished()
 
@@ -77,42 +122,147 @@ func BuildSameDiff(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
 	}
 
 	// Procedure 1 with restarts. The first run uses the natural test order;
-	// subsequent runs shuffle.
+	// subsequent runs shuffle. The shuffle sequence is a pure function of
+	// the seed, which is what makes checkpoints resumable: a resume replays
+	// the shuffles of the completed restarts without re-running them.
 	order := make([]int, m.K)
 	for j := range order {
 		order[j] = j
 	}
-	bestBase, bestIndist := procedure1(m, order, opt.Lower, &st.CandidateEvals)
-	st.Restarts = 1
-	noImprove := 0
-	for noImprove < opt.Calls1 && st.Restarts < maxRestarts && bestIndist > st.IndistFull {
+	var bestBase []int32
+	var bestIndist int64
+	restarts, noImprove := 0, 0
+	// partialBase holds the baselines of a restart cut short by
+	// cancellation; they form a valid dictionary (unreached tests keep the
+	// fault-free baseline) and may beat the completed best.
+	var partialBase []int32
+
+	if cp := opt.Resume; cp != nil {
+		if err := cp.ValidateFor(m, opt); err != nil {
+			return nil, st, err
+		}
+		bestBase = append([]int32(nil), cp.BestBaselines...)
+		bestIndist = cp.BestIndist
+		restarts = cp.Restarts
+		noImprove = cp.NoImprove
+		st.CandidateEvals = cp.CandidateEvals
+		st.Resumed = true
+		for i := 1; i < restarts; i++ {
+			r.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		}
+	}
+
+	emit := func() {
+		if opt.OnCheckpoint == nil {
+			return
+		}
+		opt.OnCheckpoint(Checkpoint{
+			Version:        checkpointVersion,
+			Seed:           opt.Seed,
+			MatrixN:        m.N,
+			MatrixK:        m.K,
+			Fingerprint:    MatrixFingerprint(m),
+			Restarts:       restarts,
+			NoImprove:      noImprove,
+			BestBaselines:  append([]int32(nil), bestBase...),
+			BestIndist:     bestIndist,
+			CandidateEvals: st.CandidateEvals,
+		})
+	}
+
+	if restarts == 0 {
+		base, indist, done := procedure1(ctx, m, order, opt.Lower, &st.CandidateEvals)
+		if !done {
+			st.Interrupted = true
+			partialBase = base
+		} else {
+			bestBase, bestIndist = base, indist
+			restarts = 1
+			if opt.CheckpointEvery > 0 && restarts%opt.CheckpointEvery == 0 {
+				emit()
+			}
+		}
+	}
+	for !st.Interrupted && noImprove < opt.Calls1 && restarts < maxRestarts && bestIndist > st.IndistFull {
+		if ctx.Err() != nil {
+			st.Interrupted = true
+			break
+		}
 		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		base, indist := procedure1(m, order, opt.Lower, &st.CandidateEvals)
-		st.Restarts++
+		base, indist, done := procedure1(ctx, m, order, opt.Lower, &st.CandidateEvals)
+		if !done {
+			st.Interrupted = true
+			partialBase = base
+			break
+		}
+		restarts++
 		if indist < bestIndist {
 			bestBase, bestIndist = base, indist
 			noImprove = 0
 		} else {
 			noImprove++
 		}
+		if opt.CheckpointEvery > 0 && restarts%opt.CheckpointEvery == 0 {
+			emit()
+		}
+	}
+	st.Restarts = restarts
+	if st.Interrupted && restarts > 0 {
+		emit() // final snapshot of the completed work, so nothing is lost
+	}
+	if st.Interrupted {
+		// Salvage: keep the best of the completed restarts, the interrupted
+		// partial run, and (with SeedFaultFree) the plain pass/fail
+		// baselines — the cheap tail of the SeedFaultFree guarantee.
+		if bestBase == nil {
+			bestBase, bestIndist = partialBase, sdIndist(m, partialBase)
+		} else if partialBase != nil {
+			if pi := sdIndist(m, partialBase); pi < bestIndist {
+				bestBase, bestIndist = partialBase, pi
+			}
+		}
+		if opt.SeedFaultFree {
+			zeros := make([]int32, m.K)
+			if zi := sdIndist(m, zeros); zi < bestIndist {
+				bestBase, bestIndist = zeros, zi
+				st.UsedSeeded = true
+			}
+		}
+		st.IndistProc1 = bestIndist
+		st.IndistProc2 = bestIndist
+		st.IndistFinal = bestIndist
+		st.ReachedFullFloor = bestIndist == st.IndistFull
+		d := &Dictionary{Kind: SameDiff, M: m, Baselines: bestBase}
+		for _, b := range bestBase {
+			if b != 0 {
+				st.StoredBaselines++
+			}
+		}
+		return d, st, nil
 	}
 	st.IndistProc1 = bestIndist
 	st.IndistProc2 = bestIndist
 
-	// Procedure 2 on the Procedure 1 winner.
+	// Procedure 2 on the Procedure 1 winner. Replacements are individually
+	// monotone, so an interrupted sweep still leaves valid baselines no
+	// worse than its input.
 	if opt.RunProcedure2 && bestIndist > st.IndistFull {
-		indist, sweeps := procedure2(m, bestBase)
+		indist, sweeps, done := procedure2(ctx, m, bestBase)
 		st.Proc2Sweeps = sweeps
 		st.IndistProc2 = indist
 		st.Proc2Improved = indist < st.IndistProc1
 		bestIndist = indist
+		st.Interrupted = st.Interrupted || !done
 	}
 
 	// Non-regression seeding: Procedure 2 from the pass/fail baselines.
+	// Even when cut short, the seeded baselines are never worse than
+	// pass/fail, so the guarantee survives interruption.
 	if opt.SeedFaultFree {
 		seeded := make([]int32, m.K)
-		indist, _ := procedure2(m, seeded)
+		indist, _, done := procedure2(ctx, m, seeded)
 		st.IndistSeeded = indist
+		st.Interrupted = st.Interrupted || !done
 		if indist < bestIndist {
 			bestBase, bestIndist = seeded, indist
 			st.UsedSeeded = true
@@ -122,7 +272,7 @@ func BuildSameDiff(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
 	st.ReachedFullFloor = bestIndist == st.IndistFull
 
 	d := &Dictionary{Kind: SameDiff, M: m, Baselines: bestBase}
-	if opt.MinimizeStorage {
+	if opt.MinimizeStorage && ctx.Err() == nil {
 		st.MinimizedSaved = minimizeStorage(m, bestBase)
 	}
 	for _, b := range bestBase {
@@ -130,14 +280,30 @@ func BuildSameDiff(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
 			st.StoredBaselines++
 		}
 	}
-	return d, st
+	return d, st, nil
+}
+
+// sdIndist returns the indistinguished-pair count of the same/different
+// dictionary with the given baselines, by direct refinement.
+func sdIndist(m *resp.Matrix, baselines []int32) int64 {
+	p := NewPartition(m.N)
+	for j := 0; j < m.K; j++ {
+		if p.Done() {
+			break
+		}
+		p.RefineByBaseline(m.Class[j], baselines[j])
+	}
+	return p.Pairs()
 }
 
 // procedure1 is the paper's Procedure 1: greedy baseline selection over the
 // given test order with the LOWER early cutoff. It returns the selected
 // baselines (indexed by test, not by order position) and the number of
-// indistinguished pairs left.
-func procedure1(m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, int64) {
+// indistinguished pairs left. done is false when the run was cut short by
+// ctx; the partial baselines are still a valid selection (unprocessed tests
+// keep the fault-free baseline), but the pair count then reflects only the
+// refinements applied so far.
+func procedure1(ctx context.Context, m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, int64, bool) {
 	p := NewPartition(m.N)
 	baselines := make([]int32, m.K) // unselected tests keep the fault-free baseline
 	var scratch distScratch
@@ -145,12 +311,15 @@ func procedure1(m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, 
 		if p.Done() {
 			break
 		}
+		if ctx.Err() != nil {
+			return baselines, p.Pairs(), false
+		}
 		dist := scratch.perClass(p, m.Class[j], m.NumClasses(j))
 		best := selectWithLower(dist, lower, evals)
 		baselines[j] = best
 		p.RefineByBaseline(m.Class[j], best)
 	}
-	return baselines, p.Pairs()
+	return baselines, p.Pairs(), true
 }
 
 // selectWithLower scans candidate classes in Z_j order (class id order) and
@@ -257,14 +426,17 @@ func (sc *distScratch) perClass(p *Partition, class []int32, numClasses int) []i
 // replacing each baseline with the best alternative whenever that strictly
 // increases the total number of distinguished pairs; repeat until a sweep
 // makes no replacement. baselines is updated in place; the final
-// indistinguished-pair count and the sweep count are returned.
+// indistinguished-pair count and the sweep count are returned. done is
+// false when ctx cut the sweeps short — each replacement is individually
+// monotone, so the in-place baselines remain valid and no worse than the
+// input, and the returned count is recomputed for the partial result.
 //
 // Evaluating a replacement at test j needs the partition induced by all
 // other tests; it is formed as the meet of an incrementally maintained
 // prefix partition (tests < j, with any already-accepted replacements) and
 // a precomputed suffix partition (tests > j, with the baselines current at
 // the start of the sweep — unchanged until the sweep reaches them).
-func procedure2(m *resp.Matrix, baselines []int32) (int64, int) {
+func procedure2(ctx context.Context, m *resp.Matrix, baselines []int32) (int64, int, bool) {
 	var scratch distScratch
 	sweeps := 0
 	var finalIndist int64
@@ -280,6 +452,9 @@ func procedure2(m *resp.Matrix, baselines []int32) (int64, int) {
 		}
 		prefix := NewPartition(m.N)
 		for j := 0; j < m.K; j++ {
+			if ctx.Err() != nil {
+				return sdIndist(m, baselines), sweeps, false
+			}
 			rest := Meet(prefix, suffix[j+1])
 			dist := scratch.perClass(rest, m.Class[j], m.NumClasses(j))
 			cur := baselines[j]
@@ -298,7 +473,10 @@ func procedure2(m *resp.Matrix, baselines []int32) (int64, int) {
 		}
 		finalIndist = prefix.Pairs()
 		if !improved {
-			return finalIndist, sweeps
+			return finalIndist, sweeps, true
+		}
+		if ctx.Err() != nil {
+			return finalIndist, sweeps, false
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -68,7 +69,10 @@ func TestProcedure2NeverWorsens(t *testing.T) {
 			baselines[j] = int32(r.Intn(m.NumClasses(j)))
 		}
 		before := (&Dictionary{Kind: SameDiff, M: m, Baselines: append([]int32(nil), baselines...)}).Indistinguished()
-		after, sweeps := procedure2(m, baselines)
+		after, sweeps, done := procedure2(context.Background(), m, baselines)
+		if !done {
+			t.Fatalf("trial %d: uninterrupted Procedure 2 reported interruption", trial)
+		}
 		if after > before {
 			t.Fatalf("trial %d: Procedure 2 worsened %d -> %d", trial, before, after)
 		}
@@ -185,7 +189,7 @@ func TestProcedure2MultiNeverWorsens(t *testing.T) {
 		before := (&Dictionary{Kind: SameDiff, M: m,
 			Baselines:      append([]int32(nil), b1...),
 			ExtraBaselines: append([]int32(nil), b2...)}).Indistinguished()
-		after, _ := procedure2Multi(m, b1, b2)
+		after, _, _ := procedure2Multi(context.Background(), m, b1, b2)
 		if after > before {
 			t.Fatalf("trial %d: multi Procedure 2 worsened %d -> %d", trial, before, after)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -72,7 +73,10 @@ func TestProcedure1MatchesReference(t *testing.T) {
 		order := r.Perm(m.K)
 		lower := r.Intn(4) // 0 = exhaustive, small cutoffs stress the rule
 		var evals int64
-		gotBase, gotPairs := procedure1(m, order, lower, &evals)
+		gotBase, gotPairs, done := procedure1(context.Background(), m, order, lower, &evals)
+		if !done {
+			t.Fatalf("trial %d: uninterrupted Procedure 1 reported interruption", trial)
+		}
 		wantBase, wantPairs := procedure1Reference(m, order, lower)
 		if gotPairs != wantPairs {
 			t.Fatalf("trial %d: %d pairs left, reference %d", trial, gotPairs, wantPairs)

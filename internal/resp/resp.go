@@ -7,6 +7,7 @@
 package resp
 
 import (
+	"context"
 	"fmt"
 
 	"sddict/internal/fault"
@@ -65,6 +66,19 @@ func (m *Matrix) SameDiffSizeBits() int64 { return int64(m.K) * (int64(m.N) + in
 // Build fault-simulates every fault under every test (64 patterns per pass)
 // and returns the deduplicated response matrix.
 func Build(view *netlist.ScanView, faults []fault.Fault, tests *pattern.Set) *Matrix {
+	m, err := BuildCtx(context.Background(), view, faults, tests)
+	if err != nil {
+		panic("resp: " + err.Error()) // unreachable: background context never cancels
+	}
+	return m
+}
+
+// BuildCtx is Build under a context, checked at fault granularity within
+// every 64-pattern batch. A partial response matrix would silently corrupt
+// every dictionary built from it, so unlike the dictionary search this
+// stage does not degrade: on cancellation it returns ctx.Err() and no
+// matrix.
+func BuildCtx(ctx context.Context, view *netlist.ScanView, faults []fault.Fault, tests *pattern.Set) (*Matrix, error) {
 	if tests.Width != view.NumInputs() {
 		panic(fmt.Sprintf("resp: test width %d != %d scan inputs", tests.Width, view.NumInputs()))
 	}
@@ -97,10 +111,9 @@ func Build(view *netlist.ScanView, faults []fault.Fault, tests *pattern.Set) *Ma
 			tables[p].byHash = map[uint64][]int32{good.Hash(): {0}}
 		}
 
-		for i, f := range faults {
-			eff := s.Propagate(f)
+		sweepErr := s.ForEachFault(ctx, faults, func(i int, eff sim.Effect) {
 			if eff.Detect == 0 {
-				continue // class 0 everywhere; Class rows start zeroed
+				return // class 0 everywhere; Class rows start zeroed
 			}
 			for p := 0; p < b.Count; p++ {
 				if eff.Detect&(1<<uint(p)) == 0 {
@@ -128,10 +141,13 @@ func Build(view *netlist.ScanView, faults []fault.Fault, tests *pattern.Set) *Ma
 				}
 				m.Class[j][i] = cls
 			}
+		})
+		if sweepErr != nil {
+			return nil, sweepErr
 		}
 		base += b.Count
 	}
-	return m
+	return m, nil
 }
 
 // FromResponses builds a matrix from explicit output vectors, e.g. when

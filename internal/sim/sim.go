@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"sddict/internal/fault"
@@ -260,6 +261,21 @@ func (s *Simulator) Propagate(f fault.Fault) Effect {
 		}
 	}
 	return eff
+}
+
+// ForEachFault simulates every fault against the current batch, calling fn
+// with each fault's index and observable effect. The context is honoured at
+// fault granularity: on cancellation the sweep stops and ctx.Err() is
+// returned; faults already reported to fn stand. Apply must have been
+// called first.
+func (s *Simulator) ForEachFault(ctx context.Context, faults []fault.Fault, fn func(i int, eff Effect)) error {
+	for i, f := range faults {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		fn(i, s.Propagate(f))
+	}
+	return nil
 }
 
 func (s *Simulator) faultyDiffers(g int32, forced logic.Word) bool {
