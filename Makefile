@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz check clean
+.PHONY: build test race vet lint fuzz check clean
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,11 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The repo's own invariant checkers (determinism, ctxpropagate,
+# atomicwrite, errwrap); see DESIGN.md §8.
+lint:
+	$(GO) run ./cmd/sddlint ./...
+
 race:
 	$(GO) test -race ./...
 
@@ -18,9 +23,9 @@ race:
 fuzz:
 	$(GO) test -run=FuzzParse -fuzz=FuzzParse -fuzztime=30s ./internal/bench/
 
-# The gate for every change: static analysis plus the full suite under the
-# race detector.
-check: vet race
+# The gate for every change: static analysis (go vet + sddlint) plus the
+# full suite under the race detector.
+check: vet lint race
 
 clean:
 	$(GO) clean ./...

@@ -14,15 +14,16 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sddict/internal/atpg"
 	"sddict/internal/bench"
 	"sddict/internal/cli"
+	"sddict/internal/core"
 	"sddict/internal/fault"
 	"sddict/internal/gen"
 	"sddict/internal/netlist"
@@ -97,19 +98,16 @@ func run(ctx context.Context) error {
 	}
 
 	if *out != "" {
-		f, ferr := os.Create(*out)
-		if ferr != nil {
-			return ferr
-		}
-		w := bufio.NewWriter(f)
-		for _, v := range tests.Vecs {
-			fmt.Fprintln(w, v.Key())
-		}
-		if err := w.Flush(); err != nil {
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
+		werr := core.AtomicWriteFile(*out, func(w io.Writer) error {
+			for _, v := range tests.Vecs {
+				if _, err := fmt.Fprintln(w, v.Key()); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if werr != nil {
+			return werr
 		}
 		fmt.Printf("wrote %d vectors (%d inputs each) to %s\n", tests.Len(), tests.Width, *out)
 	}

@@ -12,11 +12,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"sddict/internal/bench"
 	"sddict/internal/cli"
+	"sddict/internal/core"
 	"sddict/internal/gen"
 	"sddict/internal/netlist"
 )
@@ -36,25 +38,16 @@ func run(ctx context.Context) error {
 	flag.Parse()
 
 	emit := func(c *netlist.Circuit, path string) error {
-		var w *os.File
-		var err error
 		if path == "" {
-			w = os.Stdout
-		} else {
-			w, err = os.Create(path)
-			if err != nil {
-				return err
-			}
+			return bench.Write(os.Stdout, c)
 		}
-		if err := bench.Write(w, c); err != nil {
+		err := core.AtomicWriteFile(path, func(w io.Writer) error {
+			return bench.Write(w, c)
+		})
+		if err != nil {
 			return err
 		}
-		if path != "" {
-			if err := w.Close(); err != nil {
-				return err
-			}
-			fmt.Printf("%s: %s\n", path, c.Stat())
-		}
+		fmt.Printf("%s: %s\n", path, c.Stat())
 		return nil
 	}
 

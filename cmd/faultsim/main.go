@@ -89,7 +89,7 @@ func run(ctx context.Context) error {
 			v, verr := pattern.FromString(txt)
 			if verr != nil {
 				f.Close()
-				return fmt.Errorf("%s line %d: %v", *testsPath, line, verr)
+				return fmt.Errorf("%s line %d: %w", *testsPath, line, verr)
 			}
 			if len(v) != view.NumInputs() {
 				f.Close()

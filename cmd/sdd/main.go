@@ -20,10 +20,10 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sddict/internal/bench"
@@ -155,18 +155,15 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(*dumpResp)
+		err = core.AtomicWriteFile(*dumpResp, func(w io.Writer) error {
+			for _, v := range obs {
+				if _, werr := fmt.Fprintln(w, v.String(m.M)); werr != nil {
+					return werr
+				}
+			}
+			return nil
+		})
 		if err != nil {
-			return err
-		}
-		w := bufio.NewWriter(f)
-		for _, v := range obs {
-			fmt.Fprintln(w, v.String(m.M))
-		}
-		if err := w.Flush(); err != nil {
-			return err
-		}
-		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("defect #%d (%s) injected; %d observed responses written to %s\n",
@@ -178,16 +175,14 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(*saveDict)
+		var n int64
+		err = core.AtomicWriteFile(*saveDict, func(w io.Writer) error {
+			var werr error
+			n, werr = compiled.WriteTo(w)
+			return werr
+		})
 		if err != nil {
-			return err
-		}
-		n, err := compiled.WriteTo(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("writing %s: %v", *saveDict, err)
+			return fmt.Errorf("writing %s: %w", *saveDict, err)
 		}
 		fmt.Printf("compiled same/different dictionary written to %s (%s bytes on disk, %s payload bits)\n",
 			*saveDict, report.Comma(n), report.Comma(compiled.SizeBits()))

@@ -1,0 +1,74 @@
+// Command sddlint runs this repository's invariant checkers — a
+// multichecker in the style of golang.org/x/tools/go/analysis/multichecker,
+// built on the stdlib-only framework in internal/analysis — over the
+// module's packages.
+//
+// Analyzers:
+//
+//	determinism   seeded RNG only, duration-only time.Now, sorted
+//	              map-order results in the search packages
+//	ctxpropagate  contexts threaded through the long-running layers;
+//	              root contexts only in main, tests, compat wrappers
+//	atomicwrite   artifact writes go through core.AtomicWriteFile
+//	errwrap       fmt.Errorf wraps error arguments with %w
+//
+// Usage:
+//
+//	sddlint [packages]   # default ./...
+//
+// Exit status is 0 when the tree is clean, 1 when any analyzer reports a
+// finding, and 2 when the packages fail to load or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sddict/internal/analysis"
+	"sddict/internal/analysis/atomicwrite"
+	"sddict/internal/analysis/ctxpropagate"
+	"sddict/internal/analysis/determinism"
+	"sddict/internal/analysis/errwrap"
+)
+
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	ctxpropagate.Analyzer,
+	atomicwrite.Analyzer,
+	errwrap.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sddlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(loader, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sddlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sddlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

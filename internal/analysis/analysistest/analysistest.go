@@ -1,0 +1,158 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations written in the fixture source —
+// the same contract as golang.org/x/tools/go/analysis/analysistest,
+// reimplemented on the stdlib-only framework in internal/analysis.
+//
+// A fixture lives at <testdata>/src/<pkg>/*.go. A line expecting one or
+// more diagnostics carries a trailing comment of the form
+//
+//	// want `regexp` `regexp`
+//
+// (double-quoted patterns also work) where each quoted regexp must match
+// the message of a distinct
+// diagnostic reported on that line. Lines without a want comment must
+// produce no diagnostics.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sddict/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each fixture package, applies a, and reports mismatches
+// between emitted diagnostics and want comments through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	for _, pkg := range pkgs {
+		runPackage(t, loader, testdata, a, pkg)
+	}
+}
+
+func runPackage(t *testing.T, loader *analysis.Loader, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, perr := parser.ParseFile(loader.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			t.Fatalf("parsing fixture: %v", perr)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if path, uerr := strconv.Unquote(imp.Path.Value); uerr == nil {
+				imports[path] = true
+			}
+		}
+	}
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	if len(paths) > 0 {
+		if err := loader.LoadImports(dir, paths); err != nil {
+			t.Fatalf("loading fixture imports: %v", err)
+		}
+	}
+	p, err := loader.Check(pkg, files)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkg, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, loader.Fset, p.Files, p.Pkg, p.Info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on fixture %s: %v", a.Name, pkg, err)
+	}
+
+	wants := collectWants(t, loader, files)
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		if i := matchWant(wants[key], d.Message); i >= 0 {
+			wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, re)
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses `// want "re" ...` comments into per-line expected
+// message patterns.
+func collectWants(t *testing.T, loader *analysis.Loader, files []*ast.File) map[lineKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[lineKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				for _, quoted := range wantRE.FindAllString(text, -1) {
+					pattern, err := strconv.Unquote(quoted)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, quoted, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(res []*regexp.Regexp, message string) int {
+	for i, re := range res {
+		if re.MatchString(message) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,60 @@
+// Package atomicwrite guards the crash-safety invariant of on-disk
+// artifacts: checkpoints, compiled dictionaries, and report files must
+// never be observable half-written, because a truncated checkpoint poisons
+// resume and a truncated dictionary poisons every diagnosis loaded from
+// it. All artifact writes go through the single temp-file-plus-rename
+// helper in internal/core/checkpoint.go; direct os.WriteFile / os.Create
+// calls anywhere else in the library or command packages are flagged.
+package atomicwrite
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+
+	"sddict/internal/analysis"
+)
+
+// Analyzer is the atomic-artifact-write invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc:  "forbid direct os.WriteFile/os.Create outside the atomic-write helper in internal/core/checkpoint.go",
+	Run:  run,
+}
+
+// helperFile is the one file allowed to open destination paths directly:
+// it implements the temp-file + rename primitive everything else uses.
+const helperFile = "checkpoint.go"
+
+// inScope covers the library and command packages. Examples are excluded
+// (they are documentation, not artifact producers); analysistest fixture
+// packages are always in scope.
+func inScope(path string) bool {
+	return strings.HasPrefix(path, "sddict/internal/") ||
+		strings.HasPrefix(path, "sddict/cmd/") ||
+		!strings.HasPrefix(path, "sddict")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if filepath.Base(pass.Fset.Position(file.Pos()).Filename) == helperFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [...]string{"WriteFile", "Create"} {
+				if analysis.IsPkgFunc(pass.TypesInfo, call, "os", name) {
+					pass.Reportf(call.Pos(), "direct os.%s leaves a truncated artifact on crash; write through core.AtomicWriteFile (temp file + rename)", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

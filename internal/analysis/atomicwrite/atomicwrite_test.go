@@ -1,0 +1,12 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/atomicwrite"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicwrite.Analyzer, "a")
+}

@@ -1,0 +1,21 @@
+// Fixture for the atomicwrite analyzer: direct artifact writes outside
+// the designated helper file.
+package a
+
+import "os"
+
+func saveReport(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct os.WriteFile`
+}
+
+func openArtifact(path string) (*os.File, error) {
+	return os.Create(path) // want `direct os.Create`
+}
+
+func readBack(path string) ([]byte, error) {
+	return os.ReadFile(path) // ok: reads are unrestricted
+}
+
+func scratch(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "scratch*") // ok: temp files are the atomic staging step
+}

@@ -1,0 +1,18 @@
+package a
+
+import "os"
+
+// atomicWriteFile mirrors internal/core/checkpoint.go: this file is the
+// designated home of the temp-file-plus-rename primitive, so direct
+// creation here is allowed.
+func atomicWriteFile(path string, data []byte) error {
+	f, err := os.Create(path) // ok: inside the helper file
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,171 @@
+// Package ctxpropagate enforces the cancellation contract from PR 1:
+// every long-running layer threads a caller-supplied context.Context, and
+// fresh root contexts are minted only at the process boundary (package
+// main, tests) or inside the designated non-Ctx compat wrappers.
+//
+// A compat wrapper is the one sanctioned shape for a context-free API:
+// an exported function F whose body forwards to F+"Ctx" with
+// context.Background() — e.g. Build calling BuildCtx. Anything else that
+// hands context.Background()/context.TODO() to a *Ctx API inside the
+// library swallows cancellation for every caller above it.
+package ctxpropagate
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sddict/internal/analysis"
+)
+
+// Analyzer is the context-propagation invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpropagate",
+	Doc:  "require caller-supplied contexts in the long-running packages; context.Background only in main, tests, and F→FCtx compat wrappers",
+	Run:  run,
+}
+
+// scope lists the long-running library packages (the layers PR 1 threaded
+// contexts through). Analysistest fixture packages are always in scope.
+var scope = map[string]bool{
+	"sddict/internal/core":       true,
+	"sddict/internal/atpg":       true,
+	"sddict/internal/sim":        true,
+	"sddict/internal/diagnose":   true,
+	"sddict/internal/experiment": true,
+	"sddict/internal/resp":       true,
+}
+
+func inScope(path string) bool {
+	return scope[path] || !strings.HasPrefix(path, "sddict")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRootContextArg(pass, n)
+			case *ast.FuncDecl:
+				checkCtxSignature(pass, n)
+				checkExportedCallsCtx(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRootContextCall reports whether e is context.Background() or
+// context.TODO().
+func isRootContextCall(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	for _, name := range [...]string{"Background", "TODO"} {
+		if analysis.IsPkgFunc(info, call, "context", name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// isCompatWrapper reports whether fd is the sanctioned context-free
+// wrapper for callee: an exported F forwarding to F+"Ctx".
+func isCompatWrapper(fd *ast.FuncDecl, calleeName string) bool {
+	return fd != nil && fd.Name.IsExported() && fd.Name.Name+"Ctx" == calleeName
+}
+
+// checkRootContextArg flags *Ctx calls fed a freshly minted root context
+// outside a compat wrapper, and any context.TODO in library code.
+func checkRootContextArg(pass *analysis.Pass, call *ast.CallExpr) {
+	callee := analysis.CalleeName(call)
+	for _, arg := range call.Args {
+		name, ok := isRootContextCall(pass.TypesInfo, arg)
+		if !ok {
+			continue
+		}
+		if name == "TODO" {
+			pass.Reportf(arg.Pos(), "context.TODO in library code; thread the caller's context instead")
+			continue
+		}
+		if !strings.HasSuffix(callee, "Ctx") {
+			continue
+		}
+		if isCompatWrapper(pass.EnclosingFunc(call), callee) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "context.Background passed to %s swallows cancellation; accept and forward the caller's context (only F→FCtx compat wrappers may mint a root context)", callee)
+	}
+}
+
+// checkCtxSignature enforces the *Ctx naming contract: an exported FooCtx
+// takes a context.Context first.
+func checkCtxSignature(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || !strings.HasSuffix(fd.Name.Name, "Ctx") {
+		return
+	}
+	params := fd.Type.Params
+	if params != nil && len(params.List) > 0 {
+		if first := firstParamType(pass, params); first != nil && isContextType(first) {
+			return
+		}
+	}
+	pass.Reportf(fd.Name.Pos(), "exported %s does not take a context.Context as its first parameter; the Ctx suffix promises one", fd.Name.Name)
+}
+
+// checkExportedCallsCtx flags exported context-free functions that call
+// into cancellable (*Ctx) APIs without being a designated compat wrapper:
+// they sit above a long-running layer but cannot forward cancellation.
+func checkExportedCallsCtx(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Body == nil || strings.HasSuffix(fd.Name.Name, "Ctx") {
+		return
+	}
+	if acceptsContext(pass, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeName(call)
+		if !strings.HasSuffix(callee, "Ctx") || callee == "Ctx" {
+			return true
+		}
+		if isCompatWrapper(fd, callee) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "exported %s calls %s but accepts no context.Context; long-running layers must thread the caller's context (or be an F→FCtx compat wrapper)", fd.Name.Name, callee)
+		return true
+	})
+}
+
+func acceptsContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := pass.TypesInfo.Types[field.Type].Type; t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func firstParamType(pass *analysis.Pass, params *ast.FieldList) types.Type {
+	return pass.TypesInfo.Types[params.List[0].Type].Type
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

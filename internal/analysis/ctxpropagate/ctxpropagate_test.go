@@ -1,0 +1,12 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/ctxpropagate"
+)
+
+func TestCtxPropagate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxpropagate.Analyzer, "a")
+}

@@ -1,0 +1,54 @@
+// Fixture for the ctxpropagate analyzer: compat wrappers, swallowed
+// cancellation, and the *Ctx signature contract.
+package a
+
+import "context"
+
+// BuildCtx is a cancellable long-running API.
+func BuildCtx(ctx context.Context, n int) int {
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return i
+		}
+	}
+	return n
+}
+
+func processCtx(ctx context.Context) int {
+	return BuildCtx(ctx, 1) // ok: forwards the caller's context
+}
+
+// Build is the sanctioned non-Ctx compat wrapper for BuildCtx.
+func Build(n int) int {
+	return BuildCtx(context.Background(), n) // ok: F -> FCtx compat wrapper
+}
+
+// Search swallows cancellation for every caller above it.
+func Search(n int) int {
+	return BuildCtx(context.Background(), n) // want `context.Background passed to BuildCtx` `exported Search calls BuildCtx but accepts no context`
+}
+
+func helper(n int) int {
+	return BuildCtx(context.Background(), n) // want `context.Background passed to BuildCtx`
+}
+
+func Todo(ctx context.Context) int {
+	return processCtx(context.TODO()) // want `context.TODO in library code`
+}
+
+// RunCtx breaks the naming contract: the Ctx suffix promises a context
+// parameter.
+func RunCtx(n int) int { // want `exported RunCtx does not take a context.Context`
+	return n
+}
+
+// Stats only calls the compat wrapper, which is fine at any layer.
+func Stats(n int) int {
+	return Build(n)
+}
+
+// Sweep accepts a context in a non-leading position; the propagation rule
+// is satisfied (only *Ctx functions promise a leading context).
+func Sweep(n int, ctx context.Context) int {
+	return BuildCtx(ctx, n)
+}

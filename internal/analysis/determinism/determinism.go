@@ -1,0 +1,340 @@
+// Package determinism enforces the replayability invariant behind
+// checkpoint/resume (DESIGN.md §7): dictionary construction must be a
+// pure function of (matrix, Options.Seed), so a resumed run converges to
+// the uninterrupted result. Three nondeterminism sources are banned in
+// the search packages:
+//
+//   - the process-global math/rand stream (un-replayable across resume
+//     boundaries; every RNG must be a locally seeded *rand.Rand),
+//   - wall-clock time escaping into results (time.Now may only feed
+//     duration statistics via time.Since or Time.Sub),
+//   - map-iteration order leaking into result slices (a range over a map
+//     that appends to an outer slice must be followed by a sort).
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sddict/internal/analysis"
+)
+
+// Analyzer is the determinism invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid global math/rand, non-duration time.Now, and unsorted map-order results in the search packages",
+	Run:  run,
+}
+
+// scope lists the packages whose computations feed checkpointed or
+// reported results. Packages outside the module (analysistest fixtures)
+// are always in scope.
+var scope = map[string]bool{
+	"sddict/internal/core":     true,
+	"sddict/internal/atpg":     true,
+	"sddict/internal/sim":      true,
+	"sddict/internal/diagnose": true,
+}
+
+func inScope(path string) bool {
+	return scope[path] || !strings.HasPrefix(path, "sddict")
+}
+
+// randConstructors are the approved ways to touch math/rand: building a
+// locally seeded generator. Everything else package-level (Intn, Perm,
+// Shuffle, Seed, ...) draws from or mutates the global stream.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkGlobalRand(pass, n)
+				checkTimeNow(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+func checkGlobalRand(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods on *rand.Rand are the approved pattern
+	}
+	if randConstructors[fn.Name()] {
+		return
+	}
+	pass.Reportf(call.Pos(), "global math/rand.%s draws from the process-wide stream; use a seeded *rand.Rand so restarts replay deterministically", fn.Name())
+}
+
+// checkTimeNow flags time.Now() calls whose result can reach anything
+// other than a duration computation.
+func checkTimeNow(pass *analysis.Pass, call *ast.CallExpr) {
+	if !analysis.IsPkgFunc(pass.TypesInfo, call, "time", "Now") {
+		return
+	}
+	parent := pass.Parent(call)
+	// time.Now().Sub(x) — a pure duration.
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sub" {
+		if c, ok := pass.Parent(sel).(*ast.CallExpr); ok && isDurationCall(pass.TypesInfo, c) {
+			return
+		}
+	}
+	// time.Since(time.Now()) or x.Sub(time.Now()) — degenerate but harmless.
+	if c, ok := parent.(*ast.CallExpr); ok && isDurationCall(pass.TypesInfo, c) {
+		return
+	}
+	// start := time.Now() — every later use of start must be a duration
+	// computation.
+	if obj := assignedObj(pass, call); obj != nil {
+		if bad := firstNonDurationUse(pass, obj); bad == nil {
+			return
+		} else {
+			pass.Reportf(call.Pos(), "time.Now result %s escapes a duration computation at %s; wall-clock values may only feed duration stats (time.Since / Time.Sub)",
+				obj.Name(), pass.Fset.Position(bad.Pos()))
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "time.Now result feeds a non-duration use; wall-clock values may only feed duration stats (time.Since / Time.Sub)")
+}
+
+// isDurationCall reports whether call is time.Since(...) or the
+// time.Time.Sub method.
+func isDurationCall(info *types.Info, call *ast.CallExpr) bool {
+	if analysis.IsPkgFunc(info, call, "time", "Since") {
+		return true
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "Sub" || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// assignedObj returns the variable a `v := time.Now()` / `var v =
+// time.Now()` / `v = time.Now()` form binds, or nil when the call is not
+// the right-hand side of a simple one-to-one assignment.
+func assignedObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch parent := pass.Parent(call).(type) {
+	case *ast.AssignStmt:
+		if len(parent.Lhs) != len(parent.Rhs) {
+			return nil
+		}
+		for i, rhs := range parent.Rhs {
+			if rhs != ast.Expr(call) {
+				continue
+			}
+			id, ok := parent.Lhs[i].(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			if parent.Tok == token.DEFINE {
+				return pass.TypesInfo.Defs[id]
+			}
+			return pass.TypesInfo.Uses[id]
+		}
+	case *ast.ValueSpec:
+		if len(parent.Names) != len(parent.Values) {
+			return nil
+		}
+		for i, v := range parent.Values {
+			if v == ast.Expr(call) {
+				return pass.TypesInfo.Defs[parent.Names[i]]
+			}
+		}
+	}
+	return nil
+}
+
+// firstNonDurationUse scans the function (or file, for package-level
+// variables) holding obj's definition and returns the first use of obj
+// that is not an argument or receiver of a duration computation.
+func firstNonDurationUse(pass *analysis.Pass, obj types.Object) ast.Node {
+	var root ast.Node
+	for _, f := range pass.Files {
+		if f.Pos() <= obj.Pos() && obj.Pos() <= f.End() {
+			root = f
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	var bad ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		if isAssignLHS(pass, id) {
+			return true // re-binding, not a read
+		}
+		for cur := pass.Parent(id); cur != nil; cur = pass.Parent(cur) {
+			if c, ok := cur.(*ast.CallExpr); ok {
+				if isDurationCall(pass.TypesInfo, c) {
+					return true
+				}
+				break // some other call consumed the timestamp
+			}
+		}
+		bad = id
+		return false
+	})
+	return bad
+}
+
+func isAssignLHS(pass *analysis.Pass, id *ast.Ident) bool {
+	as, ok := pass.Parent(id).(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if lhs == ast.Expr(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRange flags `for ... := range m { s = append(s, ...) }` where m
+// is a map and s outlives the loop, unless a sort/slices call over s
+// follows the loop in the same block.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.Types[rs.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	appended := appendTargets(pass, rs)
+	if len(appended) == 0 {
+		return
+	}
+	sorted := sortedAfter(pass, rs)
+	for _, obj := range appended {
+		if !sorted[obj] {
+			pass.Reportf(rs.Pos(), "%s is appended in map-iteration order without a following sort; map order is random and breaks deterministic replay", obj.Name())
+		}
+	}
+}
+
+// appendTargets collects variables declared outside rs that the loop body
+// appends to.
+func appendTargets(pass *analysis.Pass, rs *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass.TypesInfo, call) {
+				continue
+			}
+			obj := lhsObject(pass, as.Lhs[i])
+			if obj == nil || seen[obj] {
+				continue
+			}
+			// Variables born inside the loop cannot leak iteration
+			// order past it.
+			if rs.Pos() <= obj.Pos() && obj.Pos() <= rs.End() {
+				continue
+			}
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func lhsObject(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(lhs)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(lhs.Sel)
+	}
+	return nil
+}
+
+// sortedAfter reports which objects appear under a sort or slices call in
+// the statements following rs within its enclosing block.
+func sortedAfter(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	sorted := map[types.Object]bool{}
+	block, ok := pass.Parent(rs).(*ast.BlockStmt)
+	if !ok {
+		return sorted
+	}
+	past := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rs) {
+			past = true
+			continue
+		}
+		if !past {
+			continue
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							sorted[obj] = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return sorted
+}

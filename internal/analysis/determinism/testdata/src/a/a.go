@@ -1,0 +1,110 @@
+// Fixture for the determinism analyzer: global RNG, wall-clock escapes,
+// and map-order result assembly.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func work() {}
+
+// --- global math/rand -------------------------------------------------
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle`
+}
+
+func seededRand(seed int64) []int {
+	r := rand.New(rand.NewSource(seed)) // ok: constructing a local generator
+	out := r.Perm(10)                   // ok: method on the seeded generator
+	if r.Intn(2) == 0 {                 // ok: method, not the global stream
+		out = out[:5]
+	}
+	return out
+}
+
+// --- wall clock -------------------------------------------------------
+
+func durationOnly() time.Duration {
+	start := time.Now() // ok: only ever feeds time.Since
+	work()
+	return time.Since(start)
+}
+
+func subDuration() time.Duration {
+	start := time.Now() // ok: consumed by Time.Sub
+	work()
+	end := time.Now() // ok: receiver of Sub
+	return end.Sub(start)
+}
+
+func inlineSub(start time.Time) time.Duration {
+	return time.Now().Sub(start) // ok: immediate duration
+}
+
+func wallClockEscape() time.Time {
+	ts := time.Now() // want `escapes a duration computation`
+	return ts
+}
+
+func stampResult() int64 {
+	return time.Now().UnixNano() // want `non-duration use`
+}
+
+func leakToCall() {
+	report(time.Now()) // want `non-duration use`
+}
+
+func report(t time.Time) { _ = t }
+
+// --- map iteration order ---------------------------------------------
+
+func unsortedAssembly(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `out is appended in map-iteration order`
+		out = append(out, v)
+	}
+	return out
+}
+
+func sortedAssembly(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // ok: sorted before use
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // ok: keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func loopLocalSlice(m map[int][]int) int {
+	total := 0
+	for _, vs := range m { // ok: appended slice never leaves the iteration
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, v := range xs { // ok: ranging over a slice is ordered
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Package errwrap enforces error-chain preservation: a fmt.Errorf whose
+// argument is an error must wrap it with %w, not flatten it with %v/%s/%q.
+// Flattening breaks errors.Is/As — the CLI's exit-code mapping and the
+// pipeline's context.Canceled detection both walk the unwrap chain.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"sddict/internal/analysis"
+)
+
+// Analyzer is the %w-wrapping invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must use %w so the error chain stays inspectable",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkErrorf(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !analysis.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(pass.TypesInfo, call.Args[0])
+	if !ok || strings.Contains(format, "%[") {
+		return // dynamic or explicitly-indexed formats are out of reach
+	}
+	verbs := parseVerbs(format)
+	args := call.Args[1:]
+	for i, v := range verbs {
+		if i >= len(args) {
+			break // malformed call; go vet reports the arity mismatch
+		}
+		if v != 'v' && v != 's' && v != 'q' {
+			continue
+		}
+		if t := pass.TypesInfo.Types[args[i]].Type; t != nil && implementsError(t) {
+			pass.Reportf(args[i].Pos(), "error argument formatted with %%%c loses the unwrap chain; use %%w", v)
+		}
+	}
+}
+
+// constantString evaluates string literals and literal concatenations.
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// parseVerbs returns the verb characters of format in argument order;
+// `*` width/precision markers consume an argument slot and are returned
+// as '*'.
+func parseVerbs(format string) []rune {
+	var verbs []rune
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision
+		for i < len(runes) {
+			c := runes[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", c) {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(runes) || runes[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, runes[i])
+	}
+	return verbs
+}
+
+func implementsError(t types.Type) bool {
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errType)
+}

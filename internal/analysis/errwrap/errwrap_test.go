@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/errwrap"
+)
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errwrap.Analyzer, "a")
+}

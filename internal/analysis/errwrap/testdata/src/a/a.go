@@ -1,0 +1,54 @@
+// Fixture for the errwrap analyzer: fmt.Errorf must wrap error arguments
+// with %w.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+type codeError struct{ code int }
+
+func (e *codeError) Error() string { return "code" }
+
+func flatten(err error) error {
+	return fmt.Errorf("loading: %v", err) // want `formatted with %v loses the unwrap chain`
+}
+
+func flattenString(err error) error {
+	return fmt.Errorf("loading: %s", err) // want `formatted with %s loses the unwrap chain`
+}
+
+func concrete(e *codeError) error {
+	return fmt.Errorf("op failed: %v", e) // want `formatted with %v loses the unwrap chain`
+}
+
+func secondArg(path string, err error) error {
+	return fmt.Errorf("%s at line %d: %v", path, 7, err) // want `formatted with %v loses the unwrap chain`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("loading: %w", err) // ok: chain preserved
+}
+
+func sentinel() error {
+	return fmt.Errorf("state: %w", errBase) // ok
+}
+
+func notAnError(name string) error {
+	return fmt.Errorf("bad profile %q, have %v options", name, 3) // ok: no error args
+}
+
+func explicitFlatten(err error) error {
+	return fmt.Errorf("failed: %v", err.Error()) // ok: already a string; flattening is explicit
+}
+
+func literalPercent(err error) error {
+	return fmt.Errorf("rate 100%%: %w", err) // ok: %% consumes no argument
+}
+
+func starWidth(err error) error {
+	return fmt.Errorf("%*d: %w", 4, 7, err) // ok: * consumes an argument slot
+}

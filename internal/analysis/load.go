@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// Target reports whether the package matched the load patterns
+	// directly (rather than being pulled in as a dependency); analyzers
+	// run only over target packages.
+	Target bool
+}
+
+// Loader type-checks packages from source using only the standard
+// library: `go list -e -json -deps` supplies the file sets and the
+// dependency-ordered closure, and go/types checks each package against
+// the already-checked results of its imports. This replaces
+// golang.org/x/tools/go/packages, which is unavailable in this module's
+// no-external-dependency build environment.
+type Loader struct {
+	Fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	return &Loader{Fset: token.NewFileSet(), pkgs: make(map[string]*types.Package)}
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct {
+		Err string
+	}
+}
+
+// Load expands patterns (run from dir, e.g. "./...") and returns the
+// type-checked target packages. Dependencies, including the standard
+// library, are checked from source with function bodies skipped.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	list, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Package
+	for _, lp := range list {
+		p, err := l.check(lp)
+		if err != nil {
+			// Dependency packages must check cleanly for target results
+			// to be trustworthy; surface the first hard failure.
+			return nil, err
+		}
+		if p != nil && p.Target {
+			targets = append(targets, p)
+		}
+	}
+	return targets, nil
+}
+
+// LoadImports type-checks the named import paths (and their closure)
+// so that Check can resolve them. Used by analysistest to satisfy a
+// testdata package's imports.
+func (l *Loader) LoadImports(dir string, paths []string) error {
+	var missing []string
+	for _, p := range paths {
+		if _, ok := l.pkgs[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	list, err := goList(dir, missing)
+	if err != nil {
+		return err
+	}
+	for _, lp := range list {
+		if _, err := l.check(lp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check type-checks a bare file set as the package importPath — used for
+// testdata packages that live outside the module's package graph. Its
+// imports must already be loaded (see LoadImports).
+func (l *Loader) Check(importPath string, files []*ast.File) (*Package, error) {
+	return l.typeCheck(importPath, "", files, false, true)
+}
+
+func (l *Loader) check(lp listPackage) (*Package, error) {
+	if lp.ImportPath == "unsafe" {
+		l.pkgs["unsafe"] = types.Unsafe
+		return nil, nil
+	}
+	if _, done := l.pkgs[lp.ImportPath]; done {
+		return nil, nil
+	}
+	if lp.Error != nil && !lp.DepOnly {
+		// Tolerate pattern matches with no buildable files (e.g. a
+		// directory holding only _test.go files); fail on real errors.
+		if len(lp.GoFiles) == 0 && strings.Contains(lp.Error.Err, "no non-test Go files") {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+	}
+	if len(lp.GoFiles) == 0 {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	target := !lp.DepOnly && !lp.Standard
+	return l.typeCheck(lp.ImportPath, lp.Dir, files, !target, target)
+}
+
+func (l *Loader) typeCheck(importPath, dir string, files []*ast.File, bodiesIgnored, target bool) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:         importerFunc(l.imported),
+		IgnoreFuncBodies: bodiesIgnored,
+		FakeImportC:      true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if firstErr != nil && target {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, firstErr)
+	}
+	l.pkgs[importPath] = pkg
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		Target:     target,
+	}, nil
+}
+
+func (l *Loader) imported(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q not loaded", path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// goList runs `go list -e -json -deps` and decodes the dependency-ordered
+// package stream. CGO is disabled so every listed package type-checks
+// from its pure-Go file set.
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var list []listPackage
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		list = append(list, lp)
+	}
+	return list, nil
+}

@@ -1,0 +1,81 @@
+package analysis_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"sddict/internal/analysis"
+)
+
+// TestLoadModule exercises the go-list-backed loader over this module's
+// own source: every target package must arrive parsed and fully
+// type-checked.
+func TestLoadModule(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(".", "sddict/internal/analysis", "sddict/internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := map[string]*analysis.Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	for _, want := range []string{"sddict/internal/analysis", "sddict/internal/core"} {
+		p := byPath[want]
+		if p == nil {
+			t.Fatalf("Load did not return %s (got %d packages)", want, len(pkgs))
+		}
+		if !p.Target {
+			t.Errorf("%s not marked as a target", want)
+		}
+		if len(p.Files) == 0 || p.Pkg == nil || p.Info == nil {
+			t.Errorf("%s loaded without syntax or types", want)
+		}
+	}
+	// Dependencies are loaded but not returned as analysis targets.
+	if _, ok := byPath["sddict/internal/resp"]; ok {
+		t.Errorf("dependency package returned as a target")
+	}
+}
+
+// TestRunReportsSortedDiagnostics checks the multichecker plumbing with a
+// trivial analyzer that flags every file.
+func TestRunReportsSortedDiagnostics(t *testing.T) {
+	flagFiles := &analysis.Analyzer{
+		Name: "flagfiles",
+		Doc:  "test analyzer: one diagnostic per file",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Pos(), "file in %s", pass.Pkg.Path())
+			}
+			return nil
+		},
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(".", "sddict/internal/analysis/errwrap")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := analysis.Run(loader, pkgs, []*analysis.Analyzer{flagFiles})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics from the flag-everything analyzer")
+	}
+	var prev token.Position
+	for i, d := range diags {
+		if d.Analyzer != "flagfiles" {
+			t.Errorf("diagnostic %d has analyzer %q", i, d.Analyzer)
+		}
+		pos := loader.Fset.Position(d.Pos)
+		if !strings.HasSuffix(pos.Filename, ".go") {
+			t.Errorf("diagnostic %d at non-Go position %s", i, pos)
+		}
+		if i > 0 && pos.Filename < prev.Filename {
+			t.Errorf("diagnostics not sorted by file: %s after %s", pos.Filename, prev.Filename)
+		}
+		prev = pos
+	}
+}

@@ -1,0 +1,20 @@
+package analysis
+
+import "fmt"
+
+// Run executes every analyzer over every target package and returns the
+// position-sorted diagnostics.
+func Run(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			pass := NewPass(a, loader.Fset, p.Files, p.Pkg, p.Info, collect)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, p.ImportPath, err)
+			}
+		}
+	}
+	SortDiagnostics(loader.Fset, diags)
+	return diags, nil
+}

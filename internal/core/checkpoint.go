@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -113,23 +114,44 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return &cp, nil
 }
 
-// Save writes the checkpoint to path atomically (temp file + rename), so a
-// crash mid-write never leaves a truncated checkpoint behind.
-func (cp *Checkpoint) Save(path string) error {
+// AtomicWriteFile writes an artifact to path via write, staging the
+// bytes in a temp file in the destination directory and renaming it over
+// path only after a successful close — so a crash mid-write never leaves
+// a truncated artifact observable at path. This is the single sanctioned
+// way to produce checkpoint, dictionary, and report files; the sddlint
+// atomicwrite analyzer rejects direct os.WriteFile/os.Create calls
+// elsewhere in the library and command packages.
+func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("core: saving checkpoint: %w", err)
+		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := cp.Encode(tmp); err != nil {
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
 		tmp.Close()
-		return fmt.Errorf("core: saving checkpoint: %w", err)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("core: saving checkpoint: %w", err)
+		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	// CreateTemp opens 0600; artifacts are ordinary files, so restore the
+	// usual creation mode before publishing.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Save writes the checkpoint to path atomically (temp file + rename), so a
+// crash mid-write never leaves a truncated checkpoint behind.
+func (cp *Checkpoint) Save(path string) error {
+	if err := AtomicWriteFile(path, func(w io.Writer) error { return cp.Encode(w) }); err != nil {
 		return fmt.Errorf("core: saving checkpoint: %w", err)
 	}
 	return nil
