@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz check clean
+.PHONY: build test race vet lint fuzz bench check clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ race:
 # Short fuzz pass over the .bench parser; CI-friendly budget.
 fuzz:
 	$(GO) test -run=FuzzParse -fuzz=FuzzParse -fuzztime=30s ./internal/bench/
+
+# Parallel-layer benchmarks (restart search, fault-sim sharding, sweep
+# rows) at workers=1 vs N, archived as machine-readable JSON; the format
+# and the speedup caveats are documented in EXPERIMENTS.md. The raw log
+# is kept in a temp file so a failed bench run fails the target instead
+# of feeding benchjson an empty pipe.
+bench:
+	$(GO) test -run='^$$' -bench='^BenchmarkParallel' -count=1 -timeout=30m . > bench_parallel.out
+	$(GO) run ./cmd/benchjson -o BENCH_parallel.json bench_parallel.out
+	@rm -f bench_parallel.out
+	@echo "wrote BENCH_parallel.json"
 
 # The gate for every change: static analysis (go vet + sddlint) plus the
 # full suite under the race detector.

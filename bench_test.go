@@ -15,7 +15,9 @@
 package sddict_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -29,20 +31,29 @@ import (
 )
 
 // prepCache shares the expensive front half of the pipeline (circuit
-// synthesis, ATPG, fault simulation) across benchmarks.
-var prepCache sync.Map // "circuit/ttype" -> *experiment.Prepared
+// synthesis, ATPG, fault simulation) across benchmarks. The mutex stays
+// held across the fill so concurrent callers missing on the same key
+// block behind one PrepareProfile instead of each running their own
+// (the earlier sync.Map version let two misses prepare the same profile
+// twice, wasting minutes on the big circuits).
+var (
+	prepMu    sync.Mutex
+	prepCache = map[string]*experiment.Prepared{}
+)
 
 func prepared(b *testing.B, circuit string, tt experiment.TestSetType) *experiment.Prepared {
 	b.Helper()
 	key := circuit + "/" + string(tt)
-	if v, ok := prepCache.Load(key); ok {
-		return v.(*experiment.Prepared)
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	if pr, ok := prepCache[key]; ok {
+		return pr
 	}
 	pr, err := experiment.PrepareProfile(circuit, tt, experiment.Config{Seed: 1})
 	if err != nil {
 		b.Fatalf("prepare %s: %v", key, err)
 	}
-	prepCache.Store(key, pr)
+	prepCache[key] = pr
 	return pr
 }
 
@@ -354,6 +365,106 @@ func BenchmarkExtensionOutputCompaction(b *testing.B) {
 			}
 			b.ReportMetric(float64(ind), "ind_sd")
 			b.ReportMetric(float64(size), "size_bits")
+		})
+	}
+}
+
+// benchWorkerCounts returns the pool sizes the BenchmarkParallel* family
+// compares: the sequential path, the CI reference of four workers, and
+// the machine's real CPU count when it differs from both. `make bench`
+// runs exactly this family and renders the output as BENCH_parallel.json
+// (format in EXPERIMENTS.md).
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkParallelBuild measures the parallel restart search (DESIGN.md
+// §9) against its workers=1 sequential path. The determinism regression
+// pins the outputs byte-identical across counts, so the ind_* metrics
+// must agree between sub-benchmarks and only ns/op may move.
+func BenchmarkParallelBuild(b *testing.B) {
+	circuits := []string{"s526"}
+	if !testing.Short() {
+		circuits = append(circuits, "s1196")
+	}
+	for _, name := range circuits {
+		pr := prepared(b, name, experiment.Diagnostic)
+		for _, workers := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				opts := core.DefaultOptions
+				opts.Seed = 1
+				opts.Workers = workers
+				var st core.BuildStats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, st = core.BuildSameDiff(pr.Matrix, opts)
+				}
+				b.ReportMetric(float64(st.IndistFinal), "ind_sd")
+				b.ReportMetric(float64(st.IndistProc1), "ind_sd_rand")
+				b.ReportMetric(float64(st.Restarts), "restarts")
+				b.ReportMetric(float64(st.CandidateEvals), "cand_evals")
+			})
+		}
+	}
+}
+
+// BenchmarkParallelFaultSim measures the sharded full-response capture
+// (per-worker simulator forks plus concurrent per-test assembly) against
+// the sequential sweep on the same circuits as BenchmarkFaultSim.
+func BenchmarkParallelFaultSim(b *testing.B) {
+	circuits := []string{"s298"}
+	if !testing.Short() {
+		circuits = append(circuits, "s1196")
+	}
+	for _, name := range circuits {
+		pr := prepared(b, name, experiment.TenDetect)
+		view := netlist.NewScanView(pr.Circuit)
+		for _, workers := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := resp.BuildWorkersCtx(context.Background(), workers, view, pr.Faults, pr.Tests); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(pr.Matrix.N)*float64(pr.Matrix.K)/1e6, "Mfault_tests")
+			})
+		}
+	}
+}
+
+// BenchmarkParallelSweep measures row-level parallelism in the Table-6
+// sweep. Rows are whole independent pipelines (synthesis through
+// dictionary), so they are the coarsest-grained and best-scaling unit of
+// work the pipeline offers.
+func BenchmarkParallelSweep(b *testing.B) {
+	var specs []experiment.RowSpec
+	for _, name := range []string{"s27", "s208", "s298"} {
+		specs = append(specs, experiment.RowSpec{
+			Circuit: name,
+			TType:   experiment.Diagnostic,
+			Config:  experiment.Config{Seed: 1, Workers: 1},
+		})
+	}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var ind int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ind = 0
+				for _, res := range experiment.RunSweepCtx(context.Background(), workers, specs, nil) {
+					if res.Err != nil {
+						b.Fatalf("%s/%s: %v", res.Spec.Circuit, res.Spec.TType, res.Err)
+					}
+					ind += res.Row.IndSDFinal
+				}
+			}
+			b.ReportMetric(float64(len(specs)), "rows")
+			b.ReportMetric(float64(ind), "ind_sd_total")
 		})
 	}
 }

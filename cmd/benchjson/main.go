@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench` output into the
+// machine-readable JSON record the repo archives as BENCH_parallel.json
+// (format documented in EXPERIMENTS.md). It keeps every custom metric a
+// benchmark reported (ind_sd, cand_evals, ...) alongside ns/op, so the
+// JSON carries the experimental outputs, not just the timings.
+//
+// Usage:
+//
+//	go test -run='^$' -bench='^BenchmarkParallel' . | benchjson -o BENCH_parallel.json
+//	benchjson -o BENCH_parallel.json bench.out
+//
+// With no file argument the benchmark log is read from stdin. The output
+// file is written atomically (temp file + rename) like every other
+// artifact in the repo.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sddict/internal/cli"
+	"sddict/internal/core"
+)
+
+func main() {
+	cli.Main("benchjson", run)
+}
+
+// Benchmark is one `Benchmark...` result line. Metrics holds every
+// value/unit pair after the iteration count except ns/op, which gets its
+// own field; map keys are the units exactly as the benchmark reported
+// them (ind_sd, B/op, ...).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole converted log: the header lines the testing
+// package prints (goos/goarch/pkg/cpu) plus the benchmark results in
+// input order.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func run(ctx context.Context) error {
+	out := flag.String("o", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	switch args := flag.Args(); len(args) {
+	case 0:
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return cli.Usagef("at most one input file, got %d", len(args))
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	return core.AtomicWriteFile(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	})
+}
+
+// parse consumes a `go test -bench` log. Unrecognized lines (PASS, ok,
+// test chatter) are skipped; malformed Benchmark lines are an error so a
+// truncated log cannot silently produce a shorter report.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine splits one result line:
+//
+//	BenchmarkParallelBuild/s526/workers=4-4   10   1234 ns/op   56 ind_sd
+//
+// into its name (Benchmark prefix and -procs suffix stripped), iteration
+// count, and value/unit pairs.
+func parseLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	b := Benchmark{Name: strings.TrimPrefix(f[0], "Benchmark")}
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("line %q: bad iteration count: %w", line, err)
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("line %q: bad value %q: %w", line, f[i], err)
+		}
+		if unit := f[i+1]; unit == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: sddict
+cpu: Intel(R) Xeon(R)
+BenchmarkParallelBuild/s526/workers=1-4         	      10	 123456789 ns/op	       456 ind_sd	        12 restarts
+BenchmarkParallelBuild/s526/workers=4-4         	      30	  41152263 ns/op	       456 ind_sd	        12 restarts
+BenchmarkParallelFaultSim/s298/workers=1-4      	     100	   9876543 ns/op	      0.51 Mfault_tests
+PASS
+ok  	sddict	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "sddict" || rep.CPU != "Intel(R) Xeon(R)" {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "ParallelBuild/s526/workers=1" || b.Procs != 4 || b.Iterations != 10 {
+		t.Fatalf("bad first benchmark: %+v", b)
+	}
+	if b.NsPerOp != 123456789 {
+		t.Fatalf("ns/op = %v, want 123456789", b.NsPerOp)
+	}
+	if b.Metrics["ind_sd"] != 456 || b.Metrics["restarts"] != 12 {
+		t.Fatalf("bad metrics: %+v", b.Metrics)
+	}
+	if _, ok := b.Metrics["ns/op"]; ok {
+		t.Fatal("ns/op must not be duplicated into the metrics map")
+	}
+	if fs := rep.Benchmarks[2]; fs.Metrics["Mfault_tests"] != 0.51 {
+		t.Fatalf("float metric lost: %+v", fs.Metrics)
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-4\t10\t12 ns/op\ttrailing", // odd field count
+		"BenchmarkX-4\tten\t12 ns/op",          // bad iteration count
+		"BenchmarkX-4\t10\ttwelve ns/op",       // bad value
+	} {
+		if _, err := parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseSkipsNonBenchmarkChatter(t *testing.T) {
+	rep, err := parse(strings.NewReader("=== RUN   TestFoo\nPASS\nok  \tsddict\t1.0s\nBenchmarkY-1\t5\t7 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "Y" || rep.Benchmarks[0].Procs != 1 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}

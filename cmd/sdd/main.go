@@ -52,6 +52,7 @@ func run(ctx context.Context) error {
 		inject    = flag.Int("inject", -1, "inject the i-th collapsed fault as a defect (with -dump-responses)")
 		dumpResp  = flag.String("dump-responses", "", "write the observed responses of the injected defect (cmd/diagnose input)")
 		ckpt      = flag.String("checkpoint", "", "persist/resume dictionary-search state at this file")
+		workers   = flag.Int("workers", 0, "worker count for fault simulation and restart search (0 = one per CPU); results are identical at any setting")
 	)
 	flag.Parse()
 
@@ -74,7 +75,7 @@ func run(ctx context.Context) error {
 		pr  *experiment.Prepared
 		err error
 	)
-	cfg := experiment.Config{Seed: *seed, Effort: *effort, CheckpointPath: *ckpt}
+	cfg := experiment.Config{Seed: *seed, Effort: *effort, CheckpointPath: *ckpt, Workers: *workers}
 	switch {
 	case *benchPath != "":
 		f, ferr := os.Open(*benchPath)

@@ -11,6 +11,8 @@
 //	              root contexts only in main, tests, compat wrappers
 //	atomicwrite   artifact writes go through core.AtomicWriteFile
 //	errwrap       fmt.Errorf wraps error arguments with %w
+//	concurrency   goroutines and sync.WaitGroup only in internal/par;
+//	              no shared *rand.Rand captured by pool tasks
 //
 // Usage:
 //
@@ -27,6 +29,7 @@ import (
 
 	"sddict/internal/analysis"
 	"sddict/internal/analysis/atomicwrite"
+	"sddict/internal/analysis/concurrency"
 	"sddict/internal/analysis/ctxpropagate"
 	"sddict/internal/analysis/determinism"
 	"sddict/internal/analysis/errwrap"
@@ -37,6 +40,7 @@ var analyzers = []*analysis.Analyzer{
 	ctxpropagate.Analyzer,
 	atomicwrite.Analyzer,
 	errwrap.Analyzer,
+	concurrency.Analyzer,
 }
 
 func main() {

@@ -9,8 +9,12 @@
 //
 // Usage:
 //
-//	table6 [-circuits s208,s298,...] [-seed N] [-effort 0..1] [-v]
+//	table6 [-circuits s208,s298,...] [-seed N] [-effort 0..1] [-workers N] [-v]
 //	table6 -checkpoint-dir ./ckpt     # survive kills: rerun to resume
+//
+// Rows run concurrently (-workers, default one per CPU) but render in a
+// fixed order with identical values at any worker count: each row's
+// pipeline is deterministic, and the sweep merges results in spec order.
 //
 // Ctrl-C renders the rows completed so far before exiting with code 130.
 // A circuit whose pipeline fails (including an internal panic, recovered
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"sddict/internal/cli"
@@ -44,6 +49,7 @@ func run(ctx context.Context) error {
 		effort  = flag.Float64("effort", 0, "search effort in (0,1]; 0 = auto-scale by circuit size")
 		verbose = flag.Bool("v", false, "print per-row generation details")
 		ckptDir = flag.String("checkpoint-dir", "", "persist/resume per-row dictionary-search state in this directory")
+		workers = flag.Int("workers", 0, "sweep rows to run concurrently (0 = one per CPU); results are identical at any setting")
 	)
 	flag.Parse()
 
@@ -71,67 +77,72 @@ random test orders; "ind s/d repl" is the Procedure 2 result, shown only when
 it improves on Procedure 1 (the paper omits it otherwise).`)
 	}
 
-sweep:
+	// Independent (circuit, test-set-type) rows run concurrently; results
+	// stream back in spec order, so the table and the verbose log are
+	// deterministic whatever the worker count. When only one row is in
+	// flight at a time, the intra-row stages parallelize instead.
+	rowWorkers := *workers
+	if rowWorkers <= 0 {
+		rowWorkers = runtime.GOMAXPROCS(0)
+	}
+	innerWorkers := 1
+	if rowWorkers == 1 {
+		innerWorkers = 0
+	}
+	var specs []experiment.RowSpec
 	for _, name := range strings.Split(*circuits, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
 		for _, tt := range []experiment.TestSetType{experiment.Diagnostic, experiment.TenDetect} {
-			if ctx.Err() != nil {
-				interrupted = true
-				break sweep
-			}
-			cfg := experiment.Config{Seed: *seed, Effort: *effort}
+			cfg := experiment.Config{Seed: *seed, Effort: *effort, Workers: innerWorkers}
 			if *ckptDir != "" {
 				cfg.CheckpointPath = filepath.Join(*ckptDir, fmt.Sprintf("%s-%s.ckpt", name, tt))
 			}
-			pr, err := experiment.PrepareProfileCtx(ctx, name, tt, cfg)
-			if err != nil {
-				if ctx.Err() != nil {
-					interrupted = true
-					break sweep
-				}
-				// One bad circuit (even a recovered panic) must not take
-				// down the whole sweep.
-				fmt.Fprintf(os.Stderr, "table6: %s/%s: %v (skipped)\n", name, tt, err)
-				failures++
-				continue
-			}
-			if *verbose {
-				fmt.Fprintf(os.Stderr, "%s/%s: %s\n", name, tt, pr.GenInfo)
-			}
-			row, err := experiment.BuildRowCtx(ctx, pr, tt, cfg)
-			if err != nil {
-				if row.Dict == nil {
-					fmt.Fprintf(os.Stderr, "table6: %s/%s: %v (skipped)\n", name, tt, err)
-					failures++
-					continue
-				}
-				fmt.Fprintf(os.Stderr, "table6: %s/%s: warning: %v\n", name, tt, err)
-			}
-			label := name
-			if row.Status == experiment.RowInterrupted {
-				label = name + "*" // best-so-far, not a completed search
-				interrupted = true
-			}
-			repl := "-"
-			if row.Proc2Gain {
-				repl = fmt.Sprintf("%d", row.IndSDRepl)
-			}
-			tab.Addf(label, string(tt), row.Tests,
-				report.Comma(row.SizeFull), report.Comma(row.SizePF), report.Comma(row.SizeSD),
-				row.IndFull, row.IndPF, row.IndSDRand, repl)
-			if *verbose {
-				fmt.Fprintf(os.Stderr, "%s/%s: final=%d stored baselines=%d/%d minimized size=%s restarts=%d elapsed=%s\n",
-					name, tt, row.IndSDFinal, row.StoredBaselines, row.Tests,
-					report.Comma(row.SizeSDMinimized), row.BuildStats.Restarts, row.Elapsed)
-			}
-			if row.Status == experiment.RowInterrupted {
-				break sweep
-			}
+			specs = append(specs, experiment.RowSpec{Circuit: name, TType: tt, Config: cfg})
 		}
 	}
+
+	experiment.RunSweepCtx(ctx, rowWorkers, specs, func(_ int, res experiment.RowResult) {
+		name, tt := res.Spec.Circuit, res.Spec.TType
+		row := res.Row
+		if res.Err != nil && row.Dict == nil {
+			if ctx.Err() != nil {
+				// Cancelled before this row could produce anything.
+				interrupted = true
+				return
+			}
+			// One bad circuit (even a recovered panic) must not take down
+			// the whole sweep.
+			fmt.Fprintf(os.Stderr, "table6: %s/%s: %v (skipped)\n", name, tt, res.Err)
+			failures++
+			return
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s/%s: %s\n", name, tt, res.GenInfo)
+		}
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "table6: %s/%s: warning: %v\n", name, tt, res.Err)
+		}
+		label := name
+		if row.Status == experiment.RowInterrupted {
+			label = name + "*" // best-so-far, not a completed search
+			interrupted = true
+		}
+		repl := "-"
+		if row.Proc2Gain {
+			repl = fmt.Sprintf("%d", row.IndSDRepl)
+		}
+		tab.Addf(label, string(tt), row.Tests,
+			report.Comma(row.SizeFull), report.Comma(row.SizePF), report.Comma(row.SizeSD),
+			row.IndFull, row.IndPF, row.IndSDRand, repl)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s/%s: final=%d stored baselines=%d/%d minimized size=%s restarts=%d elapsed=%s\n",
+				name, tt, row.IndSDFinal, row.StoredBaselines, row.Tests,
+				report.Comma(row.SizeSDMinimized), row.BuildStats.Restarts, row.Elapsed)
+		}
+	})
 	render()
 	if interrupted {
 		fmt.Println()

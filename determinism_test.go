@@ -1,0 +1,172 @@
+package sddict_test
+
+// Parallel-determinism regression tests (DESIGN.md §9): every layer that
+// fans out across internal/par — the response-matrix capture and the
+// Procedure 1 restart search — must produce byte-identical results at
+// every worker count, including across a checkpoint interrupt/resume
+// boundary. CI runs this file under GOMAXPROCS=1 and GOMAXPROCS=4.
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"sddict/internal/core"
+	"sddict/internal/experiment"
+	"sddict/internal/netlist"
+	"sddict/internal/resp"
+)
+
+// detProfiles are the two small circuit profiles the regression pins;
+// each pairs with a different test-set flavour so both ATPG paths feed
+// the parallel layers.
+var detProfiles = []struct {
+	name string
+	tt   experiment.TestSetType
+}{
+	{"s27", experiment.Diagnostic},
+	{"s208", experiment.TenDetect},
+}
+
+// workerCounts are the pool sizes every baseline must agree across. The
+// NumCPU entry makes the test exercise the machine's real parallelism,
+// whatever CI box it lands on.
+func workerCounts() []int {
+	return []int{1, 4, runtime.NumCPU()}
+}
+
+func prepareDet(t *testing.T, name string, tt experiment.TestSetType) *experiment.Prepared {
+	t.Helper()
+	pr, err := experiment.PrepareProfile(name, tt, experiment.Config{Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatalf("prepare %s/%s: %v", name, tt, err)
+	}
+	return pr
+}
+
+func assertSameBuild(t *testing.T, label string, dRef, d *core.Dictionary, stRef, st core.BuildStats) {
+	t.Helper()
+	if st != stRef {
+		t.Fatalf("%s: BuildStats differ:\n%+v\nvs reference\n%+v", label, st, stRef)
+	}
+	for j := range dRef.Baselines {
+		if d.Baselines[j] != dRef.Baselines[j] {
+			t.Fatalf("%s: baseline %d = %d, reference %d", label, j, d.Baselines[j], dRef.Baselines[j])
+		}
+	}
+}
+
+// TestBuildSameDiffWorkersIdentical: identical dictionaries and identical
+// BuildStats counters (restarts, candidate evaluations, every indist
+// figure) at workers 1, 4 and NumCPU.
+func TestBuildSameDiffWorkersIdentical(t *testing.T) {
+	for _, prof := range detProfiles {
+		pr := prepareDet(t, prof.name, prof.tt)
+		opt := core.DefaultOptions
+		opt.Seed = 11
+		opt.Calls1 = 8
+		opt.MaxRestarts = 40
+
+		opt.Workers = 1
+		dRef, stRef := core.BuildSameDiff(pr.Matrix, opt)
+		for _, workers := range workerCounts()[1:] {
+			o := opt
+			o.Workers = workers
+			d, st := core.BuildSameDiff(pr.Matrix, o)
+			assertSameBuild(t, prof.name+"/workers="+itoa(workers), dRef, d, stRef, st)
+		}
+	}
+}
+
+// TestResponseMatrixWorkersIdentical: the sharded fault sweep and the
+// concurrent per-test assembly must reproduce the sequential matrix
+// exactly — class ids included, not just the partition they induce.
+func TestResponseMatrixWorkersIdentical(t *testing.T) {
+	for _, prof := range detProfiles {
+		pr := prepareDet(t, prof.name, prof.tt)
+		view := netlist.NewScanView(pr.Circuit)
+		ref := pr.Matrix
+		for _, workers := range workerCounts()[1:] {
+			m, err := resp.BuildWorkersCtx(context.Background(), workers, view, pr.Faults, pr.Tests)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", prof.name, workers, err)
+			}
+			for j := 0; j < ref.K; j++ {
+				if m.NumClasses(j) != ref.NumClasses(j) {
+					t.Fatalf("%s workers=%d test %d: %d classes, want %d",
+						prof.name, workers, j, m.NumClasses(j), ref.NumClasses(j))
+				}
+				for i := range ref.Class[j] {
+					if m.Class[j][i] != ref.Class[j][i] {
+						t.Fatalf("%s workers=%d: Class[%d][%d] = %d, want %d",
+							prof.name, workers, j, i, m.Class[j][i], ref.Class[j][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeAcrossWorkerCounts interrupts a parallel build
+// mid-restart-phase, then resumes it at every worker count; each resumed
+// run must land exactly on the uninterrupted workers=1 result — the
+// checkpoint's recorded seed schedule makes the remaining restarts a pure
+// replay whatever the pool size.
+func TestCheckpointResumeAcrossWorkerCounts(t *testing.T) {
+	pr := prepareDet(t, "s27", experiment.Diagnostic)
+	m := pr.Matrix
+
+	opt := core.DefaultOptions
+	opt.Seed = 23
+	opt.Calls1 = 6
+	opt.MaxRestarts = 25
+
+	opt.Workers = 1
+	dRef, stRef := core.BuildSameDiff(m, opt)
+	if stRef.Restarts < 3 {
+		t.Skipf("reference finished in %d restarts; nothing to interrupt", stRef.Restarts)
+	}
+
+	// Interrupt a 4-worker run once two restarts have been folded.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *core.Checkpoint
+	optA := opt
+	optA.Workers = 4
+	optA.CheckpointEvery = 1
+	optA.OnCheckpoint = func(cp core.Checkpoint) {
+		c := cp
+		last = &c
+		if cp.Restarts >= 2 {
+			cancel()
+		}
+	}
+	_, stA, err := core.BuildSameDiffCtx(ctx, m, optA)
+	if err != nil {
+		t.Fatalf("interrupted build: %v", err)
+	}
+	if !stA.Interrupted || last == nil {
+		t.Fatalf("setup failed: interrupted=%v checkpoint=%v", stA.Interrupted, last != nil)
+	}
+	if last.Restarts >= stRef.Restarts {
+		t.Fatalf("checkpoint already has %d of %d restarts — cancel earlier", last.Restarts, stRef.Restarts)
+	}
+
+	for _, workers := range workerCounts() {
+		o := opt
+		o.Workers = workers
+		o.Resume = last
+		d, st, err := core.BuildSameDiffCtx(context.Background(), m, o)
+		if err != nil {
+			t.Fatalf("resume workers=%d: %v", workers, err)
+		}
+		if !st.Resumed || st.Interrupted {
+			t.Fatalf("resume workers=%d: resumed=%v interrupted=%v", workers, st.Resumed, st.Interrupted)
+		}
+		st.Resumed = false // the only legitimate difference from the reference
+		assertSameBuild(t, "resume workers="+itoa(workers), dRef, d, stRef, st)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

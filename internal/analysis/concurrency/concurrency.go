@@ -1,0 +1,142 @@
+// Package concurrency enforces the module's single-pool concurrency
+// discipline (DESIGN.md §9): all parallelism flows through internal/par,
+// whose ordered merge is what keeps results byte-identical across worker
+// counts. Three violations are reported everywhere outside internal/par:
+//
+//   - a naked `go` statement (an unmanaged goroutine has no ordered
+//     result merge, no bounded speculation, and no panic transport),
+//   - any use of sync.WaitGroup (hand-rolled fan-out bypasses the pool;
+//     internal/par is its only sanctioned home),
+//   - a par task closure capturing a *rand.Rand from the enclosing scope
+//     (tasks drawing from a shared generator consume it in completion
+//     order, destroying replayability; derive per-task streams with
+//     par.RNG / par.Seed inside the task instead).
+package concurrency
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sddict/internal/analysis"
+)
+
+// Analyzer is the concurrency-discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "concurrency",
+	Doc:  "forbid goroutines and sync.WaitGroup outside internal/par, and *rand.Rand captures in par task closures",
+	Run:  run,
+}
+
+// parPkg is the one package allowed to start goroutines and use
+// sync.WaitGroup.
+const parPkg = "sddict/internal/par"
+
+// exempt reports whether a package may use raw concurrency primitives.
+// Fixture packages (outside the module) are never exempt, so the
+// analyzer's own tests can exercise every diagnostic.
+func exempt(path string) bool {
+	return path == parPkg
+}
+
+func run(pass *analysis.Pass) error {
+	checkRaw := !exempt(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if checkRaw {
+					pass.Reportf(n.Pos(), "goroutine started outside internal/par; run the work through a par.Pool so results merge deterministically")
+				}
+			case *ast.SelectorExpr:
+				if checkRaw {
+					checkWaitGroup(pass, n)
+				}
+			case *ast.CallExpr:
+				checkTaskClosures(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWaitGroup flags any mention of the sync.WaitGroup type: variable
+// declarations, struct fields, parameters. Method calls on a WaitGroup
+// value need such a mention somewhere, so flagging the type reference is
+// enough to keep hand-rolled fan-out out of the tree.
+func checkWaitGroup(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	if sel.Sel.Name != "WaitGroup" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "sync" {
+		return
+	}
+	pass.Reportf(sel.Pos(), "sync.WaitGroup outside internal/par; hand-rolled fan-out bypasses the pool's ordered merge and panic transport")
+}
+
+// checkTaskClosures inspects calls into internal/par: every func-literal
+// argument is a task (or consumer) the pool will run, and must not
+// capture a *rand.Rand from the enclosing scope.
+func checkTaskClosures(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != parPkg {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		reportCapturedRand(pass, fn.Name(), lit)
+	}
+}
+
+// reportCapturedRand reports identifiers inside lit that refer to a
+// *rand.Rand (or rand.Rand) variable declared outside the literal.
+func reportCapturedRand(pass *analysis.Pass, callee string, lit *ast.FuncLit) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		// Declared inside the literal (params, locals): a per-task
+		// generator, which is the approved pattern.
+		if lit.Pos() <= obj.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		if !isRandType(obj.Type()) {
+			return true
+		}
+		seen[obj] = true
+		pass.Reportf(id.Pos(), "par.%s task captures shared generator %s; tasks draw in completion order through it — derive a per-task stream with par.RNG inside the task", callee, obj.Name())
+		return true
+	})
+}
+
+// isRandType reports whether t is math/rand.Rand (v1 or v2), possibly
+// behind a pointer.
+func isRandType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Rand" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "math/rand" || path == "math/rand/v2"
+}

@@ -1,0 +1,12 @@
+package concurrency_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/concurrency"
+)
+
+func TestConcurrency(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), concurrency.Analyzer, "a")
+}

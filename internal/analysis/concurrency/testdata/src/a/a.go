@@ -1,0 +1,83 @@
+// Fixture for the concurrency analyzer: naked goroutines, hand-rolled
+// WaitGroup fan-out, and shared generators captured by pool tasks.
+package a
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+
+	"sddict/internal/par"
+)
+
+func work(i int) int { return i }
+
+// --- naked goroutines -------------------------------------------------
+
+func nakedGo() {
+	go work(1) // want `goroutine started outside internal/par`
+}
+
+func nakedGoClosure(ch chan int) {
+	go func() { ch <- work(2) }() // want `goroutine started outside internal/par`
+}
+
+// --- sync.WaitGroup ---------------------------------------------------
+
+func handRolled(n int) {
+	var wg sync.WaitGroup // want `sync.WaitGroup outside internal/par`
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `goroutine started outside internal/par`
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+type batch struct {
+	wg sync.WaitGroup // want `sync.WaitGroup outside internal/par`
+}
+
+func takesGroup(wg *sync.WaitGroup) { // want `sync.WaitGroup outside internal/par`
+	wg.Wait()
+}
+
+// Other sync primitives stay legal: a mutex guards state, it does not
+// fan work out.
+func mutexIsFine() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	work(3)
+}
+
+// --- shared generators in pool tasks ----------------------------------
+
+func sharedGenerator(ctx context.Context, seed int64) ([]int, error) {
+	r := rand.New(rand.NewSource(seed))
+	return par.Map(ctx, par.New(4), 10, func(ctx context.Context, i int) (int, error) {
+		return r.Intn(100), nil // want `captures shared generator r`
+	})
+}
+
+func sharedGeneratorStream(ctx context.Context, r *rand.Rand) int {
+	return par.Stream(ctx, nil, 10, func(ctx context.Context, i int) int {
+		return r.Intn(100) // want `captures shared generator r`
+	}, func(i, v int) bool { return true })
+}
+
+func perTaskGenerator(ctx context.Context, seed int64) ([]int, error) {
+	return par.Map(ctx, par.New(4), 10, func(ctx context.Context, i int) (int, error) {
+		r := par.RNG(seed, i) // ok: derived inside the task from the root seed
+		return r.Intn(100), nil
+	})
+}
+
+// A generator used outside any pool task is the determinism analyzer's
+// business, not this one's.
+func sequentialGenerator(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(100)
+}

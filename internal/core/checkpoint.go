@@ -13,8 +13,11 @@ import (
 )
 
 // checkpointVersion is bumped whenever the on-disk layout or the meaning of
-// a field changes; Load rejects files from other versions.
-const checkpointVersion = 1
+// a field changes; Load rejects files from other versions. Version 2 added
+// OrderSeeds, the per-restart order-seed schedule; version-1 files predate
+// the schedule (their cumulative-shuffle restarts cannot be replayed under
+// the per-restart scheme) and are rejected.
+const checkpointVersion = 2
 
 // Checkpoint is a resumable snapshot of same/different dictionary
 // construction, taken at a Procedure 1 restart boundary. It captures the
@@ -39,6 +42,13 @@ type Checkpoint struct {
 	// NoImprove is the CALLS_1 counter: consecutive completed restarts
 	// without improvement.
 	NoImprove int `json:"no_improve"`
+	// OrderSeeds records the test-order seed of every completed restart
+	// (length Restarts): entry i must equal OrderSeed(Seed, i). The
+	// schedule is derivable from Seed, but storing it lets ValidateFor
+	// verify that the resuming build derives the same schedule — a resume
+	// from a binary with a different derivation would otherwise silently
+	// replay different restarts.
+	OrderSeeds []int64 `json:"order_seeds"`
 	// BestBaselines is the best baseline selection over the completed
 	// restarts (length MatrixK).
 	BestBaselines []int32 `json:"best_baselines"`
@@ -87,6 +97,13 @@ func (cp *Checkpoint) ValidateFor(m *resp.Matrix, opt Options) error {
 		return fmt.Errorf("core: checkpoint has %d baselines, matrix has %d tests", len(cp.BestBaselines), m.K)
 	case cp.Restarts < 1:
 		return fmt.Errorf("core: checkpoint has no completed restarts")
+	case len(cp.OrderSeeds) != cp.Restarts:
+		return fmt.Errorf("core: checkpoint has %d order seeds for %d restarts", len(cp.OrderSeeds), cp.Restarts)
+	}
+	for i, s := range cp.OrderSeeds {
+		if want := OrderSeed(opt.Seed, i); s != want {
+			return fmt.Errorf("core: checkpoint order seed %d of restart %d does not match the schedule (%d)", s, i, want)
+		}
 	}
 	for j, b := range cp.BestBaselines {
 		if b < 0 || int(b) >= m.NumClasses(j) {

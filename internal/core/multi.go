@@ -2,8 +2,8 @@ package core
 
 import (
 	"context"
-	"math/rand"
 
+	"sddict/internal/par"
 	"sddict/internal/resp"
 )
 
@@ -41,40 +41,63 @@ func BuildSameDiffMultiCtx(ctx context.Context, m *resp.Matrix, opt Options) (*D
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	r := rand.New(rand.NewSource(opt.Seed))
 	st.IndistFull = NewFull(m).Indistinguished()
 
 	maxRestarts := opt.MaxRestarts
 	if maxRestarts <= 0 {
 		maxRestarts = 1
 	}
-	order := make([]int, m.K)
-	for j := range order {
-		order[j] = j
+
+	// The restart driver mirrors the single-baseline one: restart i is a
+	// pure function of (m, opt.Seed, i) — the shuffle schedule is shared
+	// with BuildSameDiffCtx, so the two constructions explore the same
+	// test orders — and results fold in index order, making the outcome
+	// identical at every Options.Workers setting.
+	type multiResult struct {
+		b1, b2 []int32
+		indist int64
+		evals  int64
+		done   bool
 	}
-	best1, best2, bestIndist, done := procedure1Multi(ctx, m, order, opt.Lower, &st.CandidateEvals)
-	st.Restarts = 1
-	st.Interrupted = !done
+	var best1, best2 []int32
+	var bestIndist int64
 	noImprove := 0
-	for !st.Interrupted && noImprove < opt.Calls1 && st.Restarts < maxRestarts && bestIndist > st.IndistFull {
-		if ctx.Err() != nil {
+	pool := par.New(opt.Workers)
+	par.Stream(ctx, pool, maxRestarts, func(ctx context.Context, i int) multiResult {
+		var res multiResult
+		order := restartOrder(opt.Seed, i, m.K)
+		res.b1, res.b2, res.indist, res.done = procedure1Multi(ctx, m, order, opt.Lower, &res.evals)
+		return res
+	}, func(i int, res multiResult) bool {
+		if !res.done {
 			st.Interrupted = true
-			break
+			if i == 0 {
+				// Keep the partial first restart: it is still a valid
+				// (if weak) two-baseline selection.
+				best1, best2, bestIndist = res.b1, res.b2, res.indist
+				st.Restarts = 1
+			}
+			return false
 		}
-		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		b1, b2, indist, done := procedure1Multi(ctx, m, order, opt.Lower, &st.CandidateEvals)
+		st.CandidateEvals += res.evals
 		st.Restarts++
-		if !done {
-			st.Interrupted = true
-			break
-		}
-		if indist < bestIndist {
-			best1, best2, bestIndist = b1, b2, indist
-			noImprove = 0
+		if i == 0 || res.indist < bestIndist {
+			if i > 0 {
+				noImprove = 0
+			}
+			best1, best2, bestIndist = res.b1, res.b2, res.indist
 		} else {
 			noImprove++
 		}
-	}
+		if noImprove >= opt.Calls1 || st.Restarts >= maxRestarts || bestIndist <= st.IndistFull {
+			return false
+		}
+		if ctx.Err() != nil {
+			st.Interrupted = true
+			return false
+		}
+		return true
+	})
 	st.IndistProc1 = bestIndist
 	st.IndistProc2 = bestIndist
 	if opt.RunProcedure2 && !st.Interrupted && bestIndist > st.IndistFull {

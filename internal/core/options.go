@@ -18,6 +18,8 @@ func (opt Options) Validate() error {
 		return fmt.Errorf("core: Options.Calls1 must be >= 0, got %d", opt.Calls1)
 	case opt.MaxRestarts < 0:
 		return fmt.Errorf("core: Options.MaxRestarts must be >= 0, got %d", opt.MaxRestarts)
+	case opt.Workers < 0:
+		return fmt.Errorf("core: Options.Workers must be >= 0, got %d", opt.Workers)
 	case opt.CheckpointEvery < 0:
 		return fmt.Errorf("core: Options.CheckpointEvery must be >= 0, got %d", opt.CheckpointEvery)
 	case opt.CheckpointEvery > 0 && opt.OnCheckpoint == nil:

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+
+	"sddict/internal/resp"
+)
+
+// procedure1 is the paper's Procedure 1: greedy baseline selection over the
+// given test order with the LOWER early cutoff. It returns the selected
+// baselines (indexed by test, not by order position) and the number of
+// indistinguished pairs left. done is false when the run was cut short by
+// ctx; the partial baselines are still a valid selection (unprocessed tests
+// keep the fault-free baseline), but the pair count then reflects only the
+// refinements applied so far.
+func procedure1(ctx context.Context, m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, int64, bool) {
+	p := NewPartition(m.N)
+	baselines := make([]int32, m.K) // unselected tests keep the fault-free baseline
+	var scratch distScratch
+	for _, j := range order {
+		if p.Done() {
+			break
+		}
+		if ctx.Err() != nil {
+			return baselines, p.Pairs(), false
+		}
+		dist := scratch.perClass(p, m.Class[j], m.NumClasses(j))
+		best := selectWithLower(dist, lower, evals)
+		baselines[j] = best
+		p.RefineByBaseline(m.Class[j], best)
+	}
+	return baselines, p.Pairs(), true
+}
+
+// selectWithLower scans candidate classes in Z_j order (class id order) and
+// applies the LOWER cutoff from Procedure 1 step 3: scanning stops after
+// `lower` consecutive candidates scoring strictly below the best seen.
+// lower <= 0 scans everything. Ties keep the earliest candidate.
+func selectWithLower(dist []int64, lower int, evals *int64) int32 {
+	best := int64(-1)
+	bestIdx := int32(0)
+	consec := 0
+	for z := 0; z < len(dist); z++ {
+		*evals++
+		switch d := dist[z]; {
+		case d > best:
+			best, bestIdx = d, int32(z)
+			consec = 0
+		case d < best:
+			consec++
+			if lower > 0 && consec >= lower {
+				return bestIdx
+			}
+		}
+	}
+	return bestIdx
+}
+
+// distScratch holds reusable buffers for perClass. Each concurrent
+// restart owns its own instance — nothing here may be shared between
+// pool tasks.
+type distScratch struct {
+	cnt     []int64
+	touched []int32
+	sizes   []int64
+	members []int32
+	offs    []int32
+}
+
+// perClass computes, for every response class z of one test, the paper's
+// dist(z): the number of indistinguished pairs that selecting z as the
+// baseline would distinguish. A pair (i1,i2) of a group is distinguished
+// when exactly one of the two faults has class z, so each group of size s
+// with c members in class z contributes c·(s−c).
+func (sc *distScratch) perClass(p *Partition, class []int32, numClasses int) []int64 {
+	dist := make([]int64, numClasses)
+	n := int(p.next)
+	if n == 0 {
+		return dist
+	}
+	if cap(sc.sizes) < n {
+		sc.sizes = make([]int64, n)
+		sc.offs = make([]int32, n+1)
+	}
+	sizes := sc.sizes[:n]
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	for _, l := range p.lab {
+		if l >= 0 {
+			sizes[l]++
+		}
+	}
+	offs := sc.offs[:n+1]
+	offs[0] = 0
+	for l := 0; l < n; l++ {
+		offs[l+1] = offs[l] + int32(sizes[l])
+	}
+	total := int(offs[n])
+	if cap(sc.members) < total {
+		sc.members = make([]int32, total)
+	}
+	members := sc.members[:total]
+	fill := append([]int32(nil), offs[:n]...)
+	for i, l := range p.lab {
+		if l >= 0 {
+			members[fill[l]] = int32(i)
+			fill[l]++
+		}
+	}
+	if cap(sc.cnt) < numClasses {
+		sc.cnt = make([]int64, numClasses)
+	}
+	cnt := sc.cnt[:numClasses]
+	for l := 0; l < n; l++ {
+		lo, hi := offs[l], offs[l+1]
+		if hi-lo < 2 {
+			continue
+		}
+		sc.touched = sc.touched[:0]
+		for _, i := range members[lo:hi] {
+			z := class[i]
+			if cnt[z] == 0 {
+				sc.touched = append(sc.touched, z)
+			}
+			cnt[z]++
+		}
+		s := int64(hi - lo)
+		for _, z := range sc.touched {
+			dist[z] += cnt[z] * (s - cnt[z])
+			cnt[z] = 0
+		}
+	}
+	return dist
+}

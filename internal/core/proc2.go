@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+
+	"sddict/internal/resp"
+)
+
+// Procedure 2 stays serial by design: each replacement is evaluated
+// against the partition induced by all already-accepted replacements of
+// the same sweep, so test j+1's decision depends on test j's outcome.
+// Parallelizing it would change which replacements are taken and thus
+// the result (DESIGN.md §9); only the restart phase fans out.
+
+// procedure2 is the paper's Procedure 2: sweep the tests in index order,
+// replacing each baseline with the best alternative whenever that strictly
+// increases the total number of distinguished pairs; repeat until a sweep
+// makes no replacement. baselines is updated in place; the final
+// indistinguished-pair count and the sweep count are returned. done is
+// false when ctx cut the sweeps short — each replacement is individually
+// monotone, so the in-place baselines remain valid and no worse than the
+// input, and the returned count is recomputed for the partial result.
+//
+// Evaluating a replacement at test j needs the partition induced by all
+// other tests; it is formed as the meet of an incrementally maintained
+// prefix partition (tests < j, with any already-accepted replacements) and
+// a precomputed suffix partition (tests > j, with the baselines current at
+// the start of the sweep — unchanged until the sweep reaches them).
+func procedure2(ctx context.Context, m *resp.Matrix, baselines []int32) (int64, int, bool) {
+	var scratch distScratch
+	sweeps := 0
+	var finalIndist int64
+	for {
+		sweeps++
+		improved := false
+
+		suffix := make([]*Partition, m.K+1)
+		suffix[m.K] = NewPartition(m.N)
+		for j := m.K - 1; j >= 0; j-- {
+			suffix[j] = suffix[j+1].Clone()
+			suffix[j].RefineByBaseline(m.Class[j], baselines[j])
+		}
+		prefix := NewPartition(m.N)
+		for j := 0; j < m.K; j++ {
+			if ctx.Err() != nil {
+				return sdIndist(m, baselines), sweeps, false
+			}
+			rest := Meet(prefix, suffix[j+1])
+			dist := scratch.perClass(rest, m.Class[j], m.NumClasses(j))
+			cur := baselines[j]
+			best := cur
+			for z := int32(0); z < int32(len(dist)); z++ {
+				if dist[z] > dist[best] {
+					best = z
+				}
+			}
+			if best != cur {
+				baselines[j] = best
+				improved = true
+			}
+			prefix.RefineByBaseline(m.Class[j], baselines[j])
+			suffix[j] = nil // free as we go
+		}
+		finalIndist = prefix.Pairs()
+		if !improved {
+			return finalIndist, sweeps, true
+		}
+		if ctx.Err() != nil {
+			return finalIndist, sweeps, false
+		}
+	}
+}
+
+// minimizeStorage reverts baselines to the fault-free vector wherever that
+// does not reduce the number of distinguished pairs, implementing the
+// paper's remark that "the fault free output vector may be used for some of
+// the test vectors" to shrink baseline storage. It returns the number of
+// baselines reverted.
+func minimizeStorage(m *resp.Matrix, baselines []int32) int {
+	var scratch distScratch
+	saved := 0
+	suffix := make([]*Partition, m.K+1)
+	suffix[m.K] = NewPartition(m.N)
+	for j := m.K - 1; j >= 0; j-- {
+		suffix[j] = suffix[j+1].Clone()
+		suffix[j].RefineByBaseline(m.Class[j], baselines[j])
+	}
+	prefix := NewPartition(m.N)
+	for j := 0; j < m.K; j++ {
+		if baselines[j] != 0 {
+			rest := Meet(prefix, suffix[j+1])
+			dist := scratch.perClass(rest, m.Class[j], m.NumClasses(j))
+			if dist[0] == dist[baselines[j]] {
+				baselines[j] = 0
+				saved++
+			}
+		}
+		prefix.RefineByBaseline(m.Class[j], baselines[j])
+		suffix[j] = nil
+	}
+	return saved
+}
+
+// sdIndist returns the indistinguished-pair count of the same/different
+// dictionary with the given baselines, by direct refinement.
+func sdIndist(m *resp.Matrix, baselines []int32) int64 {
+	p := NewPartition(m.N)
+	for j := 0; j < m.K; j++ {
+		if p.Done() {
+			break
+		}
+		p.RefineByBaseline(m.Class[j], baselines[j])
+	}
+	return p.Pairs()
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"math/rand"
 
 	"sddict/internal/resp"
 )
@@ -20,8 +19,15 @@ type Options struct {
 	Calls1 int
 	// MaxRestarts caps the total number of Procedure 1 runs.
 	MaxRestarts int
-	// Seed drives the random test orders.
+	// Seed drives the random test orders: restart i shuffles with
+	// OrderSeed(Seed, i), so the schedule is a pure function of Seed.
 	Seed int64
+	// Workers bounds how many Procedure 1 restarts are evaluated
+	// concurrently. 0 selects one worker per available CPU, 1 forces the
+	// sequential path. The result is byte-identical at every setting —
+	// parallelism trades speculative work for wall-clock time only
+	// (DESIGN.md §9).
+	Workers int
 	// RunProcedure2 applies Procedure 2 to the best Procedure 1 result.
 	RunProcedure2 bool
 	// SeedFaultFree additionally runs Procedure 2 from all-fault-free
@@ -35,7 +41,7 @@ type Options struct {
 
 	// Resume continues an earlier run from a checkpoint taken with the same
 	// seed over the same matrix; construction proceeds exactly as the
-	// uninterrupted run would have.
+	// uninterrupted run would have, at any worker count.
 	Resume *Checkpoint
 	// CheckpointEvery invokes OnCheckpoint after every CheckpointEvery
 	// completed Procedure 1 restarts (0 disables periodic checkpoints). A
@@ -62,7 +68,7 @@ var DefaultOptions = Options{
 // BuildStats reports how a same/different dictionary was obtained.
 type BuildStats struct {
 	Restarts         int   // Procedure 1 runs performed (cumulative across resumes)
-	CandidateEvals   int64 // dist(z) evaluations across all runs
+	CandidateEvals   int64 // dist(z) evaluations across all completed runs
 	IndistFull       int64 // full-dictionary floor
 	IndistProc1      int64 // best over Procedure 1 restarts
 	IndistProc2      int64 // after Procedure 2 on the Procedure 1 result
@@ -101,6 +107,11 @@ func BuildSameDiff(m *resp.Matrix, opt Options) (*Dictionary, BuildStats) {
 // found so far with BuildStats.Interrupted set (never worse than pass/fail
 // when Options.SeedFaultFree is set). Errors are reserved for invalid
 // options, an invalid matrix, or an incompatible resume checkpoint.
+//
+// The restart phase fans out across Options.Workers goroutines through
+// internal/par; because every restart is a pure function of (m, Seed,
+// index) and results are folded in index order, the returned dictionary
+// and every BuildStats counter are identical at every worker count.
 func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictionary, BuildStats, error) {
 	var st BuildStats
 	st.IndistSeeded = -1
@@ -113,7 +124,6 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	r := rand.New(rand.NewSource(opt.Seed))
 	st.IndistFull = NewFull(m).Indistinguished()
 
 	maxRestarts := opt.MaxRestarts
@@ -121,35 +131,22 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 		maxRestarts = 1
 	}
 
-	// Procedure 1 with restarts. The first run uses the natural test order;
-	// subsequent runs shuffle. The shuffle sequence is a pure function of
-	// the seed, which is what makes checkpoints resumable: a resume replays
-	// the shuffles of the completed restarts without re-running them.
-	order := make([]int, m.K)
-	for j := range order {
-		order[j] = j
-	}
-	var bestBase []int32
-	var bestIndist int64
-	restarts, noImprove := 0, 0
-	// partialBase holds the baselines of a restart cut short by
-	// cancellation; they form a valid dictionary (unreached tests keep the
-	// fault-free baseline) and may beat the completed best.
-	var partialBase []int32
-
+	// Procedure 1 with restarts. Restart 0 uses the natural test order;
+	// restart i > 0 shuffles with OrderSeed(opt.Seed, i). The schedule is a
+	// pure function of the seed, which is what makes checkpoints resumable
+	// (and restarts parallelizable): a resume — under any worker count —
+	// picks up after the completed restarts without re-running them.
+	var rs restartState
 	if cp := opt.Resume; cp != nil {
 		if err := cp.ValidateFor(m, opt); err != nil {
 			return nil, st, err
 		}
-		bestBase = append([]int32(nil), cp.BestBaselines...)
-		bestIndist = cp.BestIndist
-		restarts = cp.Restarts
-		noImprove = cp.NoImprove
-		st.CandidateEvals = cp.CandidateEvals
+		rs.bestBase = append([]int32(nil), cp.BestBaselines...)
+		rs.bestIndist = cp.BestIndist
+		rs.restarts = cp.Restarts
+		rs.noImprove = cp.NoImprove
+		rs.evals = cp.CandidateEvals
 		st.Resumed = true
-		for i := 1; i < restarts; i++ {
-			r.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
-		}
 	}
 
 	emit := func() {
@@ -162,52 +159,24 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 			MatrixN:        m.N,
 			MatrixK:        m.K,
 			Fingerprint:    MatrixFingerprint(m),
-			Restarts:       restarts,
-			NoImprove:      noImprove,
-			BestBaselines:  append([]int32(nil), bestBase...),
-			BestIndist:     bestIndist,
-			CandidateEvals: st.CandidateEvals,
+			Restarts:       rs.restarts,
+			NoImprove:      rs.noImprove,
+			OrderSeeds:     OrderSeedSchedule(opt.Seed, rs.restarts),
+			BestBaselines:  append([]int32(nil), rs.bestBase...),
+			BestIndist:     rs.bestIndist,
+			CandidateEvals: rs.evals,
 		})
 	}
 
-	if restarts == 0 {
-		base, indist, done := procedure1(ctx, m, order, opt.Lower, &st.CandidateEvals)
-		if !done {
-			st.Interrupted = true
-			partialBase = base
-		} else {
-			bestBase, bestIndist = base, indist
-			restarts = 1
-			if opt.CheckpointEvery > 0 && restarts%opt.CheckpointEvery == 0 {
-				emit()
-			}
-		}
-	}
-	for !st.Interrupted && noImprove < opt.Calls1 && restarts < maxRestarts && bestIndist > st.IndistFull {
-		if ctx.Err() != nil {
-			st.Interrupted = true
-			break
-		}
-		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		base, indist, done := procedure1(ctx, m, order, opt.Lower, &st.CandidateEvals)
-		if !done {
-			st.Interrupted = true
-			partialBase = base
-			break
-		}
-		restarts++
-		if indist < bestIndist {
-			bestBase, bestIndist = base, indist
-			noImprove = 0
-		} else {
-			noImprove++
-		}
-		if opt.CheckpointEvery > 0 && restarts%opt.CheckpointEvery == 0 {
-			emit()
-		}
-	}
-	st.Restarts = restarts
-	if st.Interrupted && restarts > 0 {
+	// partialBase holds the baselines of a restart cut short by
+	// cancellation; they form a valid dictionary (unreached tests keep the
+	// fault-free baseline) and may beat the completed best.
+	partialBase, interrupted := runRestartsCtx(ctx, m, opt, &rs, maxRestarts, st.IndistFull, emit)
+	st.Interrupted = interrupted
+	st.Restarts = rs.restarts
+	st.CandidateEvals = rs.evals
+	bestBase, bestIndist := rs.bestBase, rs.bestIndist
+	if st.Interrupted && rs.restarts > 0 {
 		emit() // final snapshot of the completed work, so nothing is lost
 	}
 	if st.Interrupted {
@@ -215,6 +184,9 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 		// partial run, and (with SeedFaultFree) the plain pass/fail
 		// baselines — the cheap tail of the SeedFaultFree guarantee.
 		if bestBase == nil {
+			if partialBase == nil {
+				partialBase = make([]int32, m.K)
+			}
 			bestBase, bestIndist = partialBase, sdIndist(m, partialBase)
 		} else if partialBase != nil {
 			if pi := sdIndist(m, partialBase); pi < bestIndist {
@@ -281,232 +253,4 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 		}
 	}
 	return d, st, nil
-}
-
-// sdIndist returns the indistinguished-pair count of the same/different
-// dictionary with the given baselines, by direct refinement.
-func sdIndist(m *resp.Matrix, baselines []int32) int64 {
-	p := NewPartition(m.N)
-	for j := 0; j < m.K; j++ {
-		if p.Done() {
-			break
-		}
-		p.RefineByBaseline(m.Class[j], baselines[j])
-	}
-	return p.Pairs()
-}
-
-// procedure1 is the paper's Procedure 1: greedy baseline selection over the
-// given test order with the LOWER early cutoff. It returns the selected
-// baselines (indexed by test, not by order position) and the number of
-// indistinguished pairs left. done is false when the run was cut short by
-// ctx; the partial baselines are still a valid selection (unprocessed tests
-// keep the fault-free baseline), but the pair count then reflects only the
-// refinements applied so far.
-func procedure1(ctx context.Context, m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, int64, bool) {
-	p := NewPartition(m.N)
-	baselines := make([]int32, m.K) // unselected tests keep the fault-free baseline
-	var scratch distScratch
-	for _, j := range order {
-		if p.Done() {
-			break
-		}
-		if ctx.Err() != nil {
-			return baselines, p.Pairs(), false
-		}
-		dist := scratch.perClass(p, m.Class[j], m.NumClasses(j))
-		best := selectWithLower(dist, lower, evals)
-		baselines[j] = best
-		p.RefineByBaseline(m.Class[j], best)
-	}
-	return baselines, p.Pairs(), true
-}
-
-// selectWithLower scans candidate classes in Z_j order (class id order) and
-// applies the LOWER cutoff from Procedure 1 step 3: scanning stops after
-// `lower` consecutive candidates scoring strictly below the best seen.
-// lower <= 0 scans everything. Ties keep the earliest candidate.
-func selectWithLower(dist []int64, lower int, evals *int64) int32 {
-	best := int64(-1)
-	bestIdx := int32(0)
-	consec := 0
-	for z := 0; z < len(dist); z++ {
-		*evals++
-		switch d := dist[z]; {
-		case d > best:
-			best, bestIdx = d, int32(z)
-			consec = 0
-		case d < best:
-			consec++
-			if lower > 0 && consec >= lower {
-				return bestIdx
-			}
-		}
-	}
-	return bestIdx
-}
-
-// distScratch holds reusable buffers for perClass.
-type distScratch struct {
-	cnt     []int64
-	touched []int32
-	sizes   []int64
-	members []int32
-	offs    []int32
-}
-
-// perClass computes, for every response class z of one test, the paper's
-// dist(z): the number of indistinguished pairs that selecting z as the
-// baseline would distinguish. A pair (i1,i2) of a group is distinguished
-// when exactly one of the two faults has class z, so each group of size s
-// with c members in class z contributes c·(s−c).
-func (sc *distScratch) perClass(p *Partition, class []int32, numClasses int) []int64 {
-	dist := make([]int64, numClasses)
-	n := int(p.next)
-	if n == 0 {
-		return dist
-	}
-	if cap(sc.sizes) < n {
-		sc.sizes = make([]int64, n)
-		sc.offs = make([]int32, n+1)
-	}
-	sizes := sc.sizes[:n]
-	for i := range sizes {
-		sizes[i] = 0
-	}
-	for _, l := range p.lab {
-		if l >= 0 {
-			sizes[l]++
-		}
-	}
-	offs := sc.offs[:n+1]
-	offs[0] = 0
-	for l := 0; l < n; l++ {
-		offs[l+1] = offs[l] + int32(sizes[l])
-	}
-	total := int(offs[n])
-	if cap(sc.members) < total {
-		sc.members = make([]int32, total)
-	}
-	members := sc.members[:total]
-	fill := append([]int32(nil), offs[:n]...)
-	for i, l := range p.lab {
-		if l >= 0 {
-			members[fill[l]] = int32(i)
-			fill[l]++
-		}
-	}
-	if cap(sc.cnt) < numClasses {
-		sc.cnt = make([]int64, numClasses)
-	}
-	cnt := sc.cnt[:numClasses]
-	for l := 0; l < n; l++ {
-		lo, hi := offs[l], offs[l+1]
-		if hi-lo < 2 {
-			continue
-		}
-		sc.touched = sc.touched[:0]
-		for _, i := range members[lo:hi] {
-			z := class[i]
-			if cnt[z] == 0 {
-				sc.touched = append(sc.touched, z)
-			}
-			cnt[z]++
-		}
-		s := int64(hi - lo)
-		for _, z := range sc.touched {
-			dist[z] += cnt[z] * (s - cnt[z])
-			cnt[z] = 0
-		}
-	}
-	return dist
-}
-
-// procedure2 is the paper's Procedure 2: sweep the tests in index order,
-// replacing each baseline with the best alternative whenever that strictly
-// increases the total number of distinguished pairs; repeat until a sweep
-// makes no replacement. baselines is updated in place; the final
-// indistinguished-pair count and the sweep count are returned. done is
-// false when ctx cut the sweeps short — each replacement is individually
-// monotone, so the in-place baselines remain valid and no worse than the
-// input, and the returned count is recomputed for the partial result.
-//
-// Evaluating a replacement at test j needs the partition induced by all
-// other tests; it is formed as the meet of an incrementally maintained
-// prefix partition (tests < j, with any already-accepted replacements) and
-// a precomputed suffix partition (tests > j, with the baselines current at
-// the start of the sweep — unchanged until the sweep reaches them).
-func procedure2(ctx context.Context, m *resp.Matrix, baselines []int32) (int64, int, bool) {
-	var scratch distScratch
-	sweeps := 0
-	var finalIndist int64
-	for {
-		sweeps++
-		improved := false
-
-		suffix := make([]*Partition, m.K+1)
-		suffix[m.K] = NewPartition(m.N)
-		for j := m.K - 1; j >= 0; j-- {
-			suffix[j] = suffix[j+1].Clone()
-			suffix[j].RefineByBaseline(m.Class[j], baselines[j])
-		}
-		prefix := NewPartition(m.N)
-		for j := 0; j < m.K; j++ {
-			if ctx.Err() != nil {
-				return sdIndist(m, baselines), sweeps, false
-			}
-			rest := Meet(prefix, suffix[j+1])
-			dist := scratch.perClass(rest, m.Class[j], m.NumClasses(j))
-			cur := baselines[j]
-			best := cur
-			for z := int32(0); z < int32(len(dist)); z++ {
-				if dist[z] > dist[best] {
-					best = z
-				}
-			}
-			if best != cur {
-				baselines[j] = best
-				improved = true
-			}
-			prefix.RefineByBaseline(m.Class[j], baselines[j])
-			suffix[j] = nil // free as we go
-		}
-		finalIndist = prefix.Pairs()
-		if !improved {
-			return finalIndist, sweeps, true
-		}
-		if ctx.Err() != nil {
-			return finalIndist, sweeps, false
-		}
-	}
-}
-
-// minimizeStorage reverts baselines to the fault-free vector wherever that
-// does not reduce the number of distinguished pairs, implementing the
-// paper's remark that "the fault free output vector may be used for some of
-// the test vectors" to shrink baseline storage. It returns the number of
-// baselines reverted.
-func minimizeStorage(m *resp.Matrix, baselines []int32) int {
-	var scratch distScratch
-	saved := 0
-	suffix := make([]*Partition, m.K+1)
-	suffix[m.K] = NewPartition(m.N)
-	for j := m.K - 1; j >= 0; j-- {
-		suffix[j] = suffix[j+1].Clone()
-		suffix[j].RefineByBaseline(m.Class[j], baselines[j])
-	}
-	prefix := NewPartition(m.N)
-	for j := 0; j < m.K; j++ {
-		if baselines[j] != 0 {
-			rest := Meet(prefix, suffix[j+1])
-			dist := scratch.perClass(rest, m.Class[j], m.NumClasses(j))
-			if dist[0] == dist[baselines[j]] {
-				baselines[j] = 0
-				saved++
-			}
-		}
-		prefix.RefineByBaseline(m.Class[j], baselines[j])
-		suffix[j] = nil
-	}
-	return saved
 }

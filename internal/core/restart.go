@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+
+	"sddict/internal/par"
+	"sddict/internal/resp"
+)
+
+// The restart schedule.
+//
+// Every Procedure 1 restart is a pure function of (matrix, order seed):
+// restart 0 uses the natural test order, restart i > 0 shuffles with a
+// generator seeded by OrderSeed(Options.Seed, i), a SplitMix64 substream
+// of the root seed. Because no RNG state is shared between restarts, any
+// subset of restarts can run concurrently (or be replayed after a
+// resume) and still produce exactly the bits the one-worker loop would.
+// The restart *driver* then folds results in restart-index order, so the
+// winner — best (indistinguished count, restart index) — is independent
+// of worker count and goroutine scheduling (DESIGN.md §9).
+
+// OrderSeed returns the seed of restart i's test-order shuffle, a pure
+// function of the root seed and the restart index. Restart 0 runs the
+// natural order; its schedule entry exists only so checkpoints can
+// record a uniform per-restart seed list.
+func OrderSeed(seed int64, i int) int64 { return par.Seed(seed, i) }
+
+// OrderSeedSchedule returns the order seeds of restarts [0, n), the
+// schedule a checkpoint records so a resume can verify it is replaying
+// the same restart sequence (see Checkpoint.OrderSeeds).
+func OrderSeedSchedule(seed int64, n int) []int64 {
+	if n <= 0 {
+		return nil
+	}
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = OrderSeed(seed, i)
+	}
+	return s
+}
+
+// restartOrder materializes the test order of restart i over k tests.
+func restartOrder(seed int64, i, k int) []int {
+	order := make([]int, k)
+	for j := range order {
+		order[j] = j
+	}
+	if i > 0 {
+		r := rand.New(rand.NewSource(OrderSeed(seed, i)))
+		r.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	}
+	return order
+}
+
+// restartResult is the outcome of one Procedure 1 restart.
+type restartResult struct {
+	base   []int32
+	indist int64
+	evals  int64
+	// done is false when ctx cut the run short; base then holds the
+	// partial (still valid) selection and indist the pairs refined so far.
+	done bool
+}
+
+// runRestart executes restart i of the schedule: a pure function of
+// (m, seed, i, lower) with its own distScratch (inside procedure1), so
+// concurrent restarts share no state.
+func runRestart(ctx context.Context, m *resp.Matrix, seed int64, i, lower int) restartResult {
+	var res restartResult
+	order := restartOrder(seed, i, m.K)
+	res.base, res.indist, res.done = procedure1(ctx, m, order, lower, &res.evals)
+	return res
+}
+
+// restartState is the sequential fold over restart results — exactly the
+// accounting the pre-parallel one-worker loop performed, factored out so
+// the speculative driver applies it in restart-index order.
+type restartState struct {
+	bestBase   []int32
+	bestIndist int64
+	restarts   int // completed restarts folded so far
+	noImprove  int // consecutive non-improving restarts (CALLS_1 counter)
+	evals      int64
+}
+
+// fold merges the completed restart i into the state.
+func (s *restartState) fold(i int, res restartResult) {
+	s.evals += res.evals
+	if i == 0 {
+		s.bestBase, s.bestIndist = res.base, res.indist
+		s.restarts = 1
+		return
+	}
+	s.restarts++
+	if res.indist < s.bestIndist {
+		s.bestBase, s.bestIndist = res.base, res.indist
+		s.noImprove = 0
+	} else {
+		s.noImprove++
+	}
+}
+
+// wantMore reports whether the sequential loop would run another restart
+// from this state: the CALLS_1 patience is not exhausted, the restart cap
+// not reached, and the full-dictionary floor not yet attained.
+func (s *restartState) wantMore(opt Options, maxRestarts int, indistFull int64) bool {
+	return s.noImprove < opt.Calls1 && s.restarts < maxRestarts && s.bestIndist > indistFull
+}
+
+// runRestartsCtx drives the Procedure 1 restart phase: restarts are
+// fanned out across the pool speculatively, folded in index order, and
+// stopped exactly where the one-worker loop would stop, so bestBase,
+// bestIndist and all counters are byte-identical at every worker count.
+// On cancellation the fold keeps the completed in-order prefix (the only
+// state checkpoints ever record) plus the first incomplete restart's
+// partial baselines for salvage.
+func runRestartsCtx(ctx context.Context, m *resp.Matrix, opt Options, st *restartState, maxRestarts int, indistFull int64, emit func()) (partialBase []int32, interrupted bool) {
+	start := st.restarts // next restart index to run
+	if start > 0 && !st.wantMore(opt, maxRestarts, indistFull) {
+		return nil, false // resumed past the stopping point — nothing to do
+	}
+	pool := par.New(opt.Workers)
+	par.Stream(ctx, pool, maxRestarts-start, func(ctx context.Context, si int) restartResult {
+		return runRestart(ctx, m, opt.Seed, start+si, opt.Lower)
+	}, func(si int, res restartResult) bool {
+		if !res.done {
+			interrupted = true
+			partialBase = res.base
+			return false
+		}
+		st.fold(start+si, res)
+		if opt.CheckpointEvery > 0 && st.restarts%opt.CheckpointEvery == 0 {
+			emit()
+		}
+		if !st.wantMore(opt, maxRestarts, indistFull) {
+			return false
+		}
+		if ctx.Err() != nil {
+			interrupted = true
+			return false
+		}
+		return true
+	})
+	return partialBase, interrupted
+}

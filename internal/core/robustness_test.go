@@ -242,6 +242,7 @@ func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 		Fingerprint:   MatrixFingerprint(m),
 		Restarts:      4,
 		NoImprove:     1,
+		OrderSeeds:    OrderSeedSchedule(5, 4),
 		BestBaselines: make([]int32, m.K),
 		BestIndist:    17,
 	}

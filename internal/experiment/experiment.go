@@ -110,6 +110,11 @@ type Config struct {
 	// Effort in [0,1] scales the expensive knobs (Procedure 1 restarts,
 	// miter budgets) down for large circuits. 1 = paper-faithful effort.
 	Effort float64
+	// Workers bounds the parallelism inside one row: the response-matrix
+	// fault sweep and the Procedure 1 restart search both fan out across
+	// this many workers (0 = one per available CPU, 1 = sequential). Every
+	// setting produces byte-identical rows (DESIGN.md §9).
+	Workers int
 	// DetectCfg, DiagCfg and DictOpts override the scaled defaults when
 	// non-nil.
 	DetectCfg *atpg.Config
@@ -308,7 +313,7 @@ func PrepareCtx(ctx context.Context, c *netlist.Circuit, tt TestSetType, cfg Con
 		return nil, fmt.Errorf("experiment: empty test set for %s/%s", c.Name, tt)
 	}
 
-	m, merr := resp.BuildCtx(ctx, netlist.NewScanView(comb), col.Faults, tests)
+	m, merr := resp.BuildWorkersCtx(ctx, cfg.Workers, netlist.NewScanView(comb), col.Faults, tests)
 	if merr != nil {
 		return nil, &StageError{Stage: StagePrepare, Circuit: c.Name,
 			Err: fmt.Errorf("response matrix: %w", merr)}
@@ -345,6 +350,7 @@ func BuildRowCtx(ctx context.Context, pr *Prepared, tt TestSetType, cfg Config) 
 		effort = scaledEffort(pr.Circuit.NumLogicGates())
 	}
 	opts := dictOptions(cfg.Seed+4, effort)
+	opts.Workers = cfg.Workers
 	if cfg.DictOpts != nil {
 		opts = *cfg.DictOpts
 	}

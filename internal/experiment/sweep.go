@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"context"
+
+	"sddict/internal/par"
+)
+
+// RowSpec identifies one row of a Table 6 sweep together with its
+// per-row configuration (seed, effort, checkpoint path).
+type RowSpec struct {
+	Circuit string
+	TType   TestSetType
+	Config  Config
+}
+
+// RowResult couples a finished sweep row with its spec and failure state.
+// Err carries prepare/build failures (including recovered panics, as
+// *StageError); when Err is a checkpoint-save failure the Row is still
+// valid and Row.Dict is non-nil, mirroring BuildRowCtx's contract.
+type RowResult struct {
+	Spec    RowSpec
+	Row     Row
+	GenInfo string
+	Err     error
+}
+
+// runSpec executes one full pipeline row. Panics inside the pipeline are
+// already converted to *StageError by the recoverStage defers in
+// PrepareProfileCtx and BuildRowCtx, so a worker running this task can
+// only propagate a panic from outside the pipeline proper.
+func runSpec(ctx context.Context, sp RowSpec) RowResult {
+	res := RowResult{Spec: sp}
+	pr, err := PrepareProfileCtx(ctx, sp.Circuit, sp.TType, sp.Config)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.GenInfo = pr.GenInfo
+	row, err := BuildRowCtx(ctx, pr, sp.TType, sp.Config)
+	row.Circuit = sp.Circuit
+	res.Row, res.Err = row, err
+	return res
+}
+
+// RunSweepCtx runs the given sweep rows, at most workers concurrently
+// (0 = one per available CPU), and returns their results in spec order.
+// Rows are independent pipelines — each fails, degrades (RowInterrupted)
+// or panics on its own without affecting the others, exactly as in the
+// sequential sweep. observe, when non-nil, is called with each result in
+// strict spec order as soon as every earlier row has been delivered, so
+// callers can stream a deterministic report while later rows still run.
+//
+// Worker parallelism composes with Config.Workers (intra-row): a sweep of
+// many small circuits parallelizes best across rows, a single huge row
+// across restarts and fault shards. Both knobs preserve byte-identical
+// results; only scheduling changes.
+func RunSweepCtx(ctx context.Context, workers int, specs []RowSpec, observe func(i int, res RowResult)) []RowResult {
+	results := make([]RowResult, 0, len(specs))
+	pool := par.New(workers)
+	par.Stream(ctx, pool, len(specs), func(ctx context.Context, i int) RowResult {
+		return runSpec(ctx, specs[i])
+	}, func(i int, res RowResult) bool {
+		results = append(results, res)
+		if observe != nil {
+			observe(i, res)
+		}
+		return true
+	})
+	return results
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunSweepDeterministicAcrossWorkers: the sweep must deliver the same
+// rows, in spec order, at every worker count, and a failing row (here an
+// unknown profile) must be isolated to its own result.
+func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{Seed: 1}
+	specs := []RowSpec{
+		{Circuit: "s27", TType: Diagnostic, Config: cfg},
+		{Circuit: "no-such-profile", TType: Diagnostic, Config: cfg},
+		{Circuit: "s27", TType: TenDetect, Config: cfg},
+	}
+
+	run := func(workers int) []RowResult {
+		var orderSeen []int
+		results := RunSweepCtx(context.Background(), workers, specs, func(i int, _ RowResult) {
+			orderSeen = append(orderSeen, i)
+		})
+		for i, got := range orderSeen {
+			if got != i {
+				t.Fatalf("workers=%d: observe order %v not spec order", workers, orderSeen)
+			}
+		}
+		return results
+	}
+
+	ref := run(1)
+	if len(ref) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(ref), len(specs))
+	}
+	if ref[1].Err == nil {
+		t.Fatalf("unknown profile row did not fail")
+	}
+	if ref[0].Err != nil || ref[2].Err != nil {
+		t.Fatalf("good rows failed: %v / %v", ref[0].Err, ref[2].Err)
+	}
+	if ref[0].Row.Status != RowComplete || ref[2].Row.Status != RowComplete {
+		t.Fatalf("good rows not complete: %s / %s", ref[0].Row.Status, ref[2].Row.Status)
+	}
+
+	for _, workers := range []int{2, 3} {
+		got := run(workers)
+		for i := range specs {
+			if (got[i].Err == nil) != (ref[i].Err == nil) {
+				t.Fatalf("workers=%d row %d: error mismatch (%v vs %v)", workers, i, got[i].Err, ref[i].Err)
+			}
+			if got[i].Err != nil {
+				continue
+			}
+			a, b := got[i].Row, ref[i].Row
+			if a.IndFull != b.IndFull || a.IndPF != b.IndPF || a.IndSDRand != b.IndSDRand ||
+				a.IndSDFinal != b.IndSDFinal || a.Tests != b.Tests ||
+				a.BuildStats.Restarts != b.BuildStats.Restarts ||
+				a.BuildStats.CandidateEvals != b.BuildStats.CandidateEvals {
+				t.Fatalf("workers=%d row %d differs:\n%+v\nvs\n%+v", workers, i, a, b)
+			}
+		}
+	}
+}

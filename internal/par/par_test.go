@@ -1,0 +1,241 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolWorkers(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("New(7).Workers() = %d, want 7", got)
+	}
+	var p *Pool
+	if got := p.Workers(); got < 1 {
+		t.Errorf("nil pool Workers() = %d, want >= 1", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			n := 100
+			got, err := Map(context.Background(), New(workers), n, func(_ context.Context, i int) (int, error) {
+				return i * i, nil
+			})
+			if err != nil {
+				t.Fatalf("Map: %v", err)
+			}
+			if len(got) != n {
+				t.Fatalf("Map returned %d results, want %d", len(got), n)
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), New(workers), 50, func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errA
+			case 31:
+				return 0, errB
+			}
+			return i, nil
+		})
+		// The earlier index must win deterministically.
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: Map error = %v, want %v (first by index)", workers, err, errA)
+		}
+	}
+}
+
+func TestMapRethrowsTaskPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not rethrown", workers)
+				}
+				tp, ok := r.(taskPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want taskPanic", workers, r)
+				}
+				if tp.Value() != "boom" {
+					t.Fatalf("workers=%d: panic value = %v, want boom", workers, tp.Value())
+				}
+				if len(tp.Stack()) == 0 {
+					t.Fatalf("workers=%d: no worker stack captured", workers)
+				}
+			}()
+			Map(context.Background(), New(workers), 10, func(_ context.Context, i int) (int, error) {
+				if i == 3 {
+					panic("boom")
+				}
+				return i, nil
+			})
+		}()
+	}
+}
+
+func TestStreamConsumesInOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var seen []int
+			n := Stream(context.Background(), New(workers), 64, func(_ context.Context, i int) int {
+				// Finish out of order on purpose.
+				if i%3 == 0 {
+					time.Sleep(time.Duration(i%5) * time.Millisecond)
+				}
+				return i
+			}, func(i, v int) bool {
+				if v != i {
+					t.Errorf("consume(%d) got value %d", i, v)
+				}
+				seen = append(seen, i)
+				return true
+			})
+			if n != 64 || len(seen) != 64 {
+				t.Fatalf("consumed %d (callback %d), want 64", n, len(seen))
+			}
+			for i, v := range seen {
+				if v != i {
+					t.Fatalf("out-of-order consumption: position %d saw index %d", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestStreamEarlyStop(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var started int64
+		n := Stream(context.Background(), New(workers), 10_000, func(_ context.Context, i int) int {
+			atomic.AddInt64(&started, 1)
+			return i
+		}, func(i, v int) bool {
+			return i < 9 // stop after consuming index 9
+		})
+		if n != 10 {
+			t.Fatalf("workers=%d: consumed %d results, want 10", workers, n)
+		}
+		// Speculation is bounded: far fewer than the limit may start.
+		if s := atomic.LoadInt64(&started); s > int64(10+4*workers) {
+			t.Fatalf("workers=%d: %d tasks started after an early stop at 10", workers, s)
+		}
+	}
+}
+
+// TestStreamDeterministicFold is the contract the restart driver rests
+// on: folding a stream of pure per-index values must give the same
+// result at every worker count.
+func TestStreamDeterministicFold(t *testing.T) {
+	fold := func(workers int) (int64, int) {
+		var acc int64
+		n := Stream(context.Background(), New(workers), 1000, func(_ context.Context, i int) int {
+			return int(splitMix64(uint64(i)) % 1000)
+		}, func(i, v int) bool {
+			acc = acc*31 + int64(v)
+			return acc%97 != 13 // data-dependent stop
+		})
+		return acc, n
+	}
+	refAcc, refN := fold(1)
+	for _, workers := range []int{2, 4, 8} {
+		acc, n := fold(workers)
+		if acc != refAcc || n != refN {
+			t.Fatalf("workers=%d: fold (%d, %d) != workers=1 (%d, %d)", workers, acc, n, refAcc, refN)
+		}
+	}
+}
+
+func TestStreamRethrowsTaskPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("workers=%d: panic not rethrown", workers)
+				}
+			}()
+			Stream(context.Background(), New(workers), 20, func(_ context.Context, i int) int {
+				if i == 5 {
+					panic("stream boom")
+				}
+				return i
+			}, func(i, v int) bool { return true })
+		}()
+	}
+}
+
+func TestSeedIsPureAndSpread(t *testing.T) {
+	if Seed(42, 0) != Seed(42, 0) {
+		t.Fatal("Seed not deterministic")
+	}
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		s := Seed(42, i)
+		if seen[s] {
+			t.Fatalf("Seed collision at task %d", i)
+		}
+		seen[s] = true
+	}
+	if Seed(1, 5) == Seed(2, 5) {
+		t.Fatal("Seed ignores root")
+	}
+}
+
+func TestRNGIndependentStreams(t *testing.T) {
+	a1 := RNG(7, 0).Perm(20)
+	a2 := RNG(7, 0).Perm(20)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("RNG(root, task) not reproducible")
+		}
+	}
+	b := RNG(7, 1).Perm(20)
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("adjacent task RNG streams identical")
+	}
+}
+
+func TestMapContextReachesTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := Map(ctx, New(4), 8, func(ctx context.Context, i int) (bool, error) {
+		return ctx.Err() != nil, nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	for i, cancelled := range got {
+		if !cancelled {
+			t.Fatalf("task %d did not observe the cancelled context", i)
+		}
+	}
+}

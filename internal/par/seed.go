@@ -1,0 +1,38 @@
+package par
+
+import "math/rand"
+
+// splitMix64 is the SplitMix64 finalizer (Steele, Lea & Flood,
+// "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014). It is
+// used as a seed-derivation hash: statistically independent outputs for
+// adjacent inputs, so per-task substreams derived from consecutive task
+// indices do not correlate.
+func splitMix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// golden is the SplitMix64 stream increment (2^64 / φ, odd).
+const golden = 0x9E3779B97F4A7C15
+
+// Seed derives the task-th substream seed from one root seed. It is a
+// pure function of (root, task): the same pair always yields the same
+// seed, on any worker, in any interleaving — the foundation of the
+// pool's determinism contract. task must be >= 0.
+func Seed(root int64, task int) int64 {
+	return int64(splitMix64(uint64(root) + uint64(task+1)*golden))
+}
+
+// RNG returns a fresh generator for one task, seeded with Seed(root,
+// task). Each task must create its own generator through this (or an
+// equivalent locally seeded source) rather than capture one from the
+// enclosing scope; a shared *rand.Rand consumed from multiple tasks
+// draws in completion order and destroys replayability. The sddlint
+// `concurrency` analyzer flags captured generators in task closures.
+func RNG(root int64, task int) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(root, task)))
+}

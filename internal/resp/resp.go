@@ -13,6 +13,7 @@ import (
 	"sddict/internal/fault"
 	"sddict/internal/logic"
 	"sddict/internal/netlist"
+	"sddict/internal/par"
 	"sddict/internal/pattern"
 	"sddict/internal/sim"
 )
@@ -77,15 +78,37 @@ func Build(view *netlist.ScanView, faults []fault.Fault, tests *pattern.Set) *Ma
 // every 64-pattern batch. A partial response matrix would silently corrupt
 // every dictionary built from it, so unlike the dictionary search this
 // stage does not degrade: on cancellation it returns ctx.Err() and no
-// matrix.
+// matrix. It is BuildWorkersCtx at the default worker count.
 func BuildCtx(ctx context.Context, view *netlist.ScanView, faults []fault.Fault, tests *pattern.Set) (*Matrix, error) {
+	return BuildWorkersCtx(ctx, 0, view, faults, tests)
+}
+
+// patternRow is one test's assembled response data: the class of every
+// fault plus the deduplicated class vectors.
+type patternRow struct {
+	class []int32
+	vecs  []logic.BitVec
+}
+
+// BuildWorkersCtx is BuildCtx with an explicit degree of parallelism
+// (0 = one worker per available CPU, 1 = fully sequential). Batches are
+// processed in order; within a batch the fault sweep is sharded across
+// per-worker Simulator forks and the per-test class tables are assembled
+// concurrently. Fault effects are pure per (batch, fault) and every
+// test's class ids are assigned by scanning effects in fault-index order,
+// so the matrix is byte-identical at every worker count (DESIGN.md §9).
+func BuildWorkersCtx(ctx context.Context, workers int, view *netlist.ScanView, faults []fault.Fault, tests *pattern.Set) (*Matrix, error) {
 	if tests.Width != view.NumInputs() {
 		panic(fmt.Sprintf("resp: test width %d != %d scan inputs", tests.Width, view.NumInputs()))
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	m := &Matrix{N: len(faults), K: tests.Len(), M: view.NumOutputs()}
 	m.Class = make([][]int32, m.K)
 	m.Vecs = make([][]logic.BitVec, m.K)
 
+	pool := par.New(workers)
 	s := sim.New(view)
 	goodWords := make([]logic.Word, m.M)
 	base := 0
@@ -94,60 +117,114 @@ func BuildCtx(ctx context.Context, view *netlist.ScanView, faults []fault.Fault,
 		s.Apply(&b)
 		s.GoodOutputs(goodWords)
 
-		// Transpose the good outputs into per-pattern vectors and seed each
-		// test's class table with the fault-free class 0.
-		type classTable struct {
-			byHash map[uint64][]int32
-		}
-		tables := make([]classTable, b.Count)
-		for p := 0; p < b.Count; p++ {
-			j := base + p
-			good := logic.NewBitVec(m.M)
-			for o := 0; o < m.M; o++ {
-				good.Set(o, (goodWords[o]>>uint(p))&1)
-			}
-			m.Class[j] = make([]int32, m.N)
-			m.Vecs[j] = []logic.BitVec{good}
-			tables[p].byHash = map[uint64][]int32{good.Hash(): {0}}
+		effects, err := sweepEffects(ctx, pool, s, faults)
+		if err != nil {
+			return nil, err
 		}
 
-		sweepErr := s.ForEachFault(ctx, faults, func(i int, eff sim.Effect) {
-			if eff.Detect == 0 {
-				return // class 0 everywhere; Class rows start zeroed
+		// Assemble each test of the batch independently: a test's class
+		// table depends only on the good outputs and the effect list, and
+		// class ids are assigned in fault order, exactly as the sequential
+		// single-pass assembly did.
+		rows, err := par.Map(ctx, pool, b.Count, func(ctx context.Context, p int) (patternRow, error) {
+			if ctx.Err() != nil {
+				return patternRow{}, ctx.Err()
 			}
-			for p := 0; p < b.Count; p++ {
-				if eff.Detect&(1<<uint(p)) == 0 {
-					continue
-				}
-				j := base + p
-				vec := m.Vecs[j][0].Clone()
-				for _, d := range eff.Diffs {
-					if d.Bits&(1<<uint(p)) != 0 {
-						vec.Set(int(d.Slot), 1-vec.Get(int(d.Slot)))
-					}
-				}
-				h := vec.Hash()
-				cls := int32(-1)
-				for _, cand := range tables[p].byHash[h] {
-					if m.Vecs[j][cand].Equal(vec) {
-						cls = cand
-						break
-					}
-				}
-				if cls < 0 {
-					cls = int32(len(m.Vecs[j]))
-					m.Vecs[j] = append(m.Vecs[j], vec)
-					tables[p].byHash[h] = append(tables[p].byHash[h], cls)
-				}
-				m.Class[j][i] = cls
-			}
+			return assemblePattern(m, goodWords, effects, p), nil
 		})
-		if sweepErr != nil {
-			return nil, sweepErr
+		if err != nil {
+			return nil, err
+		}
+		for p, row := range rows {
+			j := base + p
+			m.Class[j] = row.class
+			m.Vecs[j] = row.vecs
 		}
 		base += b.Count
 	}
 	return m, nil
+}
+
+// sweepEffects simulates every fault against the simulator's current batch,
+// sharding the fault list across per-worker forks, and returns the effects
+// indexed by fault. Each shard is a pure function of (applied batch, fault
+// range), so the result is independent of the shard count.
+func sweepEffects(ctx context.Context, pool *par.Pool, s *sim.Simulator, faults []fault.Fault) ([]sim.Effect, error) {
+	w := pool.Workers()
+	if w == 1 {
+		effects := make([]sim.Effect, len(faults))
+		err := s.ForEachFault(ctx, faults, func(i int, eff sim.Effect) {
+			effects[i] = eff
+		})
+		if err != nil {
+			return nil, err
+		}
+		return effects, nil
+	}
+	if w > len(faults) {
+		w = len(faults)
+	}
+	shards, err := par.Map(ctx, pool, w, func(ctx context.Context, k int) ([]sim.Effect, error) {
+		lo, hi := k*len(faults)/w, (k+1)*len(faults)/w
+		fork := s.Fork()
+		shard := make([]sim.Effect, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			shard = append(shard, fork.Propagate(faults[i]))
+		}
+		return shard, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	effects := make([]sim.Effect, 0, len(faults))
+	for _, shard := range shards {
+		effects = append(effects, shard...)
+	}
+	return effects, nil
+}
+
+// assemblePattern builds one test's class row and vector table from the
+// batch's effect list, scanning faults in index order so class ids match
+// the sequential assembly bit for bit.
+func assemblePattern(m *Matrix, goodWords []logic.Word, effects []sim.Effect, p int) patternRow {
+	good := logic.NewBitVec(m.M)
+	for o := 0; o < m.M; o++ {
+		good.Set(o, (goodWords[o]>>uint(p))&1)
+	}
+	row := patternRow{
+		class: make([]int32, m.N),
+		vecs:  []logic.BitVec{good},
+	}
+	byHash := map[uint64][]int32{good.Hash(): {0}}
+	for i, eff := range effects {
+		if eff.Detect&(1<<uint(p)) == 0 {
+			continue // class 0; class rows start zeroed
+		}
+		vec := good.Clone()
+		for _, d := range eff.Diffs {
+			if d.Bits&(1<<uint(p)) != 0 {
+				vec.Set(int(d.Slot), 1-vec.Get(int(d.Slot)))
+			}
+		}
+		h := vec.Hash()
+		cls := int32(-1)
+		for _, cand := range byHash[h] {
+			if row.vecs[cand].Equal(vec) {
+				cls = cand
+				break
+			}
+		}
+		if cls < 0 {
+			cls = int32(len(row.vecs))
+			row.vecs = append(row.vecs, vec)
+			byHash[h] = append(byHash[h], cls)
+		}
+		row.class[i] = cls
+	}
+	return row
 }
 
 // FromResponses builds a matrix from explicit output vectors, e.g. when

@@ -113,3 +113,47 @@ func TestBuildForCircuit(t *testing.T) {
 		t.Fatalf("dims N=%d/%d K=%d M=%d", m.N, len(faults), m.K, m.M)
 	}
 }
+
+// TestBuildWorkersIdentical pins the determinism contract of the sharded
+// capture: the response matrix must be byte-identical at every worker
+// count, because sddlint-checked consumers assume matrices are stable
+// artifacts of (circuit, test set) alone.
+func TestBuildWorkersIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	c := gen.Profiles["s27"].MustGenerate(21)
+	view := netlist.NewScanView(c)
+	col := fault.Collapse(c)
+	tests := pattern.NewSet(view.NumInputs())
+	for i := 0; i < 130; i++ { // three batches, last one partial
+		tests.Add(pattern.Random(r, view.NumInputs()))
+	}
+	ref, err := BuildWorkersCtx(nil, 1, view, col.Faults, tests)
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		m, err := BuildWorkersCtx(nil, workers, view, col.Faults, tests)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if m.N != ref.N || m.K != ref.K || m.M != ref.M {
+			t.Fatalf("workers=%d: dims %d/%d/%d != %d/%d/%d", workers, m.N, m.K, m.M, ref.N, ref.K, ref.M)
+		}
+		for j := 0; j < ref.K; j++ {
+			if m.NumClasses(j) != ref.NumClasses(j) {
+				t.Fatalf("workers=%d test %d: %d classes, want %d", workers, j, m.NumClasses(j), ref.NumClasses(j))
+			}
+			for i := range ref.Class[j] {
+				if m.Class[j][i] != ref.Class[j][i] {
+					t.Fatalf("workers=%d test %d fault %d: class %d, want %d",
+						workers, j, i, m.Class[j][i], ref.Class[j][i])
+				}
+			}
+			for cls := range ref.Vecs[j] {
+				if !m.Vecs[j][cls].Equal(ref.Vecs[j][cls]) {
+					t.Fatalf("workers=%d test %d class %d: vector differs", workers, j, cls)
+				}
+			}
+		}
+	}
+}

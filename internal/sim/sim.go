@@ -15,7 +15,8 @@ import (
 )
 
 // Simulator evaluates one 64-pattern batch at a time over a fixed circuit.
-// It is not safe for concurrent use.
+// It is not safe for concurrent use; Fork creates independent clones of an
+// applied batch so a fault sweep can be sharded across workers.
 type Simulator struct {
 	View *netlist.ScanView
 
@@ -57,6 +58,21 @@ func New(view *netlist.ScanView) *Simulator {
 	}
 	s.inWords = make([]logic.Word, maxFanin)
 	return s
+}
+
+// Fork returns an independent simulator over the same scan view with the
+// receiver's currently applied batch already loaded: the good values and
+// valid-pattern mask are copied, the immutable circuit and view are
+// shared, and all faulty-machine scratch state is fresh. The fork can
+// Propagate concurrently with the receiver and with other forks — fault
+// effects are pure functions of (circuit, batch, fault), so sharding a
+// fault sweep across forks yields exactly the effects a single simulator
+// would produce, in any interleaving.
+func (s *Simulator) Fork() *Simulator {
+	ns := New(s.View)
+	copy(ns.good, s.good)
+	ns.mask = s.mask
+	return ns
 }
 
 // EvalWords computes the output word of a gate of type t from its fanin

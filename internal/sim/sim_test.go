@@ -241,3 +241,38 @@ func TestEvalTernaryXPropagation(t *testing.T) {
 		t.Errorf("AND(1,x) = %v, want x", vals[and])
 	}
 }
+
+// TestForkMatchesOriginal: a fork must reproduce the original's effects for
+// every fault of the applied batch, and propagating on the fork must not
+// disturb the original's state.
+func TestForkMatchesOriginal(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	c := gen.Profiles["s27"].MustGenerate(13)
+	view := netlist.NewScanView(c)
+	col := fault.Collapse(c)
+	s := New(view)
+	set := pattern.NewSet(view.NumInputs())
+	for i := 0; i < 64; i++ {
+		set.Add(pattern.Random(r, view.NumInputs()))
+	}
+	b := set.Pack()[0]
+	s.Apply(&b)
+	fork := s.Fork()
+	if fork.Mask() != s.Mask() {
+		t.Fatalf("fork mask %x != %x", fork.Mask(), s.Mask())
+	}
+	for _, f := range col.Faults {
+		// Interleave: fork first, then original — cross-contamination in
+		// either direction would show as a mismatch.
+		got := fork.Propagate(f)
+		want := s.Propagate(f)
+		if got.Detect != want.Detect || len(got.Diffs) != len(want.Diffs) {
+			t.Fatalf("fault %s: fork effect %+v, original %+v", f.Name(c), got, want)
+		}
+		for d := range want.Diffs {
+			if got.Diffs[d] != want.Diffs[d] {
+				t.Fatalf("fault %s diff %d: fork %+v, original %+v", f.Name(c), d, got.Diffs[d], want.Diffs[d])
+			}
+		}
+	}
+}
