@@ -12,7 +12,7 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own invariant checkers (determinism, ctxpropagate,
-# atomicwrite, errwrap); see DESIGN.md §8.
+# atomicwrite, errwrap, concurrency, noprint); see DESIGN.md §8.
 lint:
 	$(GO) run ./cmd/sddlint ./...
 

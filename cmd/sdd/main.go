@@ -53,6 +53,7 @@ func run(ctx context.Context) error {
 		dumpResp  = flag.String("dump-responses", "", "write the observed responses of the injected defect (cmd/diagnose input)")
 		ckpt      = flag.String("checkpoint", "", "persist/resume dictionary-search state at this file")
 		workers   = flag.Int("workers", 0, "worker count for fault simulation and restart search (0 = one per CPU); results are identical at any setting")
+		obsFlags  = cli.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -71,11 +72,15 @@ func run(ctx context.Context) error {
 		return cli.Usagef("unknown -tests %q (want diag or 10det)", *tests)
 	}
 
-	var (
-		pr  *experiment.Prepared
-		err error
-	)
-	cfg := experiment.Config{Seed: *seed, Effort: *effort, CheckpointPath: *ckpt, Workers: *workers}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	var pr *experiment.Prepared
+	cfg := experiment.Config{Seed: *seed, Effort: *effort, CheckpointPath: *ckpt, Workers: *workers,
+		Obs: sess.Observer}
 	switch {
 	case *benchPath != "":
 		f, ferr := os.Open(*benchPath)
@@ -187,6 +192,9 @@ func run(ctx context.Context) error {
 		}
 		fmt.Printf("compiled same/different dictionary written to %s (%s bytes on disk, %s payload bits)\n",
 			*saveDict, report.Comma(n), report.Comma(compiled.SizeBits()))
+	}
+	if err := sess.Finish(os.Stdout); err != nil {
+		return err
 	}
 	if row.Status == experiment.RowInterrupted {
 		return cli.ErrInterrupted

@@ -13,6 +13,9 @@
 //	errwrap       fmt.Errorf wraps error arguments with %w
 //	concurrency   goroutines and sync.WaitGroup only in internal/par;
 //	              no shared *rand.Rand captured by pool tasks
+//	noprint       no fmt printing to stdout/stderr, log.*, or print
+//	              built-ins in library packages (internal/obs and
+//	              internal/cli are the sanctioned output sinks)
 //
 // Usage:
 //
@@ -33,6 +36,7 @@ import (
 	"sddict/internal/analysis/ctxpropagate"
 	"sddict/internal/analysis/determinism"
 	"sddict/internal/analysis/errwrap"
+	"sddict/internal/analysis/noprint"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -41,6 +45,7 @@ var analyzers = []*analysis.Analyzer{
 	atomicwrite.Analyzer,
 	errwrap.Analyzer,
 	concurrency.Analyzer,
+	noprint.Analyzer,
 }
 
 func main() {

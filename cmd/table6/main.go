@@ -49,7 +49,8 @@ func run(ctx context.Context) error {
 		effort  = flag.Float64("effort", 0, "search effort in (0,1]; 0 = auto-scale by circuit size")
 		verbose = flag.Bool("v", false, "print per-row generation details")
 		ckptDir = flag.String("checkpoint-dir", "", "persist/resume per-row dictionary-search state in this directory")
-		workers = flag.Int("workers", 0, "sweep rows to run concurrently (0 = one per CPU); results are identical at any setting")
+		workers  = flag.Int("workers", 0, "sweep rows to run concurrently (0 = one per CPU); results are identical at any setting")
+		obsFlags = cli.RegisterObsFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -58,6 +59,12 @@ func run(ctx context.Context) error {
 			return err
 		}
 	}
+
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	tab := report.NewTable(
 		"circuit", "Ttype", "|T|",
@@ -104,7 +111,7 @@ it improves on Procedure 1 (the paper omits it otherwise).`)
 		}
 	}
 
-	experiment.RunSweepCtx(ctx, rowWorkers, specs, func(_ int, res experiment.RowResult) {
+	experiment.RunSweepObsCtx(ctx, rowWorkers, specs, sess.Observer, func(_ int, res experiment.RowResult) {
 		name, tt := res.Spec.Circuit, res.Spec.TType
 		row := res.Row
 		if res.Err != nil && row.Dict == nil {
@@ -143,7 +150,16 @@ it improves on Procedure 1 (the paper omits it otherwise).`)
 				report.Comma(row.SizeSDMinimized), row.BuildStats.Restarts, row.Elapsed)
 		}
 	})
+	if ctx.Err() != nil {
+		// Cancellation between row deliveries produces no per-row signal:
+		// the sweep just stops handing out results. Without this check a
+		// sweep interrupted at a row boundary would render as complete.
+		interrupted = true
+	}
 	render()
+	if err := sess.Finish(os.Stdout); err != nil {
+		return err
+	}
 	if interrupted {
 		fmt.Println()
 		fmt.Println("interrupted: rows marked * hold the best dictionary found before the signal;")

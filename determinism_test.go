@@ -7,14 +7,18 @@ package sddict_test
 // boundary. CI runs this file under GOMAXPROCS=1 and GOMAXPROCS=4.
 
 import (
+	"bytes"
 	"context"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sddict/internal/core"
 	"sddict/internal/experiment"
 	"sddict/internal/netlist"
+	"sddict/internal/obs"
 	"sddict/internal/resp"
 )
 
@@ -170,3 +174,136 @@ func TestCheckpointResumeAcrossWorkerCounts(t *testing.T) {
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }
+
+// TestObservabilityPureMeasurement (DESIGN.md §10): attaching a full
+// Observer — metrics, trace, progress — must not change a single bit of
+// the dictionary, the BuildStats, or the response matrix, at any worker
+// count. And because the layers record only at ordered fold points, the
+// counter values themselves must also be identical at every worker count.
+func TestObservabilityPureMeasurement(t *testing.T) {
+	for _, prof := range detProfiles {
+		pr := prepareDet(t, prof.name, prof.tt)
+		opt := core.DefaultOptions
+		opt.Seed = 11
+		opt.Calls1 = 8
+		opt.MaxRestarts = 40
+
+		opt.Workers = 1
+		dRef, stRef := core.BuildSameDiff(pr.Matrix, opt)
+
+		var refCounters map[string]int64
+		for _, workers := range workerCounts() {
+			var trace bytes.Buffer
+			var progress bytes.Buffer
+			// The clock is shared by the tracer (worker-side emits) and the
+			// progress reporter (fold-side ticks), so it must be thread-safe
+			// like time.Now.
+			var now atomic.Int64
+			clock := func() time.Time { return time.Unix(now.Add(1), 0) }
+			m := obs.NewMetrics()
+			ob := &obs.Observer{
+				Metrics:  m,
+				Trace:    obs.NewTracer(&trace, clock),
+				Progress: obs.NewProgress(&progress, time.Second, clock, m),
+			}
+			o := opt
+			o.Workers = workers
+			o.Obs = ob
+			d, st := core.BuildSameDiff(pr.Matrix, o)
+			assertSameBuild(t, prof.name+"/observed workers="+itoa(workers), dRef, d, stRef, st)
+			if _, err := obs.ReadEvents(&trace); err != nil {
+				t.Fatalf("%s workers=%d: trace does not parse: %v", prof.name, workers, err)
+			}
+			snap := m.Snapshot()
+			if snap.Counters["restarts_run"] != int64(stRef.Restarts) {
+				t.Fatalf("%s workers=%d: restarts_run = %d, BuildStats has %d",
+					prof.name, workers, snap.Counters["restarts_run"], stRef.Restarts)
+			}
+			if snap.Counters["candidate_scans"] != stRef.CandidateEvals {
+				t.Fatalf("%s workers=%d: candidate_scans = %d, BuildStats has %d",
+					prof.name, workers, snap.Counters["candidate_scans"], stRef.CandidateEvals)
+			}
+			if refCounters == nil {
+				refCounters = snap.Counters
+			} else {
+				for name, v := range snap.Counters {
+					if v != refCounters[name] {
+						t.Fatalf("%s workers=%d: counter %s = %d, workers=1 recorded %d",
+							prof.name, workers, name, v, refCounters[name])
+					}
+				}
+			}
+		}
+
+		// The observed response matrix must equal the unobserved one.
+		view := netlist.NewScanView(pr.Circuit)
+		for _, workers := range workerCounts() {
+			ob := &obs.Observer{Metrics: obs.NewMetrics()}
+			m, err := resp.BuildObsCtx(context.Background(), workers, view, pr.Faults, pr.Tests, ob)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", prof.name, workers, err)
+			}
+			for j := 0; j < pr.Matrix.K; j++ {
+				for i := range pr.Matrix.Class[j] {
+					if m.Class[j][i] != pr.Matrix.Class[j][i] {
+						t.Fatalf("%s workers=%d: observed matrix Class[%d][%d] = %d, want %d",
+							prof.name, workers, j, i, m.Class[j][i], pr.Matrix.Class[j][i])
+					}
+				}
+			}
+			if got := ob.M().Counter(obs.SimBatches); got == 0 {
+				t.Fatalf("%s workers=%d: sim_batches not recorded", prof.name, workers)
+			}
+		}
+	}
+}
+
+// TestInterruptedTraceEndsWithCheckpointSave: a build interrupted during
+// the restart phase must leave a parseable trace whose final event is the
+// checkpoint_save of the completed work — the invariant that makes an
+// interrupted -trace-out file trustworthy for post-mortems.
+func TestInterruptedTraceEndsWithCheckpointSave(t *testing.T) {
+	pr := prepareDet(t, "s27", experiment.Diagnostic)
+	m := pr.Matrix
+
+	opt := core.DefaultOptions
+	opt.Seed = 23
+	opt.Calls1 = 6
+	opt.MaxRestarts = 25
+	opt.Workers = 4
+	opt.CheckpointEvery = 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var trace bytes.Buffer
+	opt.Obs = &obs.Observer{Metrics: obs.NewMetrics(), Trace: obs.NewTracer(&trace, nil)}
+	opt.OnCheckpoint = func(cp core.Checkpoint) {
+		if cp.Restarts >= 2 {
+			cancel()
+		}
+	}
+	_, st, err := core.BuildSameDiffCtx(ctx, m, opt)
+	if err != nil {
+		t.Fatalf("interrupted build: %v", err)
+	}
+	if !st.Interrupted {
+		t.Skip("build finished before the cancel landed; nothing to assert")
+	}
+	events, err := obs.ReadEvents(&trace)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("interrupted build left an empty trace")
+	}
+	last := events[len(events)-1]
+	if last.Type != "checkpoint_save" {
+		t.Fatalf("trace ends with %q, want checkpoint_save (events: %d)", last.Type, len(events))
+	}
+	if persisted, _ := last.Fields["persisted"].(bool); !persisted {
+		t.Fatalf("final checkpoint_save not persisted: %v", last.Fields)
+	}
+	if got := opt.Obs.M().Counter(obs.CheckpointSaves); got < 2 {
+		t.Fatalf("checkpoint_saves = %d, want >= 2", got)
+	}
+}

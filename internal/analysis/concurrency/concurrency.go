@@ -31,11 +31,17 @@ var Analyzer = &analysis.Analyzer{
 // sync.WaitGroup.
 const parPkg = "sddict/internal/par"
 
+// obsPkg is additionally allowed one goroutine: the pprof debug
+// listener. It serves read-only runtime profiles and produces no result
+// that could merge into a computation, so the pool's ordered-merge
+// discipline has nothing to order there (see internal/obs/pprof.go).
+const obsPkg = "sddict/internal/obs"
+
 // exempt reports whether a package may use raw concurrency primitives.
 // Fixture packages (outside the module) are never exempt, so the
 // analyzer's own tests can exercise every diagnostic.
 func exempt(path string) bool {
-	return path == parPkg
+	return path == parPkg || path == obsPkg
 }
 
 func run(pass *analysis.Pass) error {

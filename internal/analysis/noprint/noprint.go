@@ -1,0 +1,124 @@
+// Package noprint keeps ad-hoc printing out of the library packages.
+// All user-facing output belongs to the cmd layer and the observability
+// sinks in internal/obs (progress lines, traces, metrics reports) — a
+// stray fmt.Println deep in the search not only pollutes command output,
+// it bypasses the determinism contract that observation happens only at
+// ordered fold points (DESIGN.md §10).
+//
+// Flagged in library packages (sddict/internal/... except internal/obs
+// and internal/cli):
+//
+//   - fmt.Print / fmt.Printf / fmt.Println (always write to stdout),
+//   - fmt.Fprint* whose writer argument is syntactically os.Stdout or
+//     os.Stderr (Fprint* to a caller-supplied io.Writer is fine — that
+//     is how internal/report and internal/bench render results),
+//   - any function from the log package (the repo has no logger; the
+//     trace is the structured event channel),
+//   - the print / println built-ins.
+package noprint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sddict/internal/analysis"
+)
+
+// Analyzer is the no-ad-hoc-printing checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "noprint",
+	Doc:  "forbid fmt printing to stdout/stderr, log.*, and print built-ins in library packages outside internal/obs and internal/cli",
+	Run:  run,
+}
+
+// inScope covers the library packages. The cmd layer owns its stdout;
+// internal/obs and internal/cli are the sanctioned output sinks.
+// Fixture packages (outside the module) are always in scope so the
+// analyzer's own tests can exercise every diagnostic.
+func inScope(path string) bool {
+	switch path {
+	case "sddict/internal/obs", "sddict/internal/cli":
+		return false
+	}
+	return strings.HasPrefix(path, "sddict/internal/") ||
+		!strings.HasPrefix(path, "sddict")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if name, ok := builtinPrint(pass.TypesInfo, call); ok {
+		pass.Reportf(call.Pos(), "built-in %s writes to stderr; route output through internal/obs or return it to the caller", name)
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "log":
+		pass.Reportf(call.Pos(), "log.%s in a library package; use the obs trace for structured events or return an error", fn.Name())
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			pass.Reportf(call.Pos(), "fmt.%s prints to stdout from a library package; only the cmd layer owns stdout", fn.Name())
+		case "Fprint", "Fprintf", "Fprintln":
+			if std := stdStreamArg(pass.TypesInfo, call); std != "" {
+				pass.Reportf(call.Pos(), "fmt.%s to os.%s from a library package; write to a caller-supplied io.Writer instead", fn.Name(), std)
+			}
+		}
+	}
+}
+
+// builtinPrint reports whether call invokes the print or println
+// built-in (not a user-defined function of the same name).
+func builtinPrint(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return "", false
+	}
+	if id.Name == "print" || id.Name == "println" {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// stdStreamArg returns "Stdout" or "Stderr" when the call's first
+// argument is that os stream, "" otherwise.
+func stdStreamArg(info *types.Info, call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "os" {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,12 @@
+package noprint_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/noprint"
+)
+
+func TestNoPrint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noprint.Analyzer, "a")
+}

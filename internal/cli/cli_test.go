@@ -1,0 +1,146 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sddict/internal/obs"
+)
+
+// TestExitCode pins the exit-code contract every command shares:
+// 0 success, 1 runtime failure, 2 usage error, 130 interruption.
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		signalled bool
+		want      int
+	}{
+		{"success", nil, false, ExitOK},
+		{"success despite signal", nil, true, ExitOK},
+		{"runtime error", errors.New("boom"), false, ExitRuntime},
+		{"usage error", Usagef("need -circuit"), false, ExitUsage},
+		{"wrapped usage error", fmt.Errorf("parsing: %w", Usagef("bad flag")), false, ExitUsage},
+		{"self-reported interruption", ErrInterrupted, false, ExitInterrupted},
+		{"wrapped interruption", fmt.Errorf("sweep: %w", ErrInterrupted), true, ExitInterrupted},
+		{"signalled cancellation", context.Canceled, true, ExitInterrupted},
+		{"unsignalled cancellation", context.Canceled, false, ExitRuntime},
+		{"wrapped signalled cancellation", fmt.Errorf("stage: %w", context.Canceled), true, ExitInterrupted},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err, c.signalled); got != c.want {
+			t.Errorf("%s: ExitCode(%v, %v) = %d, want %d", c.name, c.err, c.signalled, got, c.want)
+		}
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	err := Usagef("need -%s", "circuit")
+	if err.Error() != "need -circuit" {
+		t.Errorf("Usagef message = %q", err.Error())
+	}
+	var ue *UsageError
+	if !errors.As(err, &ue) {
+		t.Error("Usagef result does not match *UsageError")
+	}
+}
+
+// TestObsFlagsOff: with no flag set, Start yields a nil Observer (the
+// libraries then skip every observation) and Finish/Close are no-ops.
+func TestObsFlagsOff(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterObsFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Enabled() {
+		t.Fatal("no flags set but Enabled() = true")
+	}
+	sess, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Observer != nil {
+		t.Error("observability off must carry a nil Observer")
+	}
+	var buf bytes.Buffer
+	if err := sess.Finish(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("Finish on an off session wrote %q, err %v", buf.String(), err)
+	}
+}
+
+// TestObsFlagsSession: the flags assemble a working session — trace
+// events land in the JSONL file, Finish writes the JSON snapshot and the
+// report section, Close releases the sinks.
+func TestObsFlagsSession(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterObsFlags(fs)
+	if err := fs.Parse([]string{
+		"-trace-out", tracePath, "-metrics-out", metricsPath, "-progress", "1ms",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Observer == nil {
+		t.Fatal("flags set but Observer is nil")
+	}
+	sess.Observer.M().Inc(obs.RestartsRun)
+	sess.Observer.Emit("build_start", map[string]any{"tests": 3})
+	time.Sleep(2 * time.Millisecond)
+	sess.Observer.Tick() // progress interval elapsed: prints to stderr
+
+	var report bytes.Buffer
+	if err := sess.Finish(&report); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if !strings.Contains(report.String(), "observability metrics:") ||
+		!strings.Contains(report.String(), "restarts_run = 1") {
+		t.Errorf("report section missing metrics: %q", report.String())
+	}
+
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	events, err := obs.ReadEvents(tf)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(events) != 1 || events[0].Type != "build_start" {
+		t.Fatalf("trace events = %+v, want one build_start", events)
+	}
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if snap.Counters["restarts_run"] != 1 {
+		t.Errorf("metrics snapshot restarts_run = %d, want 1", snap.Counters["restarts_run"])
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"sddict/internal/obs"
 	"sddict/internal/par"
 	"sddict/internal/resp"
 )
@@ -54,19 +55,24 @@ func BuildSameDiffMultiCtx(ctx context.Context, m *resp.Matrix, opt Options) (*D
 	// test orders — and results fold in index order, making the outcome
 	// identical at every Options.Workers setting.
 	type multiResult struct {
-		b1, b2 []int32
-		indist int64
-		evals  int64
-		done   bool
+		b1, b2  []int32
+		indist  int64
+		evals   int64
+		cutoffs int64
+		done    bool
 	}
+	ob := opt.Obs
 	var best1, best2 []int32
 	var bestIndist int64
 	noImprove := 0
 	pool := par.New(opt.Workers)
 	par.Stream(ctx, pool, maxRestarts, func(ctx context.Context, i int) multiResult {
+		if ob.Tracing() {
+			ob.Emit("restart_start", map[string]any{"restart": i, "order_seed": OrderSeed(opt.Seed, i)})
+		}
 		var res multiResult
 		order := restartOrder(opt.Seed, i, m.K)
-		res.b1, res.b2, res.indist, res.done = procedure1Multi(ctx, m, order, opt.Lower, &res.evals)
+		res.b1, res.b2, res.indist, res.done = procedure1Multi(ctx, m, order, opt.Lower, &res.evals, &res.cutoffs)
 		return res
 	}, func(i int, res multiResult) bool {
 		if !res.done {
@@ -81,7 +87,8 @@ func BuildSameDiffMultiCtx(ctx context.Context, m *resp.Matrix, opt Options) (*D
 		}
 		st.CandidateEvals += res.evals
 		st.Restarts++
-		if i == 0 || res.indist < bestIndist {
+		improved := i == 0 || res.indist < bestIndist
+		if improved {
 			if i > 0 {
 				noImprove = 0
 			}
@@ -89,6 +96,20 @@ func BuildSameDiffMultiCtx(ctx context.Context, m *resp.Matrix, opt Options) (*D
 		} else {
 			noImprove++
 		}
+		// Observation at the ordered fold point only, as in runRestartsCtx.
+		ob.M().Inc(obs.RestartsRun)
+		ob.M().Add(obs.CandidateScans, res.evals)
+		ob.M().Add(obs.LowerCutoffHits, res.cutoffs)
+		ob.M().Set(obs.RestartsSinceImprove, int64(noImprove))
+		ob.M().Set(obs.IndistPairs, bestIndist)
+		ob.M().Observe(obs.RestartIndist, res.indist)
+		if ob.Tracing() {
+			ob.Emit("restart_end", map[string]any{
+				"restart": i, "indist": res.indist, "best": bestIndist,
+				"improved": improved,
+			})
+		}
+		ob.Tick()
 		if noImprove >= opt.Calls1 || st.Restarts >= maxRestarts || bestIndist <= st.IndistFull {
 			return false
 		}
@@ -124,7 +145,7 @@ func BuildSameDiffMultiCtx(ctx context.Context, m *resp.Matrix, opt Options) (*D
 // procedure1Multi mirrors procedure1 with two baseline slots per test. done
 // is false when ctx cut the run short; like procedure1, the partial
 // baselines remain a valid selection.
-func procedure1Multi(ctx context.Context, m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, []int32, int64, bool) {
+func procedure1Multi(ctx context.Context, m *resp.Matrix, order []int, lower int, evals, cutoffs *int64) ([]int32, []int32, int64, bool) {
 	p := NewPartition(m.N)
 	b1 := make([]int32, m.K)
 	b2 := make([]int32, m.K)
@@ -137,14 +158,14 @@ func procedure1Multi(ctx context.Context, m *resp.Matrix, order []int, lower int
 			return b1, b2, p.Pairs(), false
 		}
 		dist := scratch.perClass(p, m.Class[j], m.NumClasses(j))
-		first := selectWithLower(dist, lower, evals)
+		first := selectWithLower(dist, lower, evals, cutoffs)
 		b1[j] = first
 		p.RefineByBaseline(m.Class[j], first)
 		if p.Done() {
 			break
 		}
 		dist = scratch.perClass(p, m.Class[j], m.NumClasses(j))
-		second := selectWithLower(dist, lower, evals)
+		second := selectWithLower(dist, lower, evals, cutoffs)
 		b2[j] = second
 		p.RefineByBaseline(m.Class[j], second)
 	}

@@ -138,8 +138,8 @@ func TestPaperTable4(t *testing.T) {
 			t.Errorf("dist(%s) = %d, want %d", s, dist[c], w)
 		}
 	}
-	var evals int64
-	best := selectWithLower(dist, 10, &evals)
+	var evals, cutoffs int64
+	best := selectWithLower(dist, 10, &evals, &cutoffs)
 	if best != classOf(t, m, 0, "01") {
 		t.Errorf("selected baseline %d, want class of 01", best)
 	}
@@ -164,8 +164,8 @@ func TestPaperTable5(t *testing.T) {
 			t.Errorf("dist(%s) = %d, want %d", s, dist[c], w)
 		}
 	}
-	var evals int64
-	best := selectWithLower(dist, 10, &evals)
+	var evals, cutoffs int64
+	best := selectWithLower(dist, 10, &evals, &cutoffs)
 	if best != classOf(t, m, 1, "10") {
 		t.Errorf("selected baseline %d, want class of 10", best)
 	}

@@ -13,7 +13,7 @@ import (
 // ctx; the partial baselines are still a valid selection (unprocessed tests
 // keep the fault-free baseline), but the pair count then reflects only the
 // refinements applied so far.
-func procedure1(ctx context.Context, m *resp.Matrix, order []int, lower int, evals *int64) ([]int32, int64, bool) {
+func procedure1(ctx context.Context, m *resp.Matrix, order []int, lower int, evals, cutoffs *int64) ([]int32, int64, bool) {
 	p := NewPartition(m.N)
 	baselines := make([]int32, m.K) // unselected tests keep the fault-free baseline
 	var scratch distScratch
@@ -25,7 +25,7 @@ func procedure1(ctx context.Context, m *resp.Matrix, order []int, lower int, eva
 			return baselines, p.Pairs(), false
 		}
 		dist := scratch.perClass(p, m.Class[j], m.NumClasses(j))
-		best := selectWithLower(dist, lower, evals)
+		best := selectWithLower(dist, lower, evals, cutoffs)
 		baselines[j] = best
 		p.RefineByBaseline(m.Class[j], best)
 	}
@@ -35,8 +35,10 @@ func procedure1(ctx context.Context, m *resp.Matrix, order []int, lower int, eva
 // selectWithLower scans candidate classes in Z_j order (class id order) and
 // applies the LOWER cutoff from Procedure 1 step 3: scanning stops after
 // `lower` consecutive candidates scoring strictly below the best seen.
-// lower <= 0 scans everything. Ties keep the earliest candidate.
-func selectWithLower(dist []int64, lower int, evals *int64) int32 {
+// lower <= 0 scans everything. Ties keep the earliest candidate. cutoffs
+// counts scans the cutoff terminated early — a per-restart tally folded
+// into the obs.LowerCutoffHits metric, never into the search itself.
+func selectWithLower(dist []int64, lower int, evals, cutoffs *int64) int32 {
 	best := int64(-1)
 	bestIdx := int32(0)
 	consec := 0
@@ -49,6 +51,7 @@ func selectWithLower(dist []int64, lower int, evals *int64) int32 {
 		case d < best:
 			consec++
 			if lower > 0 && consec >= lower {
+				*cutoffs++
 				return bestIdx
 			}
 		}

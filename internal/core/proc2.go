@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"sddict/internal/obs"
 	"sddict/internal/resp"
 )
 
@@ -26,13 +27,14 @@ import (
 // prefix partition (tests < j, with any already-accepted replacements) and
 // a precomputed suffix partition (tests > j, with the baselines current at
 // the start of the sweep — unchanged until the sweep reaches them).
-func procedure2(ctx context.Context, m *resp.Matrix, baselines []int32) (int64, int, bool) {
+func procedure2(ctx context.Context, m *resp.Matrix, baselines []int32, ob *obs.Observer) (int64, int, bool) {
 	var scratch distScratch
 	sweeps := 0
 	var finalIndist int64
 	for {
 		sweeps++
 		improved := false
+		accepted, rejected := 0, 0
 
 		suffix := make([]*Partition, m.K+1)
 		suffix[m.K] = NewPartition(m.N)
@@ -57,11 +59,26 @@ func procedure2(ctx context.Context, m *resp.Matrix, baselines []int32) (int64, 
 			if best != cur {
 				baselines[j] = best
 				improved = true
+				accepted++
+			} else {
+				rejected++
 			}
 			prefix.RefineByBaseline(m.Class[j], baselines[j])
 			suffix[j] = nil // free as we go
 		}
 		finalIndist = prefix.Pairs()
+		// Procedure 2 is serial, so the end of a sweep is already an
+		// ordered observation point.
+		ob.M().Add(obs.Proc2Accepted, int64(accepted))
+		ob.M().Add(obs.Proc2Rejected, int64(rejected))
+		ob.M().Set(obs.IndistPairs, finalIndist)
+		if ob.Tracing() {
+			ob.Emit("proc2_sweep", map[string]any{
+				"sweep": sweeps, "accepted": accepted, "rejected": rejected,
+				"indist": finalIndist,
+			})
+		}
+		ob.Tick()
 		if !improved {
 			return finalIndist, sweeps, true
 		}

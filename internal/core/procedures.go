@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"sddict/internal/obs"
 	"sddict/internal/resp"
 )
 
@@ -51,6 +52,15 @@ type Options struct {
 	// OnCheckpoint receives construction snapshots; typically it saves them
 	// with Checkpoint.Save. It is called synchronously from BuildSameDiff.
 	OnCheckpoint func(Checkpoint)
+
+	// Obs receives measurement-only observability signals during
+	// construction: metrics at the ordered restart fold points, build
+	// events on the trace, progress ticks. nil disables observation.
+	// Observation never feeds back into the search — the dictionary and
+	// every BuildStats counter are byte-identical with Obs set or nil,
+	// at every worker count (DESIGN.md §10; pinned by the root
+	// determinism tests).
+	Obs *obs.Observer
 }
 
 // DefaultOptions reproduces the paper's setup (LOWER = 10, CALLS_1 = 100,
@@ -131,6 +141,16 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 		maxRestarts = 1
 	}
 
+	ob := opt.Obs
+	if ob.Tracing() {
+		ob.Emit("build_start", map[string]any{
+			"faults": m.N, "tests": m.K, "seed": opt.Seed,
+			"lower": opt.Lower, "calls1": opt.Calls1,
+			"max_restarts": maxRestarts, "workers": opt.Workers,
+			"indist_full": st.IndistFull,
+		})
+	}
+
 	// Procedure 1 with restarts. Restart 0 uses the natural test order;
 	// restart i > 0 shuffles with OrderSeed(opt.Seed, i). The schedule is a
 	// pure function of the seed, which is what makes checkpoints resumable
@@ -147,9 +167,24 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 		rs.noImprove = cp.NoImprove
 		rs.evals = cp.CandidateEvals
 		st.Resumed = true
+		if ob.Tracing() {
+			ob.Emit("checkpoint_load", map[string]any{
+				"restarts": rs.restarts, "best_indist": rs.bestIndist,
+			})
+		}
 	}
 
+	// emit takes a construction snapshot: always observed (counter plus
+	// trace event, with "persisted" recording whether a sink exists),
+	// handed to OnCheckpoint only when the caller installed one.
 	emit := func() {
+		ob.M().Inc(obs.CheckpointSaves)
+		if ob.Tracing() {
+			ob.Emit("checkpoint_save", map[string]any{
+				"restarts": rs.restarts, "best_indist": rs.bestIndist,
+				"persisted": opt.OnCheckpoint != nil,
+			})
+		}
 		if opt.OnCheckpoint == nil {
 			return
 		}
@@ -176,9 +211,6 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 	st.Restarts = rs.restarts
 	st.CandidateEvals = rs.evals
 	bestBase, bestIndist := rs.bestBase, rs.bestIndist
-	if st.Interrupted && rs.restarts > 0 {
-		emit() // final snapshot of the completed work, so nothing is lost
-	}
 	if st.Interrupted {
 		// Salvage: keep the best of the completed restarts, the interrupted
 		// partial run, and (with SeedFaultFree) the plain pass/fail
@@ -210,6 +242,17 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 				st.StoredBaselines++
 			}
 		}
+		if ob.Tracing() {
+			ob.Emit("build_end", map[string]any{
+				"indist": bestIndist, "restarts": rs.restarts, "interrupted": true,
+			})
+		}
+		if rs.restarts > 0 {
+			// Final snapshot of the completed work, so nothing is lost. Last
+			// deliberately: an interrupted trace ends on checkpoint_save, the
+			// invariant the root interruption test pins.
+			emit()
+		}
 		return d, st, nil
 	}
 	st.IndistProc1 = bestIndist
@@ -219,7 +262,7 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 	// monotone, so an interrupted sweep still leaves valid baselines no
 	// worse than its input.
 	if opt.RunProcedure2 && bestIndist > st.IndistFull {
-		indist, sweeps, done := procedure2(ctx, m, bestBase)
+		indist, sweeps, done := procedure2(ctx, m, bestBase, ob)
 		st.Proc2Sweeps = sweeps
 		st.IndistProc2 = indist
 		st.Proc2Improved = indist < st.IndistProc1
@@ -232,7 +275,7 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 	// pass/fail, so the guarantee survives interruption.
 	if opt.SeedFaultFree {
 		seeded := make([]int32, m.K)
-		indist, _, done := procedure2(ctx, m, seeded)
+		indist, _, done := procedure2(ctx, m, seeded, ob)
 		st.IndistSeeded = indist
 		st.Interrupted = st.Interrupted || !done
 		if indist < bestIndist {
@@ -251,6 +294,13 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 		if b != 0 {
 			st.StoredBaselines++
 		}
+	}
+	ob.M().Set(obs.IndistPairs, bestIndist)
+	if ob.Tracing() {
+		ob.Emit("build_end", map[string]any{
+			"indist": bestIndist, "restarts": rs.restarts,
+			"interrupted": st.Interrupted,
+		})
 	}
 	return d, st, nil
 }

@@ -69,7 +69,7 @@ func TestProcedure2NeverWorsens(t *testing.T) {
 			baselines[j] = int32(r.Intn(m.NumClasses(j)))
 		}
 		before := (&Dictionary{Kind: SameDiff, M: m, Baselines: append([]int32(nil), baselines...)}).Indistinguished()
-		after, sweeps, done := procedure2(context.Background(), m, baselines)
+		after, sweeps, done := procedure2(context.Background(), m, baselines, nil)
 		if !done {
 			t.Fatalf("trial %d: uninterrupted Procedure 2 reported interruption", trial)
 		}
@@ -153,15 +153,18 @@ func TestMultiBaselineAtLeastAsStrong(t *testing.T) {
 // best, possibly missing a later maximum.
 func TestSelectWithLowerCutoff(t *testing.T) {
 	dist := []int64{3, 2, 5, 9}
-	var evals int64
-	if got := selectWithLower(dist, 1, &evals); got != 0 {
+	var evals, cutoffs int64
+	if got := selectWithLower(dist, 1, &evals, &cutoffs); got != 0 {
 		t.Errorf("lower=1 selected %d, want 0 (cut before the peak)", got)
 	}
 	if evals != 2 {
 		t.Errorf("lower=1 evaluated %d candidates, want 2", evals)
 	}
+	if cutoffs != 1 {
+		t.Errorf("lower=1 recorded %d cutoffs, want 1", cutoffs)
+	}
 	evals = 0
-	if got := selectWithLower(dist, 0, &evals); got != 3 {
+	if got := selectWithLower(dist, 0, &evals, &cutoffs); got != 3 {
 		t.Errorf("exhaustive selected %d, want 3", got)
 	}
 	if evals != 4 {
@@ -169,7 +172,7 @@ func TestSelectWithLowerCutoff(t *testing.T) {
 	}
 	// Equal scores neither reset nor advance the cutoff counter.
 	evals = 0
-	if got := selectWithLower([]int64{5, 5, 5, 7}, 2, &evals); got != 3 {
+	if got := selectWithLower([]int64{5, 5, 5, 7}, 2, &evals, &cutoffs); got != 3 {
 		t.Errorf("equal-score run selected %d, want 3", got)
 	}
 }

@@ -72,8 +72,8 @@ func TestProcedure1MatchesReference(t *testing.T) {
 		m := randomMatrix(r, 2+r.Intn(25), 1+r.Intn(8), 5)
 		order := r.Perm(m.K)
 		lower := r.Intn(4) // 0 = exhaustive, small cutoffs stress the rule
-		var evals int64
-		gotBase, gotPairs, done := procedure1(context.Background(), m, order, lower, &evals)
+		var evals, cutoffs int64
+		gotBase, gotPairs, done := procedure1(context.Background(), m, order, lower, &evals, &cutoffs)
 		if !done {
 			t.Fatalf("trial %d: uninterrupted Procedure 1 reported interruption", trial)
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 
+	"sddict/internal/obs"
 	"sddict/internal/par"
 	"sddict/internal/resp"
 )
@@ -55,9 +56,10 @@ func restartOrder(seed int64, i, k int) []int {
 
 // restartResult is the outcome of one Procedure 1 restart.
 type restartResult struct {
-	base   []int32
-	indist int64
-	evals  int64
+	base    []int32
+	indist  int64
+	evals   int64
+	cutoffs int64 // LOWER early-terminations, tallied for obs only
 	// done is false when ctx cut the run short; base then holds the
 	// partial (still valid) selection and indist the pairs refined so far.
 	done bool
@@ -65,11 +67,18 @@ type restartResult struct {
 
 // runRestart executes restart i of the schedule: a pure function of
 // (m, seed, i, lower) with its own distScratch (inside procedure1), so
-// concurrent restarts share no state.
-func runRestart(ctx context.Context, m *resp.Matrix, seed int64, i, lower int) restartResult {
+// concurrent restarts share no state. The restart_start trace event is
+// the one observation emitted from a worker rather than a fold point: it
+// records real (speculative) execution order, so its position in the
+// trace may vary across worker counts even though every metric and every
+// other event is fold-ordered.
+func runRestart(ctx context.Context, m *resp.Matrix, seed int64, i, lower int, ob *obs.Observer) restartResult {
+	if ob.Tracing() {
+		ob.Emit("restart_start", map[string]any{"restart": i, "order_seed": OrderSeed(seed, i)})
+	}
 	var res restartResult
 	order := restartOrder(seed, i, m.K)
-	res.base, res.indist, res.done = procedure1(ctx, m, order, lower, &res.evals)
+	res.base, res.indist, res.done = procedure1(ctx, m, order, lower, &res.evals, &res.cutoffs)
 	return res
 }
 
@@ -120,16 +129,36 @@ func runRestartsCtx(ctx context.Context, m *resp.Matrix, opt Options, st *restar
 	if start > 0 && !st.wantMore(opt, maxRestarts, indistFull) {
 		return nil, false // resumed past the stopping point — nothing to do
 	}
+	ob := opt.Obs
 	pool := par.New(opt.Workers)
 	par.Stream(ctx, pool, maxRestarts-start, func(ctx context.Context, si int) restartResult {
-		return runRestart(ctx, m, opt.Seed, start+si, opt.Lower)
+		return runRestart(ctx, m, opt.Seed, start+si, opt.Lower, ob)
 	}, func(si int, res restartResult) bool {
 		if !res.done {
 			interrupted = true
 			partialBase = res.base
 			return false
 		}
+		improvedFrom := st.bestIndist
 		st.fold(start+si, res)
+		// Observation happens only here, at the ordered fold point, so
+		// every metric value is itself a pure function of (m, opt) —
+		// identical at any worker count (DESIGN.md §10).
+		ob.M().Inc(obs.RestartsRun)
+		ob.M().Add(obs.CandidateScans, res.evals)
+		ob.M().Add(obs.LowerCutoffHits, res.cutoffs)
+		ob.M().Set(obs.RestartsSinceImprove, int64(st.noImprove))
+		ob.M().Set(obs.IndistPairs, st.bestIndist)
+		ob.M().Observe(obs.RestartIndist, res.indist)
+		if ob.Tracing() {
+			ob.Emit("restart_end", map[string]any{
+				"restart":  start + si,
+				"indist":   res.indist,
+				"best":     st.bestIndist,
+				"improved": start+si == 0 || res.indist < improvedFrom,
+			})
+		}
+		ob.Tick()
 		if opt.CheckpointEvery > 0 && st.restarts%opt.CheckpointEvery == 0 {
 			emit()
 		}

@@ -6,6 +6,7 @@
 package diagnose
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -92,23 +93,76 @@ func (dg *Diagnoser) ExactMatches(sig logic.BitVec) []int {
 	return out
 }
 
+// candLess is the ranking order: distance ascending, fault index
+// ascending within equal distance. Fault indices are distinct, so it is
+// a strict total order.
+func candLess(a, b Candidate) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.Fault < b.Fault
+}
+
 // Rank returns the topK candidates closest to sig by Hamming distance,
 // distance ascending, fault index ascending within equal distance.
+// topK <= 0 (or >= the fault count) ranks everything. A bounded topK
+// runs in O(n log topK) via selection instead of a full O(n log n) sort
+// — diagnosis wants a handful of candidates out of thousands of faults.
 func (dg *Diagnoser) Rank(sig logic.BitVec, topK int) []Candidate {
-	cands := make([]Candidate, len(dg.rows))
-	for i, row := range dg.rows {
-		cands[i] = Candidate{Fault: i, Distance: row.Hamming(sig)}
-	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].Distance != cands[b].Distance {
-			return cands[a].Distance < cands[b].Distance
+	if topK <= 0 || topK >= len(dg.rows) {
+		cands := make([]Candidate, len(dg.rows))
+		for i, row := range dg.rows {
+			cands[i] = Candidate{Fault: i, Distance: row.Hamming(sig)}
 		}
-		return cands[a].Fault < cands[b].Fault
-	})
-	if topK > 0 && topK < len(cands) {
-		cands = cands[:topK]
+		sort.Slice(cands, func(a, b int) bool { return candLess(cands[a], cands[b]) })
+		return cands
 	}
-	return cands
+	// Max-heap of the best topK seen so far, rooted at the worst kept
+	// candidate: a new candidate either beats the root and replaces it,
+	// or is discarded.
+	h := make([]Candidate, 0, topK)
+	for i, row := range dg.rows {
+		c := Candidate{Fault: i, Distance: row.Hamming(sig)}
+		if len(h) < topK {
+			h = append(h, c)
+			candSiftUp(h, len(h)-1)
+		} else if candLess(c, h[0]) {
+			h[0] = c
+			candSiftDown(h, 0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return candLess(h[a], h[b]) })
+	return h
+}
+
+// candSiftUp restores the max-heap property after appending at i.
+func candSiftUp(h []Candidate, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candLess(h[p], h[i]) {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// candSiftDown restores the max-heap property after replacing the root.
+func candSiftDown(h []Candidate, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && candLess(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && candLess(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // Diagnose combines exact matching with ranked fallback: if exact matches
@@ -146,6 +200,12 @@ func (dg *Diagnoser) FullMatches(observed []logic.BitVec) []int {
 	return out
 }
 
+// ErrWidthMismatch marks an ObservedResponses failure where injecting
+// the defect changed the circuit's scan width, so the test set no longer
+// applies. Match it with errors.Is; the wrapping error carries the
+// circuit name, defect list and both widths.
+var ErrWidthMismatch = errors.New("injected circuit width changed")
+
 // ObservedResponses simulates a defective circuit (the given faults all
 // injected simultaneously) under the test set and returns one output vector
 // per test: the tester-observed behaviour used as diagnosis input.
@@ -162,7 +222,12 @@ func ObservedResponses(c *netlist.Circuit, defect []fault.Fault, tests *pattern.
 	}
 	view := netlist.NewScanView(bad)
 	if view.NumInputs() != tests.Width {
-		return nil, fmt.Errorf("diagnose: injected circuit width changed")
+		names := make([]string, len(defect))
+		for i, f := range defect {
+			names[i] = f.Name(c)
+		}
+		return nil, fmt.Errorf("diagnose: %s: injecting defect %v changed the scan width: %d inputs, tests expect %d: %w",
+			c.Name, names, view.NumInputs(), tests.Width, ErrWidthMismatch)
 	}
 	s := sim.New(view)
 	out := make([]logic.BitVec, 0, tests.Len())
@@ -193,10 +258,17 @@ type Quality struct {
 }
 
 // EvaluateResolution computes diagnosis quality directly from the
-// dictionary's indistinguishability partition.
+// dictionary's indistinguishability partition: a fault in a group of
+// size s sees a candidate set of size s (each group contributes s²
+// candidate sightings), a singleton fault sees exactly itself. The
+// root diagnose tests pin this accounting against a brute-force
+// per-fault ExactMatches recount.
 func EvaluateResolution(d *core.Dictionary) Quality {
 	p := d.Partition()
 	q := Quality{Faults: p.Len()}
+	if q.Faults == 0 {
+		return q // no faults: zero candidates, not a phantom worst case of 1
+	}
 	sizes := p.GroupSizes()
 	grouped := 0
 	sum := 0
@@ -210,8 +282,6 @@ func EvaluateResolution(d *core.Dictionary) Quality {
 	}
 	q.Perfect = q.Faults - grouped
 	q.MaxCandidates = max
-	if q.Faults > 0 {
-		q.AvgCandidates = float64(q.Perfect+sum) / float64(q.Faults)
-	}
+	q.AvgCandidates = float64(q.Perfect+sum) / float64(q.Faults)
 	return q
 }

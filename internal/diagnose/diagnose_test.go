@@ -1,7 +1,10 @@
 package diagnose
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"sddict/internal/atpg"
@@ -194,6 +197,124 @@ func TestSignatureAgainstDictionaryRows(t *testing.T) {
 		sig := dg.Signature(obs)
 		if !sig.Equal(sd.Row(fi)) {
 			t.Fatalf("signature of injected fault %d differs from its dictionary row", fi)
+		}
+	}
+}
+
+// TestEvaluateResolutionBruteForce pins EvaluateResolution's closed-form
+// accounting against a brute-force recount from the partition: every
+// fault's candidate-set size is the size of its indistinguishability
+// group (1 when isolated), so Perfect, MaxCandidates and AvgCandidates
+// all follow from the per-fault group sizes directly.
+func TestEvaluateResolutionBruteForce(t *testing.T) {
+	_, _, _, m := setup(t)
+	opts := core.DefaultOptions
+	opts.Seed = 3
+	opts.Calls1 = 3
+	opts.MaxRestarts = 5
+	sd, _ := core.BuildSameDiff(m, opts)
+	for name, d := range map[string]*core.Dictionary{
+		"full":           core.NewFull(m),
+		"pass/fail":      core.NewPassFail(m),
+		"same/different": sd,
+	} {
+		q := EvaluateResolution(d)
+		p := d.Partition()
+		if q.Faults != p.Len() {
+			t.Fatalf("%s: Faults = %d, want %d", name, q.Faults, p.Len())
+		}
+		groupSize := map[int32]int{}
+		for i := 0; i < p.Len(); i++ {
+			if l := p.Label(i); l != core.Isolated {
+				groupSize[l]++
+			}
+		}
+		perfect, maxC, sum := 0, 0, 0
+		for i := 0; i < p.Len(); i++ {
+			size := 1
+			if l := p.Label(i); l != core.Isolated {
+				size = groupSize[l]
+			}
+			if size == 1 {
+				perfect++
+			}
+			if size > maxC {
+				maxC = size
+			}
+			sum += size
+		}
+		if q.Perfect != perfect {
+			t.Errorf("%s: Perfect = %d, brute force %d", name, q.Perfect, perfect)
+		}
+		if q.MaxCandidates != maxC {
+			t.Errorf("%s: MaxCandidates = %d, brute force %d", name, q.MaxCandidates, maxC)
+		}
+		want := float64(sum) / float64(p.Len())
+		if diff := q.AvgCandidates - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("%s: AvgCandidates = %v, brute force %v", name, q.AvgCandidates, want)
+		}
+	}
+}
+
+// TestRankBoundedMatchesFullSort: the heap-based bounded selection must
+// return exactly the prefix of the full sort for every topK, including
+// the tie-break (distance ascending, fault ascending).
+func TestRankBoundedMatchesFullSort(t *testing.T) {
+	comb, faults, tests, m := setup(t)
+	pf := core.NewPassFail(m)
+	dg := New(pf, faults)
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		a, b := r.Intn(len(faults)), r.Intn(len(faults))
+		obs, err := ObservedResponses(comb, []fault.Fault{faults[a], faults[b]}, tests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := dg.Signature(obs)
+		full := dg.Rank(sig, 0) // reference: full sort
+		if len(full) != len(faults) {
+			t.Fatalf("full rank returned %d of %d faults", len(full), len(faults))
+		}
+		for i := 1; i < len(full); i++ {
+			if candLess(full[i], full[i-1]) {
+				t.Fatalf("reference ranking out of order at %d", i)
+			}
+		}
+		for _, topK := range []int{1, 2, 3, 7, 10, 64, len(faults) - 1, len(faults), len(faults) + 5} {
+			got := dg.Rank(sig, topK)
+			wantLen := topK
+			if topK > len(full) {
+				wantLen = len(full)
+			}
+			if len(got) != wantLen {
+				t.Fatalf("topK=%d returned %d candidates, want %d", topK, len(got), wantLen)
+			}
+			for i, c := range got {
+				if c != full[i] {
+					t.Fatalf("topK=%d: candidate %d = %+v, full sort has %+v", topK, i, c, full[i])
+				}
+			}
+		}
+	}
+}
+
+// TestObservedResponsesWidthMismatch: a test set of the wrong width must
+// produce the enriched, matchable width error rather than a bare string.
+func TestObservedResponsesWidthMismatch(t *testing.T) {
+	comb, faults, tests, _ := setup(t)
+	bad := pattern.NewSet(tests.Width + 1)
+	_, err := ObservedResponses(comb, []fault.Fault{faults[0]}, bad)
+	if err == nil {
+		t.Fatal("mismatched width accepted")
+	}
+	if !errors.Is(err, ErrWidthMismatch) {
+		t.Fatalf("error %v does not wrap ErrWidthMismatch", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{comb.Name, faults[0].Name(comb),
+		fmt.Sprintf("%d", tests.Width), fmt.Sprintf("%d", tests.Width+1)} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
 		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"sddict/internal/fault"
 	"sddict/internal/gen"
 	"sddict/internal/netlist"
+	"sddict/internal/obs"
 	"sddict/internal/pattern"
 	"sddict/internal/resp"
 )
@@ -130,6 +131,13 @@ type Config struct {
 	// CheckpointEvery is the restart interval between checkpoint writes
 	// (default 1 when CheckpointPath is set).
 	CheckpointEvery int
+
+	// Obs observes the pipeline: response-matrix batches and dictionary
+	// construction record into it, and build events land on its trace.
+	// Measurement only — rows are byte-identical with Obs set or nil
+	// (DESIGN.md §10). In a sweep, RunSweepObsCtx installs a per-row
+	// scoped observer here automatically.
+	Obs *obs.Observer
 }
 
 // Row is one line of Table 6 plus the extra diagnostics this implementation
@@ -313,7 +321,7 @@ func PrepareCtx(ctx context.Context, c *netlist.Circuit, tt TestSetType, cfg Con
 		return nil, fmt.Errorf("experiment: empty test set for %s/%s", c.Name, tt)
 	}
 
-	m, merr := resp.BuildWorkersCtx(ctx, cfg.Workers, netlist.NewScanView(comb), col.Faults, tests)
+	m, merr := resp.BuildObsCtx(ctx, cfg.Workers, netlist.NewScanView(comb), col.Faults, tests, cfg.Obs)
 	if merr != nil {
 		return nil, &StageError{Stage: StagePrepare, Circuit: c.Name,
 			Err: fmt.Errorf("response matrix: %w", merr)}
@@ -353,6 +361,9 @@ func BuildRowCtx(ctx context.Context, pr *Prepared, tt TestSetType, cfg Config) 
 	opts.Workers = cfg.Workers
 	if cfg.DictOpts != nil {
 		opts = *cfg.DictOpts
+	}
+	if opts.Obs == nil {
+		opts.Obs = cfg.Obs
 	}
 
 	m := pr.Matrix

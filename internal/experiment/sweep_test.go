@@ -3,6 +3,8 @@ package experiment
 import (
 	"context"
 	"testing"
+
+	"sddict/internal/obs"
 )
 
 // TestRunSweepDeterministicAcrossWorkers: the sweep must deliver the same
@@ -60,5 +62,87 @@ func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
 				t.Fatalf("workers=%d row %d differs:\n%+v\nvs\n%+v", workers, i, a, b)
 			}
 		}
+	}
+}
+
+// TestRunSweepCancelledPrefix: a sweep cancelled mid-run must return an
+// exact in-order prefix of the specs — never a full-length slice padded
+// with cancellation errors — so callers aligning results to specs by
+// index cannot misattribute a row. The observer sees the same prefix.
+func TestRunSweepCancelledPrefix(t *testing.T) {
+	cfg := Config{Seed: 1}
+	var specs []RowSpec
+	for i := 0; i < 6; i++ {
+		tt := Diagnostic
+		if i%2 == 1 {
+			tt = TenDetect
+		}
+		specs = append(specs, RowSpec{Circuit: "s27", TType: tt, Config: cfg})
+	}
+
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var observed []RowResult
+		results := RunSweepCtx(ctx, workers, specs, func(i int, res RowResult) {
+			observed = append(observed, res)
+			if i == 1 {
+				cancel()
+			}
+		})
+		cancel()
+		if len(results) >= len(specs) {
+			t.Fatalf("workers=%d: cancelled sweep returned %d of %d rows — not a prefix",
+				workers, len(results), len(specs))
+		}
+		if len(results) != len(observed) {
+			t.Fatalf("workers=%d: %d results but %d observed", workers, len(results), len(observed))
+		}
+		for i, res := range results {
+			if res.Spec != specs[i] {
+				t.Fatalf("workers=%d: result %d is for spec %s/%s, want %s/%s",
+					workers, i, res.Spec.Circuit, res.Spec.TType, specs[i].Circuit, specs[i].TType)
+			}
+			if res.Err != nil && ctx.Err() == nil {
+				t.Fatalf("workers=%d: delivered row %d failed: %v", workers, i, res.Err)
+			}
+		}
+	}
+}
+
+// TestRunSweepObsPerRowMetrics: each delivered row carries its own
+// metrics snapshot, and the sweep-level registry is their merge plus the
+// row-outcome counters — all recorded at the ordered delivery point.
+func TestRunSweepObsPerRowMetrics(t *testing.T) {
+	cfg := Config{Seed: 1}
+	specs := []RowSpec{
+		{Circuit: "s27", TType: Diagnostic, Config: cfg},
+		{Circuit: "no-such-profile", TType: Diagnostic, Config: cfg},
+		{Circuit: "s27", TType: TenDetect, Config: cfg},
+	}
+	ob := &obs.Observer{Metrics: obs.NewMetrics()}
+	results := RunSweepObsCtx(context.Background(), 2, specs, ob, nil)
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
+	}
+	var wantRestarts int64
+	for i, res := range results {
+		if res.Metrics == nil {
+			t.Fatalf("row %d: no metrics snapshot", i)
+		}
+		if res.Err == nil {
+			if res.Metrics.Counters["restarts_run"] != int64(res.Row.BuildStats.Restarts) {
+				t.Fatalf("row %d: scoped restarts_run = %d, BuildStats has %d",
+					i, res.Metrics.Counters["restarts_run"], res.Row.BuildStats.Restarts)
+			}
+			wantRestarts += int64(res.Row.BuildStats.Restarts)
+		}
+	}
+	snap := ob.Metrics.Snapshot()
+	if snap.Counters["restarts_run"] != wantRestarts {
+		t.Fatalf("merged restarts_run = %d, rows total %d", snap.Counters["restarts_run"], wantRestarts)
+	}
+	if snap.Counters["sweep_rows_done"] != 2 || snap.Counters["sweep_rows_failed"] != 1 {
+		t.Fatalf("row outcome counters = done %d failed %d, want 2/1",
+			snap.Counters["sweep_rows_done"], snap.Counters["sweep_rows_failed"])
 	}
 }

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsInstruments(t *testing.T) {
+	m := NewMetrics()
+	m.Inc(RestartsRun)
+	m.Add(RestartsRun, 2)
+	m.Add(CandidateScans, 40)
+	m.Set(IndistPairs, 17)
+	m.Observe(RestartIndist, 0)
+	m.Observe(RestartIndist, 1)
+	m.Observe(RestartIndist, 5) // bucket [4,7]
+	m.Observe(RestartIndist, 7)
+
+	if got := m.Counter(RestartsRun); got != 3 {
+		t.Errorf("RestartsRun = %d, want 3", got)
+	}
+	if got := m.Gauge(IndistPairs); got != 17 {
+		t.Errorf("IndistPairs = %d, want 17", got)
+	}
+	s := m.Snapshot()
+	if s.Counters["candidate_scans"] != 40 {
+		t.Errorf("snapshot candidate_scans = %d, want 40", s.Counters["candidate_scans"])
+	}
+	hs := s.Histograms["restart_indist"]
+	if hs.Count != 4 {
+		t.Errorf("restart_indist count = %d, want 4", hs.Count)
+	}
+	var b47 int64
+	for _, b := range hs.Buckets {
+		if b.Lo == 4 && b.Hi == 7 {
+			b47 = b.N
+		}
+	}
+	if b47 != 2 {
+		t.Errorf("bucket [4,7] = %d, want 2", b47)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Add(SimBatches, 3)
+	b.Add(SimBatches, 4)
+	b.Set(IndistPairs, 9)
+	b.Observe(RowElapsedMs, 100)
+	a.Merge(b)
+	if got := a.Counter(SimBatches); got != 7 {
+		t.Errorf("merged SimBatches = %d, want 7", got)
+	}
+	if got := a.Gauge(IndistPairs); got != 0 {
+		t.Errorf("gauges must not merge; IndistPairs = %d", got)
+	}
+	if got := a.Snapshot().Histograms["row_elapsed_ms"].Count; got != 1 {
+		t.Errorf("merged row_elapsed_ms count = %d, want 1", got)
+	}
+}
+
+// TestNilSafety: every instrumentation entry point must be callable
+// with observability off (nil receivers all the way down).
+func TestNilSafety(t *testing.T) {
+	var m *Metrics
+	m.Inc(RestartsRun)
+	m.Add(CandidateScans, 5)
+	m.Set(IndistPairs, 1)
+	m.Observe(RestartIndist, 2)
+	m.Merge(NewMetrics())
+	if got := m.Snapshot(); got.Counters == nil {
+		t.Error("nil Metrics snapshot must be initialized")
+	}
+
+	var tr *Tracer
+	tr.Emit("x", nil)
+	if tr.Err() != nil || tr.Close() != nil {
+		t.Error("nil Tracer must be inert")
+	}
+
+	var p *Progress
+	p.Tick()
+
+	var o *Observer
+	o.Emit("x", map[string]any{"k": 1})
+	o.Tick()
+	o.M().Inc(RestartsRun)
+	if o.Tracing() {
+		t.Error("nil Observer must not report tracing")
+	}
+	if o.Scoped("r") != nil {
+		t.Error("Scoped on nil must return nil")
+	}
+}
+
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	now := time.Unix(100, 0)
+	clock := func() time.Time { return now }
+	tr := NewTracer(&buf, clock)
+	tr.Emit("build_start", map[string]any{"n": 10})
+	now = now.Add(250 * time.Millisecond)
+	tr.Emit("restart_end", map[string]any{"restart": 0, "indist": 42})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Errorf("seq = %d,%d, want 1,2", events[0].Seq, events[1].Seq)
+	}
+	if events[1].TMs != 250 {
+		t.Errorf("t_ms = %d, want 250", events[1].TMs)
+	}
+	if events[1].Type != "restart_end" {
+		t.Errorf("type = %q, want restart_end", events[1].Type)
+	}
+	if got := events[1].Fields["indist"].(float64); got != 42 {
+		t.Errorf("indist field = %v, want 42", got)
+	}
+}
+
+func TestFileTracerAppendsDurably(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	tr, err := NewFileTracer(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("a", nil)
+	// Every event must be durable before Close — that is the
+	// flushed-on-SIGINT guarantee. Reopen the path without closing.
+	tr2, err := NewFileTracer(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.Emit("b", nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadEvents(f)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(events) != 2 || events[0].Type != "a" || events[1].Type != "b" {
+		t.Fatalf("append-only trace lost events: %+v", events)
+	}
+}
+
+func TestProgressTicksAtInterval(t *testing.T) {
+	var buf bytes.Buffer
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	m := NewMetrics()
+	m.Inc(RestartsRun)
+	p := NewProgress(&buf, time.Second, clock, m)
+
+	p.Tick() // 0s elapsed: below interval
+	if buf.Len() != 0 {
+		t.Fatalf("premature progress line: %q", buf.String())
+	}
+	now = now.Add(time.Second)
+	p.Tick()
+	line := buf.String()
+	if !strings.Contains(line, "restarts_run=1") {
+		t.Fatalf("progress line %q missing restarts_run", line)
+	}
+	buf.Reset()
+	now = now.Add(100 * time.Millisecond)
+	p.Tick() // interval not yet elapsed again
+	if buf.Len() != 0 {
+		t.Fatalf("progress line before interval: %q", buf.String())
+	}
+}
+
+func TestObserverScopedAndLabel(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, nil)
+	root := &Observer{Metrics: NewMetrics(), Trace: tr}
+	child := root.Scoped("s27/diag")
+	if child.Metrics == root.Metrics {
+		t.Error("Scoped must get a fresh metrics registry")
+	}
+	if child.Trace != root.Trace {
+		t.Error("Scoped must share the parent tracer")
+	}
+	child.M().Inc(RestartsRun)
+	if root.M().Counter(RestartsRun) != 0 {
+		t.Error("child increments leaked into parent metrics")
+	}
+	child.Emit("restart_end", map[string]any{"restart": 1})
+	events, err := ReadEvents(&buf)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events=%v err=%v", events, err)
+	}
+	if events[0].Fields["row"] != "s27/diag" {
+		t.Errorf("labelled event fields = %v, want row=s27/diag", events[0].Fields)
+	}
+}
+
+func TestStartPprofServes(t *testing.T) {
+	stop, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer stop()
+	// The listener address is not exposed; starting and stopping
+	// cleanly (no panic, no leak past Close) is the contract here.
+	_ = http.DefaultServeMux // and DefaultServeMux stays untouched
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartPprof serves the net/http/pprof profile endpoints on addr
+// (e.g. "localhost:6060") and returns a stop function that shuts the
+// listener down. The handlers are registered on a private mux, not
+// http.DefaultServeMux, so importing this package never pollutes the
+// process-global mux.
+//
+// This is the one place outside internal/par that starts a goroutine:
+// the listener serves read-only runtime profiles and produces no result
+// that could merge into a computation, so the pool's ordered-merge
+// discipline has nothing to order (the sddlint concurrency analyzer
+// exempts this package for exactly that reason).
+func StartPprof(addr string) (stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof listen on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint — observability-only goroutine; see doc comment
+	return srv.Close, nil
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress prints a one-line metrics digest at most once per interval.
+// It is polled, not timer-driven: the instrumented layers call Tick from
+// their ordered fold points (restart folds, sweep-row deliveries, sim
+// batches), and a line is printed only when the caller-supplied clock
+// says the interval has elapsed. Polling keeps the reporter free of
+// goroutines — the par package owns all computation concurrency, and a
+// background ticker would be the one goroutine with nothing to merge.
+// The cost of polling is that a silent phase longer than the interval
+// prints nothing until its next fold point; DESIGN.md §10 accepts that
+// trade.
+type Progress struct {
+	interval time.Duration
+	clock    func() time.Time
+	w        io.Writer
+	m        *Metrics
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+// NewProgress reports m onto w every interval per clock. Returns nil
+// (a no-op reporter) if any argument is unusable.
+func NewProgress(w io.Writer, interval time.Duration, clock func() time.Time, m *Metrics) *Progress {
+	if w == nil || interval <= 0 || clock == nil {
+		return nil
+	}
+	return &Progress{interval: interval, clock: clock, w: w, m: m, last: clock()}
+}
+
+// Tick prints a progress line when the interval has elapsed since the
+// last line. Safe on nil and from concurrent callers.
+func (p *Progress) Tick() {
+	if p == nil {
+		return
+	}
+	now := p.clock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now.Sub(p.last) < p.interval {
+		return
+	}
+	p.last = now
+	p.write()
+}
+
+// write prints the nonzero counters and gauges as sorted key=value
+// pairs: stable field order, no fields that carry no signal yet.
+func (p *Progress) write() {
+	s := p.m.Snapshot()
+	line := "progress:"
+	for _, name := range sortedKeys(s.Counters) {
+		if v := s.Counters[name]; v != 0 {
+			line += fmt.Sprintf(" %s=%d", name, v)
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if v := s.Gauges[name]; v != 0 {
+			line += fmt.Sprintf(" %s=%d", name, v)
+		}
+	}
+	fmt.Fprintln(p.w, line)
+}

@@ -13,6 +13,7 @@ import (
 	"sddict/internal/fault"
 	"sddict/internal/logic"
 	"sddict/internal/netlist"
+	"sddict/internal/obs"
 	"sddict/internal/par"
 	"sddict/internal/pattern"
 	"sddict/internal/sim"
@@ -98,6 +99,14 @@ type patternRow struct {
 // test's class ids are assigned by scanning effects in fault-index order,
 // so the matrix is byte-identical at every worker count (DESIGN.md §9).
 func BuildWorkersCtx(ctx context.Context, workers int, view *netlist.ScanView, faults []fault.Fault, tests *pattern.Set) (*Matrix, error) {
+	return BuildObsCtx(ctx, workers, view, faults, tests, nil)
+}
+
+// BuildObsCtx is BuildWorkersCtx with an observer. The batch loop is
+// serial, so per-batch observation is already ordered: the sim_batches
+// counter and resp_build trace events are identical at every worker
+// count, and the matrix itself is byte-identical with ob set or nil.
+func BuildObsCtx(ctx context.Context, workers int, view *netlist.ScanView, faults []fault.Fault, tests *pattern.Set, ob *obs.Observer) (*Matrix, error) {
 	if tests.Width != view.NumInputs() {
 		panic(fmt.Sprintf("resp: test width %d != %d scan inputs", tests.Width, view.NumInputs()))
 	}
@@ -108,6 +117,11 @@ func BuildWorkersCtx(ctx context.Context, workers int, view *netlist.ScanView, f
 	m.Class = make([][]int32, m.K)
 	m.Vecs = make([][]logic.BitVec, m.K)
 
+	if ob.Tracing() {
+		ob.Emit("resp_build", map[string]any{
+			"faults": m.N, "tests": m.K, "outputs": m.M, "workers": workers,
+		})
+	}
 	pool := par.New(workers)
 	s := sim.New(view)
 	goodWords := make([]logic.Word, m.M)
@@ -141,6 +155,8 @@ func BuildWorkersCtx(ctx context.Context, workers int, view *netlist.ScanView, f
 			m.Vecs[j] = row.vecs
 		}
 		base += b.Count
+		ob.M().Inc(obs.SimBatches)
+		ob.Tick()
 	}
 	return m, nil
 }
