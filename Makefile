@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz bench check clean
+.PHONY: build test race vet lint fuzz bench bench-compare check clean
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,20 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_parallel.json bench_parallel.out
 	@rm -f bench_parallel.out
 	@echo "wrote BENCH_parallel.json"
+
+# Continuous bench regression gate: one quick iteration of the
+# parallel-layer benchmarks, diffed against the checked-in baseline.
+# ns/op is a generous smoke gate (8x — the baseline was recorded on
+# different hardware and -benchtime=1x timings are noisy); the
+# deterministic custom metrics (cand_evals, ind_sd, restarts, ...) must
+# match the baseline exactly, which catches algorithmic drift on any
+# machine. -short drops the big circuits; their baseline rows report as
+# informational "missing" lines.
+bench-compare:
+	$(GO) test -run='^$$' -bench='^BenchmarkParallel' -benchtime=1x -count=1 -short -timeout=10m . > bench_compare.out
+	$(GO) run ./cmd/benchjson -o bench_compare.json bench_compare.out
+	$(GO) run ./cmd/benchjson compare -ns-ratio 8 BENCH_parallel.json bench_compare.json
+	@rm -f bench_compare.out bench_compare.json
 
 # The gate for every change: static analysis (go vet + sddlint) plus the
 # full suite under the race detector.

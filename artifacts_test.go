@@ -1,0 +1,70 @@
+package sddict_test
+
+// Test-artifact persistence for CI post-mortems. When a determinism or
+// interrupt leg fails, the trace and metrics files it produced are the
+// post-mortem record — exactly what cmd/sddstat consumes — so the CI
+// workflow sets SDD_TEST_ARTIFACT_DIR and uploads the directory on
+// failure. Locally the variable is unset and everything stays in
+// throwaway temp directories.
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sddict/internal/core"
+)
+
+const artifactEnv = "SDD_TEST_ARTIFACT_DIR"
+
+// artifactDir returns the directory a test should write its observability
+// artifacts (traces, metrics, checkpoints) into: a per-test subdirectory
+// of $SDD_TEST_ARTIFACT_DIR when set, else t.TempDir().
+func artifactDir(t *testing.T) string {
+	t.Helper()
+	base := os.Getenv(artifactEnv)
+	if base == "" {
+		return t.TempDir()
+	}
+	dir := filepath.Join(base, sanitizeTestName(t.Name()))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("artifact dir %s: %v", dir, err)
+	}
+	return dir
+}
+
+// saveArtifactOnFailure arranges for data() to be written into the
+// artifact directory when — and only when — the test fails, so in-memory
+// telemetry (trace buffers) survives for the CI upload without cluttering
+// passing runs. A no-op when SDD_TEST_ARTIFACT_DIR is unset.
+func saveArtifactOnFailure(t *testing.T, name string, data func() []byte) {
+	t.Helper()
+	base := os.Getenv(artifactEnv)
+	if base == "" {
+		return
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		dir := filepath.Join(base, sanitizeTestName(t.Name()))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("artifact dir %s: %v", dir, err)
+			return
+		}
+		err := core.AtomicWriteFile(filepath.Join(dir, name), func(w io.Writer) error {
+			_, werr := w.Write(data())
+			return werr
+		})
+		if err != nil {
+			t.Logf("saving artifact %s: %v", name, err)
+		}
+	})
+}
+
+// sanitizeTestName flattens a subtest path into one directory component.
+func sanitizeTestName(name string) string {
+	return strings.NewReplacer("/", "_", " ", "_").Replace(name)
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"sddict/internal/cli"
+)
+
+// runCompare diffs a current benchmark report against the checked-in
+// baseline. The two gates are deliberately different:
+//
+//   - ns/op is machine-dependent — the baseline was likely recorded on
+//     different hardware — so it is a smoke gate with a generous default
+//     ratio, catching only order-of-magnitude wall-clock regressions.
+//   - The custom metrics (cand_evals, ind_sd, restarts, ...) are
+//     deterministic outputs of the seeded search: any drift at all means
+//     the algorithm changed, independent of the machine, so the default
+//     tolerance is exact.
+//
+// Benchmarks present in only one report are warnings (the bench suite
+// grows; a shrunk current set is suspicious but informational), except
+// that an empty intersection is an error — then nothing was compared.
+func runCompare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	nsRatio := fs.Float64("ns-ratio", 4.0,
+		"allowed ns/op growth factor vs baseline before the compare fails (<=0 = never)")
+	metricPct := fs.Float64("metrics", 0,
+		"allowed drift of deterministic custom metrics in percent, either direction (negative = never)")
+	if err := fs.Parse(args); err != nil {
+		return cli.Usagef("%v", err)
+	}
+	if fs.NArg() != 2 {
+		return cli.Usagef("usage: benchjson compare [-ns-ratio r] [-metrics pct] baseline.json current.json")
+	}
+
+	base, err := loadReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := loadReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	c := compareReports(base, cur, *nsRatio, *metricPct)
+	if err := c.writeText(stdout); err != nil {
+		return err
+	}
+	if c.regressions > 0 {
+		return fmt.Errorf("%d benchmark regression(s) against %s", c.regressions, fs.Arg(0))
+	}
+	return nil
+}
+
+type benchComparison struct {
+	lines       []string
+	regressions int
+	compared    int
+}
+
+func (c *benchComparison) addf(regression bool, format string, args ...any) {
+	mark := "  "
+	if regression {
+		mark = "! "
+		c.regressions++
+	}
+	c.lines = append(c.lines, mark+fmt.Sprintf(format, args...))
+}
+
+func (c *benchComparison) writeText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "bench comparison: %d benchmarks compared, %d regressions\n",
+		c.compared, c.regressions); err != nil {
+		return err
+	}
+	for _, line := range c.lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compareReports produces the comparison; pure so tests drive it
+// directly. Benchmark identity is the name (procs vary with the CI
+// machine's GOMAXPROCS and are not part of identity).
+func compareReports(base, cur *Report, nsRatio, metricPct float64) *benchComparison {
+	c := &benchComparison{}
+	curByName := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		curByName[b.Name] = b
+	}
+	baseNames := map[string]bool{}
+
+	for _, bb := range base.Benchmarks {
+		baseNames[bb.Name] = true
+		cb, ok := curByName[bb.Name]
+		if !ok {
+			c.addf(false, "%-40s missing from current run", bb.Name)
+			continue
+		}
+		c.compared++
+
+		if nsRatio > 0 && bb.NsPerOp > 0 && cb.NsPerOp > bb.NsPerOp*nsRatio {
+			c.addf(true, "%-40s ns/op %.0f -> %.0f (%.1fx > %.1fx allowed)",
+				bb.Name, bb.NsPerOp, cb.NsPerOp, cb.NsPerOp/bb.NsPerOp, nsRatio)
+		}
+
+		for _, unit := range sortedMetricKeys(bb.Metrics) {
+			bv := bb.Metrics[unit]
+			cv, ok := cb.Metrics[unit]
+			if !ok {
+				c.addf(true, "%-40s metric %s missing from current run", bb.Name, unit)
+				continue
+			}
+			if metricPct < 0 || bv == cv {
+				continue
+			}
+			driftPct := math.Inf(1)
+			if bv != 0 {
+				driftPct = math.Abs(cv-bv) / math.Abs(bv) * 100
+			}
+			if driftPct > metricPct {
+				c.addf(true, "%-40s %s %.6g -> %.6g (deterministic metric drifted %.2f%%)",
+					bb.Name, unit, bv, cv, driftPct)
+			}
+		}
+	}
+
+	for _, cb := range cur.Benchmarks {
+		if !baseNames[cb.Name] {
+			c.addf(false, "%-40s new (not in baseline)", cb.Name)
+		}
+	}
+	if c.compared == 0 {
+		c.addf(true, "no benchmark names in common between baseline and current")
+	}
+	return c
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing bench report %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func sortedMetricKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

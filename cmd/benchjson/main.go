@@ -8,10 +8,17 @@
 //
 //	go test -run='^$' -bench='^BenchmarkParallel' . | benchjson -o BENCH_parallel.json
 //	benchjson -o BENCH_parallel.json bench.out
+//	benchjson compare [-ns-ratio r] [-metrics pct] BENCH_parallel.json current.json
 //
 // With no file argument the benchmark log is read from stdin. The output
 // file is written atomically (temp file + rename) like every other
 // artifact in the repo.
+//
+// The compare mode closes the bench loop: it diffs a fresh report
+// against the checked-in baseline and exits nonzero when wall-clock
+// regresses past the ratio or a deterministic custom metric drifts at
+// all (any drift means the algorithm changed, not the machine — see
+// EXPERIMENTS.md).
 package main
 
 import (
@@ -57,21 +64,34 @@ type Report struct {
 }
 
 func run(ctx context.Context) error {
-	out := flag.String("o", "", "output JSON path (default stdout)")
-	flag.Parse()
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:], os.Stdout)
+	}
+	return runConvert(args, os.Stdout)
+}
+
+// runConvert is the original mode: benchmark log in, JSON report out.
+func runConvert(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	out := fs.String("o", "", "output JSON path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return cli.Usagef("%v", err)
+	}
 
 	in := io.Reader(os.Stdin)
-	switch args := flag.Args(); len(args) {
+	switch rest := fs.Args(); len(rest) {
 	case 0:
 	case 1:
-		f, err := os.Open(args[0])
+		f, err := os.Open(rest[0])
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		in = f
 	default:
-		return cli.Usagef("at most one input file, got %d", len(args))
+		return cli.Usagef("at most one input file, got %d", len(rest))
 	}
 
 	rep, err := parse(in)
@@ -83,7 +103,7 @@ func run(ctx context.Context) error {
 	}
 
 	if *out == "" {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
 	}

@@ -17,6 +17,12 @@
 // best-so-far dictionary is reported (and saved with -save-dict) before
 // the command exits with code 130. With -checkpoint the restart state is
 // persisted so a later identical invocation resumes the search.
+//
+// The shared observability flags (-progress, -trace-out, -metrics-out,
+// -metrics-addr, -pprof) record the run without changing its outputs;
+// cmd/sddstat turns the trace and metrics artifacts into a phase/
+// convergence report afterwards, and -metrics-addr serves the live
+// counters in OpenMetrics text format at /metrics for scraping.
 package main
 
 import (
@@ -77,6 +83,9 @@ func run(ctx context.Context) error {
 		return err
 	}
 	defer sess.Close()
+	if sess.MetricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "sdd: serving OpenMetrics at http://%s/metrics\n", sess.MetricsAddr)
+	}
 
 	var pr *experiment.Prepared
 	cfg := experiment.Config{Seed: *seed, Effort: *effort, CheckpointPath: *ckpt, Workers: *workers,

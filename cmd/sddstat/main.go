@@ -1,0 +1,159 @@
+// Command sddstat is the post-run analyzer for the observability
+// artifacts the pipeline commands write: it reads a -trace-out JSONL
+// build-event trace (plus, optionally, the matching -metrics-out
+// snapshot) and reports the reconstructed timeline — per-phase
+// wall-clock breakdown, the restart-convergence curve, the
+// speculation-waste ratio of the parallel search, checkpoint cadence,
+// and histogram percentiles. Its compare mode diffs the metrics
+// snapshots of two runs and exits nonzero when a counter or percentile
+// drifted past its threshold in either direction, which is what CI
+// gates on.
+//
+// Usage:
+//
+//	sddstat [-json] trace.jsonl [metrics.json]
+//	sddstat compare [-json] [-counters pct] [-percentiles pct] baseline.json current.json
+//
+// Example:
+//
+//	$ sdd -circuit s298 -trace-out t.jsonl -metrics-out m.json
+//	$ sddstat t.jsonl m.json
+//
+// A trace torn mid-write (the writer crashed or was SIGKILLed) is
+// reported as TRUNCATED and analyzed from its parsed prefix rather
+// than rejected: post-mortems on dead runs are this tool's main use.
+// Exit status is 0 on success, 1 on a runtime failure or a compare
+// regression, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sddict/internal/cli"
+	"sddict/internal/obs"
+	"sddict/internal/obs/analyze"
+)
+
+func main() {
+	cli.Main("sddstat", run)
+}
+
+func run(ctx context.Context) error {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:], os.Stdout)
+	}
+	return runReport(args, os.Stdout)
+}
+
+// runReport is the default mode: analyze one run's artifacts.
+func runReport(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sddstat", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	asJSON := fs.Bool("json", false, "emit the analysis as JSON instead of the text report")
+	if err := fs.Parse(args); err != nil {
+		return cli.Usagef("%v", err)
+	}
+
+	var tracePath, metricsPath string
+	switch rest := fs.Args(); len(rest) {
+	case 1:
+		tracePath = rest[0]
+	case 2:
+		tracePath, metricsPath = rest[0], rest[1]
+	default:
+		return cli.Usagef("usage: sddstat [-json] trace.jsonl [metrics.json]")
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := analyze.ReadRun(f)
+	if err != nil {
+		return err
+	}
+	// A trace written by a newer schema may carry events whose meaning
+	// changed; refuse rather than misreport.
+	if r.Build.Schema > obs.TraceSchemaVersion {
+		return fmt.Errorf("trace %s is schema v%d; this sddstat understands up to v%d",
+			tracePath, r.Build.Schema, obs.TraceSchemaVersion)
+	}
+
+	if metricsPath != "" {
+		snap, err := readSnapshot(metricsPath)
+		if err != nil {
+			return err
+		}
+		r.AttachMetrics(snap)
+	}
+
+	if *asJSON {
+		return writeJSON(stdout, r)
+	}
+	return r.WriteText(stdout)
+}
+
+// runCompare diffs two -metrics-out snapshots and fails on regression.
+func runCompare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sddstat compare", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	asJSON := fs.Bool("json", false, "emit the comparison as JSON instead of the text table")
+	counterPct := fs.Float64("counters", analyze.DefaultThresholds.CounterPct,
+		"allowed counter drift in percent, either direction, before the compare fails (negative = never)")
+	pctlPct := fs.Float64("percentiles", analyze.DefaultThresholds.PercentilePct,
+		"allowed histogram-percentile drift in percent, either direction, before the compare fails (negative = never)")
+	if err := fs.Parse(args); err != nil {
+		return cli.Usagef("%v", err)
+	}
+	if fs.NArg() != 2 {
+		return cli.Usagef("usage: sddstat compare [-json] [-counters pct] [-percentiles pct] baseline.json current.json")
+	}
+
+	a, err := readSnapshot(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := readSnapshot(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	c := analyze.Compare(a, b, analyze.Thresholds{CounterPct: *counterPct, PercentilePct: *pctlPct})
+	if *asJSON {
+		if err := writeJSON(stdout, c); err != nil {
+			return err
+		}
+	} else if err := c.WriteText(stdout); err != nil {
+		return err
+	}
+	if c.Regressed() {
+		return fmt.Errorf("%d metric regression(s) against %s", c.Regressions, fs.Arg(0))
+	}
+	return nil
+}
+
+// readSnapshot loads a -metrics-out JSON file.
+func readSnapshot(path string) (obs.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("parsing metrics snapshot %s: %w", path, err)
+	}
+	return s, nil
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -19,6 +19,12 @@
 // Ctrl-C renders the rows completed so far before exiting with code 130.
 // A circuit whose pipeline fails (including an internal panic, recovered
 // per row) is reported to stderr and skipped; the sweep continues.
+//
+// The shared observability flags (-progress, -trace-out, -metrics-out,
+// -metrics-addr, -pprof) watch the sweep as it runs; cmd/sddstat
+// analyzes the trace and metrics artifacts afterwards. -metrics-addr
+// serves the live counters in OpenMetrics text format at /metrics, so a
+// long sweep can sit behind a Prometheus scrape.
 package main
 
 import (
@@ -45,10 +51,10 @@ func run(ctx context.Context) error {
 	var (
 		circuits = flag.String("circuits", strings.Join(gen.Table6Circuits, ","),
 			"comma-separated circuit profiles to run")
-		seed    = flag.Int64("seed", 1, "master random seed")
-		effort  = flag.Float64("effort", 0, "search effort in (0,1]; 0 = auto-scale by circuit size")
-		verbose = flag.Bool("v", false, "print per-row generation details")
-		ckptDir = flag.String("checkpoint-dir", "", "persist/resume per-row dictionary-search state in this directory")
+		seed     = flag.Int64("seed", 1, "master random seed")
+		effort   = flag.Float64("effort", 0, "search effort in (0,1]; 0 = auto-scale by circuit size")
+		verbose  = flag.Bool("v", false, "print per-row generation details")
+		ckptDir  = flag.String("checkpoint-dir", "", "persist/resume per-row dictionary-search state in this directory")
 		workers  = flag.Int("workers", 0, "sweep rows to run concurrently (0 = one per CPU); results are identical at any setting")
 		obsFlags = cli.RegisterObsFlags(flag.CommandLine)
 	)
@@ -65,6 +71,9 @@ func run(ctx context.Context) error {
 		return err
 	}
 	defer sess.Close()
+	if sess.MetricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "table6: serving OpenMetrics at http://%s/metrics\n", sess.MetricsAddr)
+	}
 
 	tab := report.NewTable(
 		"circuit", "Ttype", "|T|",

@@ -209,6 +209,7 @@ func TestObservabilityPureMeasurement(t *testing.T) {
 			o := opt
 			o.Workers = workers
 			o.Obs = ob
+			saveArtifactOnFailure(t, "trace-"+prof.name+"-workers"+itoa(workers)+".jsonl", trace.Bytes)
 			d, st := core.BuildSameDiff(pr.Matrix, o)
 			assertSameBuild(t, prof.name+"/observed workers="+itoa(workers), dRef, d, stRef, st)
 			if _, err := obs.ReadEvents(&trace); err != nil {
@@ -276,6 +277,7 @@ func TestInterruptedTraceEndsWithCheckpointSave(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var trace bytes.Buffer
+	saveArtifactOnFailure(t, "trace-interrupted.jsonl", trace.Bytes)
 	opt.Obs = &obs.Observer{Metrics: obs.NewMetrics(), Trace: obs.NewTracer(&trace, nil)}
 	opt.OnCheckpoint = func(cp core.Checkpoint) {
 		if cp.Restarts >= 2 {

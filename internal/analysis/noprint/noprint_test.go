@@ -10,3 +10,11 @@ import (
 func TestNoPrint(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), noprint.Analyzer, "a")
 }
+
+// TestNoPrintAnalyze pins the invariant for analysis-layer packages like
+// internal/obs/analyze: rendering through a caller-supplied io.Writer
+// (the errWriter pattern) is legal, while narrating results to
+// stdout/stderr is flagged — a report generator is still a library.
+func TestNoPrintAnalyze(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noprint.Analyzer, "analyze")
+}

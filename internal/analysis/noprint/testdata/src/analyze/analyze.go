@@ -1,0 +1,56 @@
+// Fixture mirroring internal/obs/analyze: a post-run analysis package
+// is a library — it renders reports onto caller-supplied io.Writers
+// (legal) and must never narrate to stdout/stderr itself, even though
+// its whole job is producing human-readable output.
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// run is a stand-in for the analyzed trace.
+type run struct {
+	events int
+	phases map[string]int64
+}
+
+// errWriter is the sticky-error rendering helper the real package uses;
+// every printf goes to the writer the caller handed in.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+// writeText is the sanctioned shape: the caller owns the destination.
+func (r *run) writeText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	ew.printf("trace: %d events\n", r.events)
+	for name, ms := range r.phases {
+		ew.printf("  %-16s %dms\n", name, ms)
+	}
+	return ew.err
+}
+
+// narrate is everything the analysis layer must not do: report findings
+// by printing them instead of returning them.
+func (r *run) narrate() {
+	fmt.Printf("analyzed %d events\n", r.events)         // want `fmt.Printf prints to stdout`
+	fmt.Println("analysis complete")                     // want `fmt.Println prints to stdout`
+	fmt.Fprintf(os.Stderr, "warning: trace truncated\n") // want `fmt.Fprintf to os.Stderr`
+	fmt.Fprintln(os.Stdout, "phases:", len(r.phases))    // want `fmt.Fprintln to os.Stdout`
+	println("debug: events =", r.events)                 // want `built-in println writes to stderr`
+}
+
+// summarize builds strings without touching any stream.
+func (r *run) summarize() string {
+	return fmt.Sprintf("%d events, %d phases", r.events, len(r.phases))
+}

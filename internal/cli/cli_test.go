@@ -7,6 +7,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -142,5 +144,142 @@ func TestObsFlagsSession(t *testing.T) {
 	}
 	if snap.Counters["restarts_run"] != 1 {
 		t.Errorf("metrics snapshot restarts_run = %d, want 1", snap.Counters["restarts_run"])
+	}
+}
+
+// TestObsFlagsMetricsAddr: -metrics-addr serves the live OpenMetrics
+// exposition while the run is in flight; port 0 picks a free port and
+// the session reports the bound address.
+func TestObsFlagsMetricsAddr(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterObsFlags(fs)
+	if err := fs.Parse([]string{"-metrics-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Enabled() {
+		t.Fatal("-metrics-addr set but Enabled() = false")
+	}
+	sess, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.MetricsAddr == "" || strings.HasSuffix(sess.MetricsAddr, ":0") {
+		t.Fatalf("bound address not reported: %q", sess.MetricsAddr)
+	}
+
+	sess.Observer.M().Inc(obs.RestartsRun)
+	resp, err := http.Get("http://" + sess.MetricsAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "sdd_restarts_run_total 1") ||
+		!strings.Contains(string(body), "# EOF") {
+		t.Errorf("scrape = %q", body)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + sess.MetricsAddr + "/metrics"); err == nil {
+		t.Error("listener still serving after Close")
+	}
+}
+
+// TestObsSessionFinalProgress: Finish emits the final progress summary
+// even when the poll interval never fired — a run that promised progress
+// output must not end silently.
+func TestObsSessionFinalProgress(t *testing.T) {
+	// Progress writes to os.Stderr; swap it for a pipe around the session.
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterObsFlags(fs)
+	if err := fs.Parse([]string{"-progress", "1h"}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Observer.M().Inc(obs.RestartsRun)
+	sess.Observer.Tick() // interval not elapsed: must print nothing
+	if err := sess.Finish(nil); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	w.Close()
+	os.Stderr = old
+
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "progress: done") ||
+		!strings.Contains(string(out), "restarts_run=1") {
+		t.Errorf("final progress line missing from stderr: %q", out)
+	}
+	if n := strings.Count(string(out), "progress:"); n != 1 {
+		t.Errorf("want exactly the final progress line, got %d lines: %q", n, out)
+	}
+}
+
+func TestObsSessionCloseFinishesErroredRuns(t *testing.T) {
+	// A command that errors out mid-run returns before its Finish call;
+	// only the deferred Close runs. The end-of-run artifacts must survive
+	// that path: the final progress line and the -metrics-out snapshot
+	// are exactly what the post-mortem needs.
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+
+	metricsPath := filepath.Join(t.TempDir(), "m.json")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterObsFlags(fs)
+	if err := fs.Parse([]string{"-progress", "1h", "-metrics-out", metricsPath}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Observer.M().Inc(obs.SimBatches)
+	if err := sess.Close(); err != nil { // no Finish: the error path
+		t.Fatal(err)
+	}
+	w.Close()
+	os.Stderr = old
+
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "progress: done") {
+		t.Errorf("Close without Finish must still print the final progress line: %q", out)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("Close without Finish must still write -metrics-out: %v", err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["sim_batches"] != 1 {
+		t.Errorf("snapshot = %+v, want sim_batches 1", snap.Counters)
 	}
 }

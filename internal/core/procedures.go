@@ -144,6 +144,7 @@ func BuildSameDiffCtx(ctx context.Context, m *resp.Matrix, opt Options) (*Dictio
 	ob := opt.Obs
 	if ob.Tracing() {
 		ob.Emit("build_start", map[string]any{
+			"schema": obs.TraceSchemaVersion,
 			"faults": m.N, "tests": m.K, "seed": opt.Seed,
 			"lower": opt.Lower, "calls1": opt.Calls1,
 			"max_restarts": maxRestarts, "workers": opt.Workers,

@@ -146,3 +146,122 @@ func TestRunSweepObsPerRowMetrics(t *testing.T) {
 			snap.Counters["sweep_rows_done"], snap.Counters["sweep_rows_failed"])
 	}
 }
+
+// sweepCounters are the counters RunSweepObsCtx itself records at the
+// delivery point, on top of the merged per-row registries.
+var sweepCounters = map[string]bool{
+	"sweep_rows_done": true, "sweep_rows_failed": true, "sweep_rows_interrupted": true,
+}
+
+// TestRunSweepObsMergeExactness: for every pipeline counter, the
+// sweep-level registry must equal the sum of the *delivered* rows'
+// scoped snapshots — exactly, with failing rows included and nothing
+// else mixed in. This is the accounting identity the scoped-registry
+// design exists for.
+func TestRunSweepObsMergeExactness(t *testing.T) {
+	cfg := Config{Seed: 1}
+	specs := []RowSpec{
+		{Circuit: "s27", TType: Diagnostic, Config: cfg},
+		{Circuit: "no-such-profile", TType: Diagnostic, Config: cfg}, // fails
+		{Circuit: "s27", TType: TenDetect, Config: cfg},
+		{Circuit: "s208", TType: Diagnostic, Config: cfg},
+	}
+	ob := &obs.Observer{Metrics: obs.NewMetrics()}
+	results := RunSweepObsCtx(context.Background(), 2, specs, ob, nil)
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
+	}
+
+	merged := ob.Metrics.Snapshot()
+	rowSums := map[string]int64{}
+	for _, res := range results {
+		for name, v := range res.Metrics.Counters {
+			rowSums[name] += v
+		}
+	}
+	for name, v := range merged.Counters {
+		if sweepCounters[name] {
+			continue
+		}
+		if rowSums[name] != v {
+			t.Errorf("merged %s = %d, rows sum to %d", name, v, rowSums[name])
+		}
+	}
+	for name, v := range rowSums {
+		if sweepCounters[name] {
+			// Recorded by the sweep itself at delivery, never inside a row.
+			if v != 0 {
+				t.Errorf("row-scoped registry carries sweep counter %s = %d", name, v)
+			}
+			continue
+		}
+		if merged.Counters[name] != v {
+			t.Errorf("rows carry %s = %d but merged registry has %d", name, v, merged.Counters[name])
+		}
+	}
+	if got := merged.Histograms["row_elapsed_ms"].Count; got != int64(len(results)) {
+		t.Errorf("row_elapsed_ms count = %d, want one observation per delivered row (%d)",
+			got, len(results))
+	}
+}
+
+// TestRunSweepObsCancelledNoLeak: rows that were in flight (or never
+// started) when the sweep was cancelled must leak nothing into the
+// sweep-level registry — merge happens only at the ordered delivery
+// point, so the merged counters stay the exact sum of the delivered
+// prefix and the outcome counters stay the prefix length.
+func TestRunSweepObsCancelledNoLeak(t *testing.T) {
+	cfg := Config{Seed: 1}
+	var specs []RowSpec
+	for i := 0; i < 6; i++ {
+		tt := Diagnostic
+		if i%2 == 1 {
+			tt = TenDetect
+		}
+		specs = append(specs, RowSpec{Circuit: "s27", TType: tt, Config: cfg})
+	}
+
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		ob := &obs.Observer{Metrics: obs.NewMetrics()}
+		results := RunSweepObsCtx(ctx, workers, specs, ob, func(i int, _ RowResult) {
+			if i == 1 {
+				cancel()
+			}
+		})
+		cancel()
+		if len(results) >= len(specs) {
+			t.Fatalf("workers=%d: sweep was not cancelled early (%d rows)", workers, len(results))
+		}
+
+		merged := ob.Metrics.Snapshot()
+		rowSums := map[string]int64{}
+		var outcomes int64
+		for _, res := range results {
+			if res.Metrics == nil {
+				t.Fatalf("workers=%d: delivered row missing metrics", workers)
+			}
+			for name, v := range res.Metrics.Counters {
+				rowSums[name] += v
+			}
+		}
+		for name, v := range merged.Counters {
+			if sweepCounters[name] {
+				outcomes += v
+				continue
+			}
+			if rowSums[name] != v {
+				t.Errorf("workers=%d: merged %s = %d but delivered rows sum to %d — undelivered row leaked",
+					workers, name, v, rowSums[name])
+			}
+		}
+		if outcomes != int64(len(results)) {
+			t.Errorf("workers=%d: outcome counters total %d, want %d (one per delivered row)",
+				workers, outcomes, len(results))
+		}
+		if got := merged.Histograms["row_elapsed_ms"].Count; got != int64(len(results)) {
+			t.Errorf("workers=%d: row_elapsed_ms count = %d, want %d",
+				workers, got, len(results))
+		}
+	}
+}

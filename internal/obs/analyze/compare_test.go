@@ -1,0 +1,155 @@
+package analyze
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"sddict/internal/obs"
+)
+
+func snapOf(t *testing.T, build func(*obs.Metrics)) obs.Snapshot {
+	t.Helper()
+	m := obs.NewMetrics()
+	build(m)
+	return m.Snapshot()
+}
+
+func TestCompareCounterThreshold(t *testing.T) {
+	a := snapOf(t, func(m *obs.Metrics) { m.Add(obs.CandidateScans, 100); m.Add(obs.SimBatches, 50) })
+	b := snapOf(t, func(m *obs.Metrics) { m.Add(obs.CandidateScans, 105); m.Add(obs.SimBatches, 80) })
+
+	c := Compare(a, b, Thresholds{}) // defaults: counters 10%
+	if !c.Regressed() {
+		t.Fatal("60% sim_batches growth above the 10% default must regress")
+	}
+	var scans, batches *Delta
+	for i := range c.Deltas {
+		switch c.Deltas[i].Name {
+		case "candidate_scans":
+			scans = &c.Deltas[i]
+		case "sim_batches":
+			batches = &c.Deltas[i]
+		}
+	}
+	if scans == nil || batches == nil {
+		t.Fatalf("missing deltas: %+v", c.Deltas)
+	}
+	if scans.Regression || scans.GrowthPct != 5 {
+		t.Errorf("candidate_scans delta = %+v, want +5%% no regression", scans)
+	}
+	if !batches.Regression || batches.GrowthPct != 60 {
+		t.Errorf("sim_batches delta = %+v, want +60%% regression", batches)
+	}
+
+	// A looser explicit threshold clears it; a negative one disables the
+	// counter gate entirely.
+	if Compare(a, b, Thresholds{CounterPct: 75}).Regressed() {
+		t.Error("75% threshold must pass a 60% growth")
+	}
+	if Compare(a, b, Thresholds{CounterPct: -1}).Regressed() {
+		t.Error("negative threshold must disable counter regressions")
+	}
+}
+
+func TestCompareCounterDropRegresses(t *testing.T) {
+	// The gate is symmetric: counters are deterministic work measures, so
+	// a collapse (run broke early, stale baseline) is as suspect as
+	// growth and must not slip through as an "improvement".
+	a := snapOf(t, func(m *obs.Metrics) { m.Add(obs.CandidateScans, 200000) })
+	b := snapOf(t, func(m *obs.Metrics) { m.Add(obs.CandidateScans, 1) })
+
+	c := Compare(a, b, Thresholds{})
+	if !c.Regressed() {
+		t.Fatal("a -100% counter drop must regress at the 10% default")
+	}
+	if d := c.Deltas[0]; !d.Regression || d.GrowthPct >= 0 {
+		t.Errorf("delta = %+v, want negative growth flagged", d)
+	}
+	if Compare(a, b, Thresholds{CounterPct: -1}).Regressed() {
+		t.Error("negative threshold must disable the drop gate too")
+	}
+}
+
+func TestCompareNewCounterIsRegression(t *testing.T) {
+	a := snapOf(t, func(m *obs.Metrics) {})
+	b := snapOf(t, func(m *obs.Metrics) { m.Add(obs.LowerCutoffHits, 3) })
+
+	c := Compare(a, b, Thresholds{})
+	if !c.Regressed() {
+		t.Fatal("counter appearing from zero must regress")
+	}
+	d := c.Deltas[0]
+	if !math.IsInf(d.GrowthPct, 1) {
+		t.Errorf("growth = %v, want +Inf", d.GrowthPct)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "!") || !strings.Contains(out, "new") {
+		t.Errorf("report must mark the regression and render +Inf as \"new\":\n%s", out)
+	}
+}
+
+func TestCompareGaugesInformationalOnly(t *testing.T) {
+	a := snapOf(t, func(m *obs.Metrics) { m.Set(obs.IndistPairs, 10) })
+	b := snapOf(t, func(m *obs.Metrics) { m.Set(obs.IndistPairs, 500) })
+
+	c := Compare(a, b, Thresholds{})
+	if c.Regressed() {
+		t.Error("gauge growth must never regress")
+	}
+	if len(c.Deltas) != 1 || c.Deltas[0].Kind != "gauge" {
+		t.Errorf("deltas = %+v", c.Deltas)
+	}
+}
+
+func TestComparePercentiles(t *testing.T) {
+	a := snapOf(t, func(m *obs.Metrics) {
+		for _, v := range []int64{4, 5, 6, 7} {
+			m.Observe(obs.RowElapsedMs, v)
+		}
+	})
+	// Every sample four buckets higher: percentiles grow ~16x, far past
+	// the 100% (one-doubling) default.
+	b := snapOf(t, func(m *obs.Metrics) {
+		for _, v := range []int64{64, 80, 96, 112} {
+			m.Observe(obs.RowElapsedMs, v)
+		}
+	})
+
+	c := Compare(a, b, Thresholds{})
+	if !c.Regressed() {
+		t.Fatal("16x percentile growth must regress at the 100% default")
+	}
+	for _, d := range c.Deltas {
+		if d.Kind != "percentile" {
+			t.Errorf("unexpected delta kind %q", d.Kind)
+		}
+		if !strings.HasPrefix(d.Name, "row_elapsed_ms/p") {
+			t.Errorf("percentile delta name = %q", d.Name)
+		}
+	}
+	if Compare(a, b, Thresholds{PercentilePct: -1}).Regressed() {
+		t.Error("negative percentile threshold must disable the gate")
+	}
+}
+
+func TestCompareIdenticalRuns(t *testing.T) {
+	s := snapOf(t, func(m *obs.Metrics) {
+		m.Add(obs.RestartsRun, 12)
+		m.Observe(obs.RestartIndist, 9)
+	})
+	c := Compare(s, s, Thresholds{})
+	if c.Regressed() {
+		t.Errorf("identical snapshots regressed: %+v", c.Deltas)
+	}
+	for _, d := range c.Deltas {
+		if d.GrowthPct != 0 {
+			t.Errorf("delta %s growth = %v, want 0", d.Name, d.GrowthPct)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package analyze
+
+import (
+	"testing"
+
+	"sddict/internal/obs"
+)
+
+func histOf(t *testing.T, vs ...int64) obs.HistSnapshot {
+	t.Helper()
+	m := obs.NewMetrics()
+	for _, v := range vs {
+		m.Observe(obs.RestartIndist, v)
+	}
+	return m.Snapshot().Histograms["restart_indist"]
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	// Buckets: [1,1]x1, [2,3]x2, [4,7]x4 — 7 samples total.
+	hs := histOf(t, 1, 2, 3, 4, 5, 6, 7)
+
+	// rank(0.5) = 3.5: one past the [2,3] bucket's cumulative 3, an
+	// eighth of the way into [4,7] -> 4 + 0.125*3 = 4.375.
+	if got := Percentile(hs, 0.50); got != 4.375 {
+		t.Errorf("p50 = %v, want 4.375", got)
+	}
+	// rank(1.0) = 7 lands exactly on the last bucket's cumulative edge.
+	if got := Percentile(hs, 1.0); got != 7 {
+		t.Errorf("p100 = %v, want 7", got)
+	}
+	// Out-of-range quantiles clamp.
+	if got := Percentile(hs, 1.5); got != 7 {
+		t.Errorf("clamped p150 = %v, want 7", got)
+	}
+	if got, zero := Percentile(hs, -0.5), Percentile(hs, 0); got != zero {
+		t.Errorf("negative quantile = %v, want clamp to q=0 value %v", got, zero)
+	}
+}
+
+func TestPercentileZeroBucket(t *testing.T) {
+	hs := histOf(t, 0, 0, 0, 8)
+	// Three of four samples are exactly zero; the degenerate [0,0]
+	// bucket must report its boundary, not interpolate.
+	if got := Percentile(hs, 0.50); got != 0 {
+		t.Errorf("p50 of mostly-zero histogram = %v, want 0", got)
+	}
+	if got := Percentile(hs, 0.99); got < 8 || got > 15 {
+		t.Errorf("p99 = %v, want within top bucket [8,15]", got)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if got := Percentile(obs.HistSnapshot{}, 0.5); got != 0 {
+		t.Errorf("empty histogram percentile = %v, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(histOf(t, 1, 2, 3, 4))
+	if s.Count != 4 || s.Sum != 10 {
+		t.Errorf("summary count/sum = %d/%d, want 4/10", s.Count, s.Sum)
+	}
+	if s.P50 <= 0 || s.P90 < s.P50 || s.P99 < s.P90 {
+		t.Errorf("percentiles not monotone: %+v", s)
+	}
+}

@@ -127,6 +127,10 @@ const histBuckets = 65
 
 type histogram struct {
 	buckets [histBuckets]atomic.Int64
+	// sum accumulates the observed values (negatives clamp to 0, like
+	// their bucket), so exposition formats that want a running total
+	// (OpenMetrics `_sum`) need no second bookkeeping pass.
+	sum atomic.Int64
 }
 
 // Metrics is a fixed registry of atomic instruments. The zero value is
@@ -184,6 +188,7 @@ func (m *Metrics) Observe(h Hist, v int64) {
 	b := 0
 	if v > 0 {
 		b = bits.Len64(uint64(v))
+		m.hists[h].sum.Add(v)
 	}
 	m.hists[h].buckets[b].Add(1)
 }
@@ -206,6 +211,9 @@ func (m *Metrics) Merge(o *Metrics) {
 				m.hists[h].buckets[b].Add(v)
 			}
 		}
+		if v := o.hists[h].sum.Load(); v != 0 {
+			m.hists[h].sum.Add(v)
+		}
 	}
 }
 
@@ -219,6 +227,7 @@ type HistBucket struct {
 // HistSnapshot is the state of one histogram.
 type HistSnapshot struct {
 	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -249,7 +258,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Gauges[gaugeNames[g]] = m.gauges[g].Load()
 	}
 	for h := Hist(0); h < numHists; h++ {
-		var hs HistSnapshot
+		hs := HistSnapshot{Sum: m.hists[h].sum.Load()}
 		for b := 0; b < histBuckets; b++ {
 			n := m.hists[h].buckets[b].Load()
 			if n == 0 {

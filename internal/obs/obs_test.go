@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"errors"
 	"net/http"
 	"os"
 	"strings"
@@ -161,6 +162,70 @@ func TestFileTracerAppendsDurably(t *testing.T) {
 	}
 	if len(events) != 2 || events[0].Type != "a" || events[1].Type != "b" {
 		t.Fatalf("append-only trace lost events: %+v", events)
+	}
+}
+
+// TestReadEventsTruncatedTail: a crash mid-append leaves a final line
+// without its newline; ReadEvents must hand back the parsed prefix under
+// a sentinel instead of failing the whole trace.
+func TestReadEventsTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, nil)
+	tr.Emit("build_start", map[string]any{"n": 4})
+	tr.Emit("restart_end", map[string]any{"restart": 0})
+	full := buf.String()
+	torn := full[:len(full)-10] // cut inside the second event's JSON
+
+	events, err := ReadEvents(strings.NewReader(torn))
+	if !errors.Is(err, ErrTruncatedTrace) {
+		t.Fatalf("err = %v, want ErrTruncatedTrace", err)
+	}
+	if len(events) != 1 || events[0].Type != "build_start" {
+		t.Fatalf("parsed prefix = %+v, want the one complete event", events)
+	}
+
+	// A final line that parses but lost only its newline is complete data:
+	// no error.
+	events, err = ReadEvents(strings.NewReader(strings.TrimSuffix(full, "\n")))
+	if err != nil || len(events) != 2 {
+		t.Fatalf("newline-less but parseable tail: events=%d err=%v", len(events), err)
+	}
+
+	// A malformed line in the middle is corruption, not truncation.
+	_, err = ReadEvents(strings.NewReader("{bad json}\n" + full))
+	if err == nil || errors.Is(err, ErrTruncatedTrace) {
+		t.Fatalf("mid-trace corruption: err = %v, want a hard parse error", err)
+	}
+}
+
+// TestProgressFinalSummary: Final must print even when no interval ever
+// elapsed (the short-build case), exactly once, with the elapsed time.
+func TestProgressFinalSummary(t *testing.T) {
+	var buf bytes.Buffer
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	m := NewMetrics()
+	m.Inc(RestartsRun)
+	p := NewProgress(&buf, time.Hour, clock, m)
+
+	p.Tick() // far below the interval: silent
+	if buf.Len() != 0 {
+		t.Fatalf("tick before interval printed: %q", buf.String())
+	}
+	now = now.Add(1500 * time.Millisecond)
+	p.Final()
+	line := buf.String()
+	if !strings.Contains(line, "progress: done") || !strings.Contains(line, "restarts_run=1") {
+		t.Fatalf("final line %q missing summary fields", line)
+	}
+	if !strings.Contains(line, "elapsed=1.5s") {
+		t.Fatalf("final line %q missing elapsed", line)
+	}
+	p.Final() // idempotent
+	now = now.Add(2 * time.Hour)
+	p.Tick() // and Tick after Final stays silent
+	if got := buf.String(); got != line {
+		t.Fatalf("Final not idempotent / Tick after Final printed: %q", got)
 	}
 }
 

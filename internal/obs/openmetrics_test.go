@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestWriteOpenMetrics(t *testing.T) {
+	m := NewMetrics()
+	m.Add(RestartsRun, 3)
+	m.Set(IndistPairs, 17)
+	m.Observe(RestartIndist, 1)
+	m.Observe(RestartIndist, 5)
+	m.Observe(RestartIndist, 6)
+
+	var buf bytes.Buffer
+	if err := m.Snapshot().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sdd_restarts_run counter",
+		"sdd_restarts_run_total 3",
+		"# TYPE sdd_indist_pairs gauge",
+		"sdd_indist_pairs 17",
+		"# TYPE sdd_restart_indist histogram",
+		`sdd_restart_indist_bucket{le="1"} 1`,
+		`sdd_restart_indist_bucket{le="7"} 3`,
+		`sdd_restart_indist_bucket{le="+Inf"} 3`,
+		"sdd_restart_indist_sum 12",
+		"sdd_restart_indist_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("exposition must end with # EOF:\n%s", out)
+	}
+
+	// Deterministic rendering: same state, same bytes.
+	var again bytes.Buffer
+	if err := m.Snapshot().WriteOpenMetrics(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Error("two expositions of the same snapshot differ")
+	}
+}
+
+func TestHistogramSumTracked(t *testing.T) {
+	m := NewMetrics()
+	m.Observe(RowElapsedMs, 10)
+	m.Observe(RowElapsedMs, 20)
+	m.Observe(RowElapsedMs, -5) // clamps: bucket 0, sum unchanged
+	hs := m.Snapshot().Histograms["row_elapsed_ms"]
+	if hs.Sum != 30 {
+		t.Errorf("sum = %d, want 30", hs.Sum)
+	}
+	if hs.Count != 3 {
+		t.Errorf("count = %d, want 3", hs.Count)
+	}
+	o := NewMetrics()
+	o.Observe(RowElapsedMs, 7)
+	m.Merge(o)
+	if got := m.Snapshot().Histograms["row_elapsed_ms"].Sum; got != 37 {
+		t.Errorf("merged sum = %d, want 37", got)
+	}
+}
+
+func TestStartMetricsServerServes(t *testing.T) {
+	m := NewMetrics()
+	m.Add(SimBatches, 9)
+	addr, stop, err := StartMetricsServerAddr("127.0.0.1:0", m)
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("Content-Type = %q, want openmetrics-text", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "sdd_sim_batches_total 9") {
+		t.Errorf("live exposition missing counter:\n%s", body)
+	}
+}

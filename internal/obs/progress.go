@@ -16,15 +16,19 @@ import (
 // background ticker would be the one goroutine with nothing to merge.
 // The cost of polling is that a silent phase longer than the interval
 // prints nothing until its next fold point; DESIGN.md §10 accepts that
-// trade.
+// trade. Final closes the other polling gap: a run shorter than the
+// interval still ends with one summary line instead of finishing
+// silently.
 type Progress struct {
 	interval time.Duration
 	clock    func() time.Time
 	w        io.Writer
 	m        *Metrics
 
-	mu   sync.Mutex
-	last time.Time
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+	done  bool
 }
 
 // NewProgress reports m onto w every interval per clock. Returns nil
@@ -33,7 +37,8 @@ func NewProgress(w io.Writer, interval time.Duration, clock func() time.Time, m 
 	if w == nil || interval <= 0 || clock == nil {
 		return nil
 	}
-	return &Progress{interval: interval, clock: clock, w: w, m: m, last: clock()}
+	now := clock()
+	return &Progress{interval: interval, clock: clock, w: w, m: m, start: now, last: now}
 }
 
 // Tick prints a progress line when the interval has elapsed since the
@@ -45,18 +50,38 @@ func (p *Progress) Tick() {
 	now := p.clock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if now.Sub(p.last) < p.interval {
+	if p.done || now.Sub(p.last) < p.interval {
 		return
 	}
 	p.last = now
-	p.write()
+	p.write("progress:", "")
 }
 
-// write prints the nonzero counters and gauges as sorted key=value
-// pairs: stable field order, no fields that carry no signal yet.
-func (p *Progress) write() {
+// Final prints the end-of-run summary line unconditionally — even when
+// the run finished before the first interval elapsed, so short builds
+// never end silently. Idempotent (later Final and Tick calls are
+// no-ops) and safe on nil; the command layer calls it once the pipeline
+// has delivered its result.
+func (p *Progress) Final() {
+	if p == nil {
+		return
+	}
+	now := p.clock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return
+	}
+	p.done = true
+	p.write("progress: done", fmt.Sprintf(" elapsed=%s", now.Sub(p.start)))
+}
+
+// write prints prefix, the nonzero counters and gauges as sorted
+// key=value pairs (stable field order, no fields that carry no signal
+// yet), then the suffix. Callers hold p.mu.
+func (p *Progress) write(prefix, suffix string) {
 	s := p.m.Snapshot()
-	line := "progress:"
+	line := prefix
 	for _, name := range sortedKeys(s.Counters) {
 		if v := s.Counters[name]; v != 0 {
 			line += fmt.Sprintf(" %s=%d", name, v)
@@ -67,5 +92,5 @@ func (p *Progress) write() {
 			line += fmt.Sprintf(" %s=%d", name, v)
 		}
 	}
-	fmt.Fprintln(p.w, line)
+	fmt.Fprintln(p.w, line+suffix)
 }

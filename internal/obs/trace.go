@@ -1,13 +1,22 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"time"
 )
+
+// TraceSchemaVersion is the version of the build-event vocabulary
+// documented in DESIGN.md §10. build_start events carry it as the
+// "schema" field so post-run tooling (cmd/sddstat) can refuse traces it
+// does not understand instead of misreading them.
+const TraceSchemaVersion = 1
 
 // Event is one line of the build-event trace. Fields is marshalled with
 // encoding/json, which emits map keys sorted, so a trace produced from
@@ -125,18 +134,44 @@ func (t *Tracer) Close() error {
 	return t.err
 }
 
+// ErrTruncatedTrace marks a trace whose final line is an incomplete
+// event: the writing process died (crash, SIGKILL) mid-append. ReadEvents
+// wraps it under the parsed prefix, so callers keep the complete events
+// and decide for themselves whether the torn tail matters —
+// cmd/sddstat reports it and analyzes the prefix; tests that require a
+// clean end treat it as a failure.
+var ErrTruncatedTrace = errors.New("trace truncated mid-event")
+
 // ReadEvents parses a JSONL trace back into events — the telemetry side
 // of the round trip, used by tests and post-run tooling.
+//
+// The tracer terminates every event with a newline inside the same
+// write, so a final line without one is the signature of a write torn by
+// a crash: ReadEvents then returns the events parsed so far together
+// with an error wrapping ErrTruncatedTrace. A malformed line that *is*
+// newline-terminated (or is followed by more lines) is corruption, not
+// truncation, and stays a hard error.
 func ReadEvents(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
 	var events []Event
-	dec := json.NewDecoder(r)
 	for {
-		var ev Event
-		if err := dec.Decode(&ev); err == io.EOF {
-			return events, nil
-		} else if err != nil {
-			return events, fmt.Errorf("obs: parsing trace event %d: %w", len(events)+1, err)
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return events, fmt.Errorf("obs: reading trace: %w", err)
 		}
-		events = append(events, ev)
+		complete := err == nil
+		if trimmed := strings.TrimSpace(line); trimmed != "" {
+			var ev Event
+			if uerr := json.Unmarshal([]byte(trimmed), &ev); uerr != nil {
+				if !complete {
+					return events, fmt.Errorf("obs: trace event %d: %w", len(events)+1, ErrTruncatedTrace)
+				}
+				return events, fmt.Errorf("obs: parsing trace event %d: %w", len(events)+1, uerr)
+			}
+			events = append(events, ev)
+		}
+		if !complete {
+			return events, nil
+		}
 	}
 }

@@ -26,8 +26,11 @@ func TestSddInterruptEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("execs a freshly built binary; skipped in -short mode")
 	}
-	dir := t.TempDir()
-	bin := filepath.Join(dir, "sdd")
+	// Artifacts (trace, metrics, checkpoint) go to the artifact dir so a
+	// failing CI leg uploads them for sddstat post-mortems; the binary
+	// stays in a throwaway temp dir.
+	dir := artifactDir(t)
+	bin := filepath.Join(t.TempDir(), "sdd")
 	build := exec.Command("go", "build", "-o", bin, "./cmd/sdd")
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build ./cmd/sdd: %v\n%s", err, out)
