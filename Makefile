@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz bench bench-compare check clean
+.PHONY: build test race vet lint fuzz bench bench-compare chaos check clean
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,15 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -o bench_compare.json bench_compare.out
 	$(GO) run ./cmd/benchjson compare -ns-ratio 8 BENCH_parallel.json bench_compare.json
 	@rm -f bench_compare.out bench_compare.json
+
+# Fault-injection and chaos suite (DESIGN.md §12) under the race
+# detector: artifact corruption matrices, the faultfs seam, the serve
+# middleware contracts, the signal/drain exec tests, and the end-to-end
+# server-integration legs (publish → serve → diagnose parity; shed +
+# SIGTERM under sddload chaos).
+chaos:
+	$(GO) test -race -count=1 ./internal/dictio/ ./internal/faultfs/ ./internal/serve/ ./internal/cli/
+	$(GO) test -race -count=1 -run 'TestServe' .
 
 # The gate for every change: static analysis (go vet + sddlint) plus the
 # full suite under the race detector.

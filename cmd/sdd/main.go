@@ -36,6 +36,7 @@ import (
 	"sddict/internal/cli"
 	"sddict/internal/core"
 	"sddict/internal/diagnose"
+	"sddict/internal/dictio"
 	"sddict/internal/experiment"
 	"sddict/internal/fault"
 	"sddict/internal/gen"
@@ -55,6 +56,7 @@ func run(ctx context.Context) error {
 		effort    = flag.Float64("effort", 0, "search effort in (0,1]; 0 = auto-scale")
 		list      = flag.Bool("list", false, "list available circuit profiles and exit")
 		saveDict  = flag.String("save-dict", "", "write the compiled same/different dictionary to this file")
+		publish   = flag.String("publish", "", "write a versioned, checksummed dictionary artifact (cmd/sddserve input) to this file")
 		inject    = flag.Int("inject", -1, "inject the i-th collapsed fault as a defect (with -dump-responses)")
 		dumpResp  = flag.String("dump-responses", "", "write the observed responses of the injected defect (cmd/diagnose input)")
 		ckpt      = flag.String("checkpoint", "", "persist/resume dictionary-search state at this file")
@@ -201,6 +203,30 @@ func run(ctx context.Context) error {
 		}
 		fmt.Printf("compiled same/different dictionary written to %s (%s bytes on disk, %s payload bits)\n",
 			*saveDict, report.Comma(n), report.Comma(compiled.SizeBits()))
+	}
+	if *publish != "" {
+		compiled, err := sd.Compile()
+		if err != nil {
+			return err
+		}
+		names := make([]string, len(pr.Faults))
+		for i, f := range pr.Faults {
+			names[i] = f.Name(pr.Circuit)
+		}
+		art, err := dictio.New(compiled, dictio.Header{
+			Circuit: st.Name,
+			TestSet: string(tt),
+			Seed:    *seed,
+			Faults:  names,
+		})
+		if err != nil {
+			return err
+		}
+		if err := art.Save(*publish); err != nil {
+			return err
+		}
+		fmt.Printf("dictionary artifact published to %s (format v%d, checksum %08x)\n",
+			*publish, dictio.FormatVersion, art.Checksum)
 	}
 	if err := sess.Finish(os.Stdout); err != nil {
 		return err

@@ -16,6 +16,9 @@
 //	noprint       no fmt printing to stdout/stderr, log.*, or print
 //	              built-ins in library packages (internal/obs and
 //	              internal/cli are the sanctioned output sinks)
+//	httpserver    no timeout-less http.Server configurations
+//	              (ReadHeaderTimeout/ReadTimeout and IdleTimeout
+//	              required; bare http.ListenAndServe forbidden)
 //
 // Usage:
 //
@@ -36,6 +39,7 @@ import (
 	"sddict/internal/analysis/ctxpropagate"
 	"sddict/internal/analysis/determinism"
 	"sddict/internal/analysis/errwrap"
+	"sddict/internal/analysis/httpserver"
 	"sddict/internal/analysis/noprint"
 )
 
@@ -46,6 +50,7 @@ var analyzers = []*analysis.Analyzer{
 	errwrap.Analyzer,
 	concurrency.Analyzer,
 	noprint.Analyzer,
+	httpserver.Analyzer,
 }
 
 func main() {

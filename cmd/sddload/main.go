@@ -1,0 +1,273 @@
+// Command sddload is the load and chaos driver for sddserve: it
+// synthesizes diagnosis traffic from a published dictionary artifact,
+// fires it from concurrent clients, retries shed (503) responses with
+// jittered exponential backoff honoring Retry-After, and reports
+// latency percentiles (p50/p90/p99) via the trace-analytics percentile
+// machinery.
+//
+// Usage:
+//
+//	sddload -addr 127.0.0.1:8090 -dict s298.sdda -clients 8 -requests 200
+//
+// Traffic is synthesized, not replayed: each request picks a modeled
+// fault (deterministically from -seed) and fabricates the observed
+// responses that fault would produce — for a single-baseline
+// dictionary, the serve-side diagnosis must then find it as an exact
+// candidate, so sddload doubles as an end-to-end correctness probe
+// under load.
+//
+// In -chaos mode request failures (refused connections, drained
+// servers, exhausted retries) are tolerated and tallied instead of
+// failing the run: chaos experiments kill the server mid-run on
+// purpose, and the driver's job is to report how degradation looked
+// from the client side, exiting 0.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sddict/internal/cli"
+	"sddict/internal/core"
+	"sddict/internal/dictio"
+	"sddict/internal/obs"
+	"sddict/internal/obs/analyze"
+	"sddict/internal/par"
+	"sddict/internal/serve"
+)
+
+func main() {
+	cli.Main("sddload", run)
+}
+
+// result is one request's client-side outcome.
+type result struct {
+	ok      bool
+	shed    int  // 503 responses seen (including retried-through ones)
+	retries int  // backoff sleeps taken
+	exact   bool // server found the planted fault exactly
+	errMsg  string
+}
+
+func run(ctx context.Context) error {
+	var (
+		addr     = flag.String("addr", "", "sddserve address (host:port)")
+		dictPath = flag.String("dict", "", "dictionary artifact to synthesize traffic from (must match the server's)")
+		clients  = flag.Int("clients", 4, "concurrent client workers")
+		requests = flag.Int("requests", 100, "total requests to send")
+		topK     = flag.Int("top", 5, "top_k sent with each diagnosis")
+		seed     = flag.Int64("seed", 1, "seed for fault selection and retry jitter")
+		chaos    = flag.Bool("chaos", false, "tolerate request failures (server being killed is part of the experiment); always exit 0")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		retries  = flag.Int("retries", 6, "max retry attempts after a 503")
+	)
+	flag.Parse()
+	if *addr == "" || *dictPath == "" {
+		return cli.Usagef("need -addr and -dict")
+	}
+	if *requests < 1 || *clients < 1 {
+		return cli.Usagef("-requests and -clients must be positive")
+	}
+
+	art, err := dictio.Load(*dictPath)
+	if err != nil {
+		return fmt.Errorf("loading artifact: %w", err)
+	}
+	// Exact-candidate verification needs sig == row, which synthesis
+	// only guarantees against a single baseline per test.
+	verifiable := art.Dict.ExtraBaseline == nil
+	fmt.Printf("sddload: %s (%s, %d faults, %d tests) -> http://%s, %d requests from %d clients\n",
+		*dictPath, art.Header.Circuit, len(art.Header.Faults), art.Header.Tests, *addr, *requests, *clients)
+
+	m := obs.NewMetrics()
+	client := &http.Client{Timeout: *timeout}
+	url := "http://" + *addr + "/diagnose"
+
+	pool := par.New(*clients)
+	results, perr := par.Map(ctx, pool, *requests, func(ctx context.Context, i int) (result, error) {
+		rng := par.RNG(*seed, i) // per-task stream: replayable at any client count
+		fault := rng.Intn(len(art.Dict.Rows))
+		body, err := json.Marshal(serve.DiagnoseRequest{
+			Dictionary: *dictPath,
+			Responses:  synthesize(art.Dict, fault),
+			TopK:       *topK,
+		})
+		if err != nil {
+			return result{}, err
+		}
+		var res result
+		for attempt := 0; ; attempt++ {
+			start := time.Now()
+			status, resp, hint, err := postOnce(ctx, client, url, body)
+			m.Observe(obs.RequestUs, time.Since(start).Microseconds())
+			switch {
+			case err != nil:
+				res.errMsg = err.Error()
+				return res, nil
+			case status == http.StatusOK:
+				if verifiable {
+					res.exact = containsFault(resp, fault)
+					if !res.exact {
+						res.errMsg = fmt.Sprintf("planted fault %d missing from exact candidates", fault)
+						return res, nil
+					}
+				}
+				res.ok = true
+				return res, nil
+			case status == http.StatusServiceUnavailable && attempt < *retries:
+				res.shed++
+				res.retries++
+				m.Inc(obs.LoadRetries)
+				if !sleepCtx(ctx, backoff(rng, attempt, hint)) {
+					res.errMsg = "interrupted during backoff"
+					return res, nil
+				}
+			case status == http.StatusServiceUnavailable:
+				res.shed++
+				res.errMsg = "shed: retries exhausted"
+				return res, nil
+			default:
+				res.errMsg = fmt.Sprintf("status %d", status)
+				return res, nil
+			}
+		}
+	})
+	if perr != nil && !*chaos {
+		return perr
+	}
+
+	var ok, failed, shed, retried, exact int
+	firstErr := ""
+	for _, r := range results {
+		if r.ok {
+			ok++
+		} else {
+			failed++
+			if firstErr == "" && r.errMsg != "" {
+				firstErr = r.errMsg
+			}
+		}
+		shed += r.shed
+		retried += r.retries
+		if r.exact {
+			exact++
+		}
+	}
+	// par.Map aborts the remaining tasks on context cancellation; in
+	// chaos mode the missing tail counts as failures too.
+	if n := *requests - len(results); n > 0 {
+		failed += n
+		if firstErr == "" {
+			firstErr = "aborted before sending"
+		}
+	}
+	lat := analyze.Summarize(m.Snapshot().Histograms["request_us"])
+	fmt.Printf("sddload: ok=%d failed=%d shed=%d retries=%d exact=%d\n", ok, failed, shed, retried, exact)
+	fmt.Printf("sddload: latency_us count=%d p50=%.0f p90=%.0f p99=%.0f\n", lat.Count, lat.P50, lat.P90, lat.P99)
+
+	if failed > 0 {
+		if !*chaos {
+			return fmt.Errorf("%d/%d requests failed (first: %s)", failed, *requests, firstErr)
+		}
+		fmt.Printf("sddload: chaos mode, tolerating %d failures (first: %s)\n", failed, firstErr)
+	}
+	return nil
+}
+
+// synthesize fabricates the observed responses of the given fault: the
+// test's baseline vector where the signature row says "same", the
+// baseline with output bit 0 flipped where it says "different". Against
+// a single-baseline dictionary the resulting signature equals the
+// fault's row exactly, so the server must return the fault (or its
+// equivalence class) as an exact candidate.
+func synthesize(dict *core.Compiled, fault int) []string {
+	row := dict.Rows[fault]
+	out := make([]string, dict.NumTests)
+	for j := 0; j < dict.NumTests; j++ {
+		if row.Get(j) == 0 {
+			out[j] = dict.Baseline[j].String(dict.Outputs)
+			continue
+		}
+		v := dict.Baseline[j].Clone()
+		v.Set(0, 1-v.Get(0))
+		out[j] = v.String(dict.Outputs)
+	}
+	return out
+}
+
+// postOnce sends one diagnosis request and returns the status, body,
+// and any Retry-After hint (0 when absent).
+func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (int, []byte, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer resp.Body.Close()
+	var hint time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		hint = time.Duration(secs) * time.Second
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, nil, hint, err
+	}
+	return resp.StatusCode, data, hint, nil
+}
+
+// containsFault reports whether the single diagnosis result lists fault
+// among its exact candidates.
+func containsFault(body []byte, fault int) bool {
+	var resp serve.DiagnoseResponse
+	if err := json.Unmarshal(body, &resp); err != nil || len(resp.Results) != 1 {
+		return false
+	}
+	r := resp.Results[0]
+	if !r.Exact {
+		return false
+	}
+	for _, c := range r.Candidates {
+		if c.Fault == fault {
+			return true
+		}
+	}
+	return false
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// backoff computes the sleep before retry number attempt: exponential
+// base (10ms doubling, capped at 500ms), floored by the server's
+// Retry-After hint when it is larger, with full jitter so synchronized
+// clients desync instead of re-colliding.
+func backoff(rng *rand.Rand, attempt int, hint time.Duration) time.Duration {
+	base := 10 * time.Millisecond << uint(attempt)
+	if base > 500*time.Millisecond {
+		base = 500 * time.Millisecond
+	}
+	if hint > base {
+		base = hint
+	}
+	return time.Duration(rng.Int63n(int64(base))) + time.Millisecond
+}

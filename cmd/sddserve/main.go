@@ -1,0 +1,107 @@
+// Command sddserve runs the diagnosis service: it loads published
+// dictionary artifacts (`sdd -publish`) and answers HTTP diagnosis
+// requests with the same ranking code the batch `diagnose` command
+// uses.
+//
+// Usage:
+//
+//	sddserve -addr 127.0.0.1:8090 -dict s298.sdda [-dict s344.sdda ...]
+//
+// Endpoints: POST /diagnose (single or batch observations),
+// GET /dictionaries + POST /dictionaries/{load,evict}, GET /healthz,
+// GET /readyz (503 while draining), GET /metrics (OpenMetrics).
+//
+// The server degrades rather than collapses: requests beyond
+// -max-inflight are shed with 503 + Retry-After, every request runs
+// under -timeout, handler panics become 500s, and SIGTERM/SIGINT
+// triggers a drain — stop accepting, finish in-flight work (bounded by
+// -drain-timeout), exit 0. A second signal forces exit 130.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"sddict/internal/cli"
+	"sddict/internal/serve"
+)
+
+func main() {
+	cli.Main("sddserve", run)
+}
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint([]string(*s)) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func run(ctx context.Context) error {
+	var dicts stringList
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8090", "listen address (use :0 for an ephemeral port)")
+		maxInflight = flag.Int("max-inflight", 64, "in-flight request cap; excess requests are shed with 503")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request deadline")
+		drain       = flag.Duration("drain-timeout", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+		cache       = flag.Int("cache", 8, "dictionary cache capacity (LRU beyond this)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
+		chaosDelay  = flag.Duration("chaos-delay", 0, "artificially stretch every diagnosis by this much (fault-injection testing)")
+	)
+	flag.Var(&dicts, "dict", "dictionary artifact to preload (repeatable); a corrupt artifact fails startup")
+	obsFlags := cli.RegisterObsFlags(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected arguments: %v", flag.Args())
+	}
+
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	srv := serve.New(serve.Config{
+		MaxInFlight:  *maxInflight,
+		Timeout:      *timeout,
+		DrainTimeout: *drain,
+		CacheSize:    *cache,
+		RetryAfter:   *retryAfter,
+		ChaosDelay:   *chaosDelay,
+		Obs:          sess.Observer,
+	})
+
+	// Preload before binding the port: a corrupt or missing artifact is
+	// a startup failure, not a surprise on the first request.
+	for _, path := range dicts {
+		info, err := srv.LoadDictionary(path)
+		if err != nil {
+			return fmt.Errorf("preloading %s: %w", path, err)
+		}
+		fmt.Printf("sddserve: loaded %s (%s, %s, %d faults, %d tests, checksum %s)\n",
+			info.Path, info.Circuit, info.Kind, info.Faults, info.Tests, info.Checksum)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The bound address line is the startup handshake: harness code
+	// (serve_integration_test.go, sddload scripts) passes -addr :0 and
+	// scrapes the actual port from here.
+	fmt.Printf("sddserve: listening on %s\n", ln.Addr().String())
+	os.Stdout.Sync()
+
+	if err := srv.Serve(ctx, ln); err != nil {
+		return err
+	}
+	fmt.Println("sddserve: drained cleanly")
+	return sess.Finish(os.Stdout)
+}

@@ -31,17 +31,35 @@ var Analyzer = &analysis.Analyzer{
 // sync.WaitGroup.
 const parPkg = "sddict/internal/par"
 
-// obsPkg is additionally allowed one goroutine: the pprof debug
-// listener. It serves read-only runtime profiles and produces no result
-// that could merge into a computation, so the pool's ordered-merge
-// discipline has nothing to order there (see internal/obs/pprof.go).
+// obsPkg is additionally allowed goroutines for its debug listeners
+// (pprof, live metrics). They serve read-only measurement and produce
+// no result that could merge into a computation, so the pool's
+// ordered-merge discipline has nothing to order there (see
+// internal/obs/pprof.go).
 const obsPkg = "sddict/internal/obs"
+
+// cliPkg hosts the signal watcher in cli.Main: a process-lifecycle
+// goroutine that cancels the run context on the first SIGINT/SIGTERM
+// and force-exits on the second. Like the obs listeners it merges no
+// result into any computation.
+const cliPkg = "sddict/internal/cli"
+
+// servePkg is the diagnosis HTTP service: net/http serves each request
+// on its own goroutine by design, and the drain path needs the
+// listener's Serve loop running concurrently with Shutdown. Request
+// handling is stateless per request (the shared registry is
+// mutex-guarded), so there is no fan-out result to merge.
+const servePkg = "sddict/internal/serve"
 
 // exempt reports whether a package may use raw concurrency primitives.
 // Fixture packages (outside the module) are never exempt, so the
 // analyzer's own tests can exercise every diagnostic.
 func exempt(path string) bool {
-	return path == parPkg || path == obsPkg
+	switch path {
+	case parPkg, obsPkg, cliPkg, servePkg:
+		return true
+	}
+	return false
 }
 
 func run(pass *analysis.Pass) error {

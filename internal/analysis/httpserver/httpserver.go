@@ -1,0 +1,97 @@
+// Package httpserver guards the service-hardening invariant (DESIGN.md
+// §12): every HTTP listener in the module must bound how long a
+// connection can sit in its read and idle states. A timeout-less server
+// hands resource exhaustion to the slowest client — a peer dribbling
+// header bytes (slow-loris) pins a connection forever, and idle
+// keep-alives accumulate until the file-descriptor table fills. Two
+// patterns are flagged in library and command packages:
+//
+//   - http.ListenAndServe / http.ListenAndServeTLS: the package-level
+//     helpers construct a zero-valued http.Server with no way to set
+//     timeouts at all;
+//   - an http.Server composite literal missing both ReadHeaderTimeout
+//     and ReadTimeout, or missing IdleTimeout.
+package httpserver
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sddict/internal/analysis"
+)
+
+// Analyzer is the HTTP-server-hardening checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "httpserver",
+	Doc:  "forbid timeout-less http.Server configurations (slow-loris and idle-connection exhaustion)",
+	Run:  run,
+}
+
+// inScope covers the library and command packages, like atomicwrite:
+// examples are documentation, analysistest fixture packages (outside the
+// module) are always in scope.
+func inScope(path string) bool {
+	return strings.HasPrefix(path, "sddict/internal/") ||
+		strings.HasPrefix(path, "sddict/cmd/") ||
+		!strings.HasPrefix(path, "sddict")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for _, name := range [...]string{"ListenAndServe", "ListenAndServeTLS"} {
+					if analysis.IsPkgFunc(pass.TypesInfo, n, "net/http", name) {
+						pass.Reportf(n.Pos(), "http.%s serves with no timeouts; build an http.Server with ReadHeaderTimeout and IdleTimeout instead", name)
+					}
+				}
+			case *ast.CompositeLit:
+				checkServerLit(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkServerLit flags net/http.Server literals whose field list bounds
+// neither the header-read phase nor idle keep-alives. Only composite
+// literals are inspected: the module builds servers in one expression,
+// and a literal is where the omission is visible locally.
+func checkServerLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isHTTPServer(tv.Type) {
+		return
+	}
+	fields := map[string]bool{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			fields[id.Name] = true
+		}
+	}
+	if !fields["ReadHeaderTimeout"] && !fields["ReadTimeout"] {
+		pass.Reportf(lit.Pos(), "http.Server without ReadHeaderTimeout (or ReadTimeout): a client dribbling header bytes pins the connection forever (slow-loris)")
+	}
+	if !fields["IdleTimeout"] {
+		pass.Reportf(lit.Pos(), "http.Server without IdleTimeout: idle keep-alive connections are never reclaimed")
+	}
+}
+
+// isHTTPServer reports whether t is net/http.Server.
+func isHTTPServer(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Server" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

@@ -1,0 +1,12 @@
+package httpserver_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/httpserver"
+)
+
+func TestHTTPServer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), httpserver.Analyzer, "a")
+}

@@ -1,0 +1,64 @@
+// Fixture for the httpserver analyzer: timeout-less HTTP server
+// configurations.
+package a
+
+import (
+	"net/http"
+	"time"
+)
+
+func bare(addr string, h http.Handler) error {
+	return http.ListenAndServe(addr, h) // want `http\.ListenAndServe serves with no timeouts`
+}
+
+func bareTLS(addr, cert, key string, h http.Handler) error {
+	return http.ListenAndServeTLS(addr, cert, key, h) // want `http\.ListenAndServeTLS serves with no timeouts`
+}
+
+func naked(h http.Handler) *http.Server {
+	return &http.Server{Addr: ":1", Handler: h} // want `without ReadHeaderTimeout` `without IdleTimeout`
+}
+
+func headerOnly(h http.Handler) *http.Server {
+	return &http.Server{ // want `without IdleTimeout`
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+}
+
+func idleOnly(h http.Handler) *http.Server {
+	return &http.Server{ // want `without ReadHeaderTimeout`
+		Handler:     h,
+		IdleTimeout: 60 * time.Second,
+	}
+}
+
+func hardened(h http.Handler) *http.Server {
+	return &http.Server{ // ok: both phases bounded
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}
+
+func readTimeoutCounts(h http.Handler) *http.Server {
+	return &http.Server{ // ok: ReadTimeout subsumes the header phase
+		Handler:     h,
+		ReadTimeout: 10 * time.Second,
+		IdleTimeout: 60 * time.Second,
+	}
+}
+
+type fakeServer struct {
+	Addr string
+}
+
+func unrelated() fakeServer {
+	return fakeServer{Addr: ":1"} // ok: not net/http.Server
+}
+
+func serveOnListener(srv *http.Server) {
+	// ok: methods on an already-built server are not flagged; the
+	// literal that built it was.
+	_ = srv.ListenAndServe()
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 )
 
@@ -57,16 +58,47 @@ func ExitCode(err error, signalled bool) int {
 	}
 }
 
-// Main runs fn under a context that signal.NotifyContext cancels on
-// SIGINT/SIGTERM, prints any error to stderr prefixed with the command
-// name, and exits with the matching code: 0 on success, 2 for usage
-// errors, 130 when interrupted, 1 otherwise.
+// Main runs fn under a context cancelled on SIGINT/SIGTERM, prints any
+// error to stderr prefixed with the command name, and exits with the
+// matching code: 0 on success, 2 for usage errors, 130 when
+// interrupted, 1 otherwise.
+//
+// The first signal cancels fn's context and lets it drain: finish
+// in-flight work, write best-so-far reports, shut listeners down. A
+// second signal during that drain means the user is done waiting — Main
+// force-exits with ExitInterrupted immediately instead of hanging until
+// fn returns. (signal.NotifyContext cannot express this: it keeps the
+// handler installed until stop(), swallowing every later signal, so the
+// watcher goroutine below replaces it. The goroutine is process
+// lifecycle, not computation — it produces no result to merge, and the
+// sddlint concurrency analyzer documents the exemption.)
 func Main(name string, fn func(ctx context.Context) error) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	fnDone := make(chan struct{})
+	var signalled atomic.Bool
+	go func() {
+		select {
+		case <-sigs:
+			signalled.Store(true)
+			cancel()
+		case <-fnDone:
+			return
+		}
+		select {
+		case <-sigs:
+			fmt.Fprintf(os.Stderr, "%s: interrupted (second signal; exiting without drain)\n", name)
+			os.Exit(ExitInterrupted)
+		case <-fnDone:
+		}
+	}()
+
 	err := fn(ctx)
-	signalled := ctx.Err() != nil
-	stop() // restore default signal handling: a second Ctrl-C kills hard
-	code := ExitCode(err, signalled)
+	close(fnDone)
+	signal.Stop(sigs) // restore default handling: a third Ctrl-C kills hard
+	code := ExitCode(err, signalled.Load())
 	if err != nil && !errors.Is(err, ErrInterrupted) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 	}

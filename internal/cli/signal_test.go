@@ -1,0 +1,100 @@
+package cli
+
+// Exec-based contract test for Main's signal handling, the package-level
+// companion of the root interrupt test (interrupt_test.go): the first
+// SIGTERM cancels the run context and waits for the drain; a second
+// SIGTERM during a drain that never finishes forces an immediate exit
+// with code 130. Signal delivery and exit statuses cannot be observed
+// in-process, so the test re-execs its own binary with -test.run
+// pointed at a helper that calls Main with a deliberately hanging run
+// function.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const helperEnv = "SDD_CLI_SIGNAL_HELPER"
+
+// TestHelperHangingDrain is not a test: re-execed with helperEnv set, it
+// runs Main around a run function whose drain never completes, so only
+// the second-signal path can end the process (short of the 10-minute
+// test timeout, which the parent never waits for).
+func TestHelperHangingDrain(t *testing.T) {
+	if os.Getenv(helperEnv) != "1" {
+		t.Skip("helper process for TestSecondSignalForcesExit")
+	}
+	Main("helper", func(ctx context.Context) error {
+		fmt.Println("helper: ready")
+		<-ctx.Done()
+		fmt.Println("helper: draining")
+		time.Sleep(10 * time.Minute) // a drain that never finishes
+		return ErrInterrupted
+	})
+}
+
+func TestSecondSignalForcesExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary; skipped in -short mode")
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperHangingDrain$", "-test.v")
+	cmd.Env = append(os.Environ(), helperEnv+"=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	waitFor := func(marker string) {
+		t.Helper()
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), marker) {
+				return
+			}
+		}
+		t.Fatalf("helper exited before printing %q; stderr:\n%s", marker, stderr.String())
+	}
+
+	waitFor("helper: ready")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The run function observed the cancellation and entered its
+	// (never-ending) drain; only now is the second signal meaningful.
+	waitFor("helper: draining")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	werr := cmd.Wait()
+	elapsed := time.Since(start)
+	ee, ok := werr.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want *exec.ExitError (exit 130), got %v", werr)
+	}
+	if code := ee.ExitCode(); code != ExitInterrupted {
+		t.Errorf("exit code = %d, want %d; stderr:\n%s", code, ExitInterrupted, stderr.String())
+	}
+	// The hanging drain sleeps 10 minutes; a forced exit must not wait
+	// for it. The bound is generous to absorb CI scheduling stalls.
+	if elapsed > 30*time.Second {
+		t.Errorf("forced exit took %v; the second signal should not wait for the drain", elapsed)
+	}
+	if !strings.Contains(stderr.String(), "second signal") {
+		t.Errorf("stderr missing the forced-exit notice:\n%s", stderr.String())
+	}
+}

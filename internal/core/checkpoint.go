@@ -134,10 +134,14 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 // AtomicWriteFile writes an artifact to path via write, staging the
 // bytes in a temp file in the destination directory and renaming it over
 // path only after a successful close — so a crash mid-write never leaves
-// a truncated artifact observable at path. This is the single sanctioned
-// way to produce checkpoint, dictionary, and report files; the sddlint
-// atomicwrite analyzer rejects direct os.WriteFile/os.Create calls
-// elsewhere in the library and command packages.
+// a truncated artifact observable at path. The temp file is fsynced
+// before the rename and the parent directory after it, so the published
+// artifact also survives power loss: rename-over-unsynced-data can
+// otherwise leave an empty or torn file once the page cache is gone.
+// This is the single sanctioned way to produce checkpoint, dictionary,
+// and report files; the sddlint atomicwrite analyzer rejects direct
+// os.WriteFile/os.Create calls elsewhere in the library and command
+// packages.
 func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -154,6 +158,10 @@ func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: syncing %s: %w", tmp.Name(), err)
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
@@ -162,7 +170,26 @@ func AtomicWriteFile(path string, write func(w io.Writer) error) error {
 	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable — the
+// rename itself lives in directory metadata, which its own fsync
+// publishes.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("core: opening directory %s for sync: %w", dir, err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("core: syncing directory %s: %w", dir, serr)
+	}
+	return cerr
 }
 
 // Save writes the checkpoint to path atomically (temp file + rename), so a

@@ -93,76 +93,18 @@ func (dg *Diagnoser) ExactMatches(sig logic.BitVec) []int {
 	return out
 }
 
-// candLess is the ranking order: distance ascending, fault index
-// ascending within equal distance. Fault indices are distinct, so it is
-// a strict total order.
-func candLess(a, b Candidate) bool {
-	if a.Distance != b.Distance {
-		return a.Distance < b.Distance
-	}
-	return a.Fault < b.Fault
-}
-
 // Rank returns the topK candidates closest to sig by Hamming distance,
-// distance ascending, fault index ascending within equal distance.
-// topK <= 0 (or >= the fault count) ranks everything. A bounded topK
-// runs in O(n log topK) via selection instead of a full O(n log n) sort
-// — diagnosis wants a handful of candidates out of thousands of faults.
+// distance ascending, fault index ascending within equal distance. It
+// delegates to core.RankRows — the single ranking implementation shared
+// with the compiled-dictionary path (cmd/diagnose, /diagnose), so the
+// library and service rankings can never drift apart.
 func (dg *Diagnoser) Rank(sig logic.BitVec, topK int) []Candidate {
-	if topK <= 0 || topK >= len(dg.rows) {
-		cands := make([]Candidate, len(dg.rows))
-		for i, row := range dg.rows {
-			cands[i] = Candidate{Fault: i, Distance: row.Hamming(sig)}
-		}
-		sort.Slice(cands, func(a, b int) bool { return candLess(cands[a], cands[b]) })
-		return cands
+	ranked := core.RankRows(dg.rows, sig, topK)
+	out := make([]Candidate, len(ranked))
+	for i, r := range ranked {
+		out[i] = Candidate{Fault: r.Fault, Distance: r.Distance}
 	}
-	// Max-heap of the best topK seen so far, rooted at the worst kept
-	// candidate: a new candidate either beats the root and replaces it,
-	// or is discarded.
-	h := make([]Candidate, 0, topK)
-	for i, row := range dg.rows {
-		c := Candidate{Fault: i, Distance: row.Hamming(sig)}
-		if len(h) < topK {
-			h = append(h, c)
-			candSiftUp(h, len(h)-1)
-		} else if candLess(c, h[0]) {
-			h[0] = c
-			candSiftDown(h, 0)
-		}
-	}
-	sort.Slice(h, func(a, b int) bool { return candLess(h[a], h[b]) })
-	return h
-}
-
-// candSiftUp restores the max-heap property after appending at i.
-func candSiftUp(h []Candidate, i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if !candLess(h[p], h[i]) {
-			return
-		}
-		h[p], h[i] = h[i], h[p]
-		i = p
-	}
-}
-
-// candSiftDown restores the max-heap property after replacing the root.
-func candSiftDown(h []Candidate, i int) {
-	for {
-		worst := i
-		if l := 2*i + 1; l < len(h) && candLess(h[worst], h[l]) {
-			worst = l
-		}
-		if r := 2*i + 2; r < len(h) && candLess(h[worst], h[r]) {
-			worst = r
-		}
-		if worst == i {
-			return
-		}
-		h[i], h[worst] = h[worst], h[i]
-		i = worst
-	}
+	return out
 }
 
 // Diagnose combines exact matching with ranked fallback: if exact matches

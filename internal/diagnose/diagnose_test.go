@@ -276,7 +276,9 @@ func TestRankBoundedMatchesFullSort(t *testing.T) {
 			t.Fatalf("full rank returned %d of %d faults", len(full), len(faults))
 		}
 		for i := 1; i < len(full); i++ {
-			if candLess(full[i], full[i-1]) {
+			prev, cur := full[i-1], full[i]
+			if cur.Distance < prev.Distance ||
+				(cur.Distance == prev.Distance && cur.Fault < prev.Fault) {
 				t.Fatalf("reference ranking out of order at %d", i)
 			}
 		}

@@ -1,0 +1,311 @@
+package dictio_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sddict/internal/core"
+	"sddict/internal/dictio"
+	"sddict/internal/faultfs"
+	"sddict/internal/logic"
+	"sddict/internal/resp"
+)
+
+func vec(t *testing.T, s string) logic.BitVec {
+	t.Helper()
+	v, err := dictio.ParseVector(s, len(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// testArtifact builds a small pass/fail artifact: 3 faults, 2 tests,
+// 3 outputs — enough structure that every section is non-trivial.
+func testArtifact(t *testing.T) *dictio.Artifact {
+	t.Helper()
+	ff := []logic.BitVec{vec(t, "000"), vec(t, "111")}
+	responses := [][]logic.BitVec{
+		{vec(t, "001"), vec(t, "000"), vec(t, "010")},
+		{vec(t, "111"), vec(t, "011"), vec(t, "111")},
+	}
+	m := resp.FromResponses(3, ff, responses)
+	compiled, err := core.NewPassFail(m).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dictio.New(compiled, dictio.Header{
+		Circuit: "toy", TestSet: "exhaustive", Seed: 7,
+		Faults: []string{"g0 s-a-0", "g1 s-a-1", "g2 s-a-0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func encode(t *testing.T, a *dictio.Artifact) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	a := testArtifact(t)
+	data := encode(t, a)
+
+	got, err := dictio.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Header.Circuit != "toy" || got.Header.Seed != 7 || got.Header.TestSet != "exhaustive" {
+		t.Errorf("header round trip: %+v", got.Header)
+	}
+	if len(got.Header.Faults) != 3 || got.Header.Faults[1] != "g1 s-a-1" {
+		t.Errorf("fault-class table round trip: %v", got.Header.Faults)
+	}
+	if got.Header.Kind != a.Dict.Kind.String() || got.Header.Tests != 2 || got.Header.Outputs != 3 {
+		t.Errorf("derived header fields: %+v", got.Header)
+	}
+	if got.Checksum != a.Checksum {
+		t.Errorf("decode checksum %#08x != encode checksum %#08x", got.Checksum, a.Checksum)
+	}
+	if len(got.Dict.Rows) != len(a.Dict.Rows) {
+		t.Fatalf("row count: %d != %d", len(got.Dict.Rows), len(a.Dict.Rows))
+	}
+	for i := range got.Dict.Rows {
+		if !got.Dict.Rows[i].Equal(a.Dict.Rows[i]) {
+			t.Errorf("row %d differs after round trip", i)
+		}
+	}
+	for j := range got.Dict.Baseline {
+		if !got.Dict.Baseline[j].Equal(a.Dict.Baseline[j]) {
+			t.Errorf("baseline %d differs after round trip", j)
+		}
+	}
+}
+
+func TestArtifactSaveLoad(t *testing.T) {
+	a := testArtifact(t)
+	path := filepath.Join(t.TempDir(), "toy.sdda")
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dictio.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum != a.Checksum {
+		t.Errorf("loaded checksum %#08x, published %#08x", got.Checksum, a.Checksum)
+	}
+	ok, err := dictio.SniffFile(faultfs.OS, path)
+	if err != nil || !ok {
+		t.Errorf("SniffFile = %v, %v; want true", ok, err)
+	}
+}
+
+// wantDamageSentinel asserts the decode verdict on damaged bytes: an
+// error wrapping one of the two sentinels, never a silent success. A
+// decoder panic fails the test run outright, which is the "never
+// panics" contract.
+func wantDamageSentinel(t *testing.T, data []byte, what string) {
+	t.Helper()
+	_, err := dictio.Decode(bytes.NewReader(data))
+	if err == nil {
+		t.Fatalf("%s: decode accepted damaged artifact", what)
+	}
+	if !errors.Is(err, dictio.ErrCorruptArtifact) && !errors.Is(err, dictio.ErrArtifactVersion) {
+		t.Fatalf("%s: err = %v, want ErrCorruptArtifact or ErrArtifactVersion", what, err)
+	}
+}
+
+// TestArtifactTruncationMatrix truncates the artifact at every possible
+// length — which covers every section boundary and every interior
+// offset — and requires a wrapped sentinel each time.
+func TestArtifactTruncationMatrix(t *testing.T) {
+	data := encode(t, testArtifact(t))
+	for size := 0; size < len(data); size++ {
+		_, err := dictio.Decode(bytes.NewReader(data[:size]))
+		if err == nil {
+			t.Fatalf("decode accepted artifact truncated to %d of %d bytes", size, len(data))
+		}
+		if !errors.Is(err, dictio.ErrCorruptArtifact) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorruptArtifact", size, err)
+		}
+	}
+}
+
+// TestArtifactBitFlipMatrix flips every single bit of the encoded
+// artifact, one at a time. Every flip must be detected: payload flips by
+// the section CRCs, structural flips (magic, counts, lengths, ids, the
+// CRC fields themselves) by validation. Flips inside the version field
+// legitimately surface as ErrArtifactVersion.
+func TestArtifactBitFlipMatrix(t *testing.T) {
+	data := encode(t, testArtifact(t))
+	for bit := 0; bit < len(data)*8; bit++ {
+		mut := bytes.Clone(data)
+		mut[bit/8] ^= 1 << uint(bit%8)
+		wantDamageSentinel(t, mut, "bit flip")
+	}
+}
+
+func TestArtifactWrongMagic(t *testing.T) {
+	data := encode(t, testArtifact(t))
+	copy(data[0:4], "JUNK")
+	_, err := dictio.Decode(bytes.NewReader(data))
+	if !errors.Is(err, dictio.ErrCorruptArtifact) {
+		t.Fatalf("wrong magic: err = %v, want ErrCorruptArtifact", err)
+	}
+}
+
+func TestArtifactFutureVersion(t *testing.T) {
+	data := encode(t, testArtifact(t))
+	binary.LittleEndian.PutUint32(data[4:8], dictio.FormatVersion+1)
+	_, err := dictio.Decode(bytes.NewReader(data))
+	if !errors.Is(err, dictio.ErrArtifactVersion) {
+		t.Fatalf("future version: err = %v, want ErrArtifactVersion", err)
+	}
+	if errors.Is(err, dictio.ErrCorruptArtifact) {
+		t.Fatalf("future version misreported as corruption: %v", err)
+	}
+}
+
+func TestArtifactUnknownSection(t *testing.T) {
+	data := encode(t, testArtifact(t))
+	// Byte 12 is the first section's id field (id 1, the header).
+	data[12] = 9
+	wantDamageSentinel(t, data, "unknown section id")
+}
+
+func TestArtifactTrailingBytes(t *testing.T) {
+	data := encode(t, testArtifact(t))
+	data = append(data, 0x00)
+	_, err := dictio.Decode(bytes.NewReader(data))
+	if !errors.Is(err, dictio.ErrCorruptArtifact) {
+		t.Fatalf("trailing bytes: err = %v, want ErrCorruptArtifact", err)
+	}
+}
+
+// TestArtifactSectionDisagreement damages the header/payload agreement
+// rather than any one section: both CRCs pass, the cross-check must
+// object.
+func TestArtifactSectionDisagreement(t *testing.T) {
+	a := testArtifact(t)
+	a.Header.Faults = a.Header.Faults[:2] // one name short, bypassing New's check
+	data := encode(t, a)
+	wantDamageSentinel(t, data, "header/dict disagreement")
+}
+
+// TestTornPublishLeavesNoArtifact drives a publish through
+// core.AtomicWriteFile with a writer that tears mid-stream: the publish
+// must fail and the destination must keep its previous content.
+func TestTornPublishLeavesNoArtifact(t *testing.T) {
+	a := testArtifact(t)
+	path := filepath.Join(t.TempDir(), "toy.sdda")
+
+	// Fresh destination: the torn publish must not create the file.
+	err := core.AtomicWriteFile(path, func(w io.Writer) error {
+		return a.Encode(faultfs.Torn(w, 20))
+	})
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("torn publish err = %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn publish left a file behind: stat err = %v", err)
+	}
+
+	// Existing artifact: the torn re-publish must leave it loadable.
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	err = core.AtomicWriteFile(path, func(w io.Writer) error {
+		return a.Encode(faultfs.Torn(w, 20))
+	})
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("torn re-publish err = %v, want ErrInjected", err)
+	}
+	if _, err := dictio.Load(path); err != nil {
+		t.Fatalf("previous artifact no longer loads after torn re-publish: %v", err)
+	}
+}
+
+// TestTornTailDetected writes only a prefix of the encoding directly to
+// the destination — the torn tail a non-atomic writer would leave — and
+// requires the loader to reject it.
+func TestTornTailDetected(t *testing.T) {
+	data := encode(t, testArtifact(t))
+	path := filepath.Join(t.TempDir(), "torn.sdda")
+	err := core.AtomicWriteFile(path, func(w io.Writer) error {
+		_, werr := w.Write(data[:len(data)/2])
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dictio.Load(path)
+	if !errors.Is(err, dictio.ErrCorruptArtifact) {
+		t.Fatalf("torn tail: err = %v, want ErrCorruptArtifact", err)
+	}
+}
+
+// TestLoadFSInjectedReadFault distinguishes flaky media from
+// corruption: a read failing mid-stream surfaces the injected error, not
+// a corruption verdict against a file that is actually intact.
+func TestLoadFSInjectedReadFault(t *testing.T) {
+	a := testArtifact(t)
+	path := filepath.Join(t.TempDir(), "toy.sdda")
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys := faultfs.Flaky(faultfs.OS, 1, info.Size())
+	_, err = dictio.LoadFS(fsys, path)
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("LoadFS under flaky media: err = %v, want ErrInjected", err)
+	}
+	if errors.Is(err, dictio.ErrCorruptArtifact) {
+		t.Fatalf("intact artifact misreported as corrupt under flaky media: %v", err)
+	}
+}
+
+func TestParseVector(t *testing.T) {
+	v, err := dictio.ParseVector("0101", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Get(0) != 0 || v.Get(1) != 1 || v.Get(2) != 0 || v.Get(3) != 1 {
+		t.Errorf("parsed bits wrong: %s", v.String(4))
+	}
+	if _, err := dictio.ParseVector("01", 4); err == nil {
+		t.Error("short vector accepted")
+	}
+	if _, err := dictio.ParseVector("01x1", 4); err == nil {
+		t.Error("invalid character accepted")
+	}
+}
+
+func TestParseResponses(t *testing.T) {
+	in := "010\n\n111\n"
+	vs, err := dictio.ParseResponses(strings.NewReader(in), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("parsed %d vectors, want 2", len(vs))
+	}
+	if vs[1].PopCount() != 3 {
+		t.Errorf("second vector: %s", vs[1].String(3))
+	}
+}

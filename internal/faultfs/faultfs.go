@@ -1,0 +1,173 @@
+// Package faultfs is the fault-injection seam for artifact I/O: an
+// injectable filesystem the artifact loaders read through, writer
+// wrappers that tear a write mid-stream, helpers that corrupt files in
+// place (truncation, single bit-flips), and a deterministic step clock.
+// Production code passes OS and time.Now; the robustness tests pass the
+// injectors to prove that every torn write, truncation and bit-flip is
+// detected at load time instead of poisoning a diagnosis.
+//
+// Injection is deterministic: a Flaky filesystem fails on a fixed
+// seeded schedule, so a failing robustness test replays exactly.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks every failure this package injects. Loaders must
+// surface it unchanged (wrapped, matchable with errors.Is) so tests can
+// tell an injected I/O fault from a corruption verdict.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// File is the read surface the artifact loaders need.
+type File interface {
+	io.Reader
+	io.Closer
+}
+
+// FS is the filesystem seam: production code opens through OS, tests
+// substitute an injecting implementation.
+type FS interface {
+	Open(name string) (File, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+// FlakyFS wraps an FS so that reads fail mid-stream with ErrInjected on
+// a deterministic seeded schedule: each opened file serves a
+// seed-derived number of bytes (0 to maxBytes-1) and then fails every
+// subsequent Read. Open itself never fails, modelling media that goes
+// bad under you rather than a missing file.
+type FlakyFS struct {
+	inner    FS
+	maxBytes int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Flaky builds a FlakyFS failing each file after a seeded cutoff in
+// [0, maxBytes).
+func Flaky(inner FS, seed int64, maxBytes int64) *FlakyFS {
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	return &FlakyFS{inner: inner, maxBytes: maxBytes, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (f *FlakyFS) Open(name string) (File, error) {
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	cutoff := f.rng.Int63n(f.maxBytes)
+	f.mu.Unlock()
+	return &flakyFile{inner: inner, remaining: cutoff}, nil
+}
+
+type flakyFile struct {
+	inner     File
+	remaining int64
+}
+
+func (f *flakyFile) Read(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, fmt.Errorf("faultfs: read failed mid-stream: %w", ErrInjected)
+	}
+	if int64(len(p)) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.inner.Read(p)
+	f.remaining -= int64(n)
+	return n, err
+}
+
+func (f *flakyFile) Close() error { return f.inner.Close() }
+
+// Torn returns a writer that passes the first n bytes through to w and
+// fails every write after that with ErrInjected — a publish torn
+// mid-write (disk full, power loss before the rename). Pairing it with
+// core.AtomicWriteFile proves the failed publish leaves no artifact
+// behind; writing its output directly to a destination path models a
+// non-atomic writer whose torn tail the decoder must detect.
+func Torn(w io.Writer, n int64) io.Writer { return &tornWriter{w: w, remaining: n} }
+
+type tornWriter struct {
+	w         io.Writer
+	remaining int64
+}
+
+func (t *tornWriter) Write(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, fmt.Errorf("faultfs: write torn: %w", ErrInjected)
+	}
+	if int64(len(p)) > t.remaining {
+		n, err := t.w.Write(p[:t.remaining])
+		t.remaining -= int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("faultfs: write torn after %d bytes: %w", n, ErrInjected)
+	}
+	n, err := t.w.Write(p)
+	t.remaining -= int64(n)
+	return n, err
+}
+
+// TruncateFile cuts the file at path to size bytes, simulating a torn
+// tail left by a crashed non-atomic writer or a filesystem that lost
+// the final extent.
+func TruncateFile(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("faultfs: truncating %s: %w", path, err)
+	}
+	return nil
+}
+
+// FlipBit inverts the bit at position bit (bit 0 = lowest bit of the
+// first byte) in the file at path, simulating storage bit rot.
+func FlipBit(path string, bit int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("faultfs: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	off := bit / 8
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return fmt.Errorf("faultfs: reading byte %d of %s: %w", off, path, err)
+	}
+	b[0] ^= 1 << uint(bit%8)
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return fmt.Errorf("faultfs: writing byte %d of %s: %w", off, path, err)
+	}
+	return f.Close()
+}
+
+// StepClock returns a clock that starts at start and advances by step on
+// every call — an injectable replacement for time.Now that keeps
+// timestamped artifacts (traces, registry bookkeeping) reproducible in
+// tests. The returned function is safe for concurrent use.
+func StepClock(start time.Time, step time.Duration) func() time.Time {
+	var mu sync.Mutex
+	next := start
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t := next
+		next = next.Add(step)
+		return t
+	}
+}

@@ -1,0 +1,157 @@
+package faultfs_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sddict/internal/faultfs"
+	"sddict/internal/obs"
+)
+
+func writeTestFile(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTornWriterFailsAfterN(t *testing.T) {
+	var buf bytes.Buffer
+	w := faultfs.Torn(&buf, 5)
+	n, err := w.Write([]byte("abcdefgh"))
+	if n != 5 {
+		t.Errorf("first write passed %d bytes, want 5", n)
+	}
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Errorf("first write err = %v, want ErrInjected", err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Errorf("subsequent write err = %v, want ErrInjected", err)
+	}
+	if got := buf.String(); got != "abcde" {
+		t.Errorf("underlying writer got %q, want %q", got, "abcde")
+	}
+}
+
+func TestTornWriterPassesWithinBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := faultfs.Torn(&buf, 100)
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if buf.String() != "hello" {
+		t.Errorf("got %q", buf.String())
+	}
+}
+
+func TestFlakyFSFailsMidStreamDeterministically(t *testing.T) {
+	data := bytes.Repeat([]byte("0123456789"), 100)
+	path := writeTestFile(t, data)
+
+	readAll := func(seed int64) (int, error) {
+		fsys := faultfs.Flaky(faultfs.OS, seed, int64(len(data)))
+		f, err := fsys.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		n, err := io.Copy(io.Discard, f)
+		return int(n), err
+	}
+
+	n1, err1 := readAll(42)
+	n2, err2 := readAll(42)
+	if !errors.Is(err1, faultfs.ErrInjected) {
+		t.Fatalf("read err = %v, want ErrInjected", err1)
+	}
+	if n1 != n2 || (err2 == nil) != (err1 == nil) {
+		t.Errorf("same seed gave different schedules: %d bytes vs %d bytes", n1, n2)
+	}
+	if n1 >= len(data) {
+		t.Errorf("read all %d bytes despite injection", n1)
+	}
+}
+
+func TestTruncateAndFlipBit(t *testing.T) {
+	path := writeTestFile(t, []byte{0x00, 0xff, 0x0f})
+
+	if err := faultfs.FlipBit(path, 8); err != nil { // lowest bit of byte 1
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0x00, 0xfe, 0x0f}) {
+		t.Errorf("after FlipBit(8): % x", got)
+	}
+
+	if err := faultfs.TruncateFile(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("after truncate: %d bytes, want 2", len(got))
+	}
+}
+
+func TestStepClock(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := faultfs.StepClock(start, time.Second)
+	if got := clk(); !got.Equal(start) {
+		t.Errorf("first tick = %v, want %v", got, start)
+	}
+	if got := clk(); !got.Equal(start.Add(time.Second)) {
+		t.Errorf("second tick = %v", got)
+	}
+}
+
+// TestReadEventsTornTailOnDisk is the on-disk companion of the obs
+// package's in-memory torn-tail test: a trace file truncated mid-event
+// (the torn tail a crashed writer leaves) must still yield every
+// complete event, with the tail reported via ErrTruncatedTrace.
+func TestReadEventsTornTailOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	clk := faultfs.StepClock(time.Unix(0, 0).UTC(), time.Millisecond)
+	tr, err := obs.NewFileTracer(path, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("first", map[string]any{"n": 1})
+	tr.Emit("second", map[string]any{"n": 2})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the final event's line: the newline and some payload go.
+	if err := faultfs.TruncateFile(path, info.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if !errors.Is(err, obs.ErrTruncatedTrace) {
+		t.Fatalf("ReadEvents err = %v, want ErrTruncatedTrace", err)
+	}
+	if len(events) != 1 || events[0].Type != "first" {
+		t.Fatalf("events before the torn tail = %+v, want just the first", events)
+	}
+}

@@ -64,6 +64,27 @@ const (
 	// SweepRowsInterrupted counts sweep rows cut short by cancellation
 	// but still delivering a best-so-far dictionary.
 	SweepRowsInterrupted
+	// ServeRequests counts requests the diagnosis service admitted past
+	// its in-flight cap.
+	ServeRequests
+	// ServeShed counts requests rejected with 503 + Retry-After because
+	// the in-flight cap was reached.
+	ServeShed
+	// ServePanics counts handler panics converted to 500s by the
+	// recovery middleware.
+	ServePanics
+	// ServeDictLoads counts dictionary artifacts loaded into the serve
+	// registry (cache misses and explicit loads).
+	ServeDictLoads
+	// ServeDictHits counts diagnosis requests served from an
+	// already-loaded registry entry.
+	ServeDictHits
+	// ServeDictEvicts counts registry entries evicted (LRU pressure or
+	// explicit evict requests).
+	ServeDictEvicts
+	// LoadRetries counts sddload request attempts retried after a 503
+	// (the chaos driver's backoff loop).
+	LoadRetries
 
 	numCounters
 )
@@ -79,6 +100,13 @@ var counterNames = [numCounters]string{
 	SweepRowsDone:        "sweep_rows_done",
 	SweepRowsFailed:      "sweep_rows_failed",
 	SweepRowsInterrupted: "sweep_rows_interrupted",
+	ServeRequests:        "serve_requests",
+	ServeShed:            "serve_shed",
+	ServePanics:          "serve_panics",
+	ServeDictLoads:       "serve_dict_loads",
+	ServeDictHits:        "serve_dict_hits",
+	ServeDictEvicts:      "serve_dict_evicts",
+	LoadRetries:          "load_retries",
 }
 
 // Gauge identifies one instantaneous metric.
@@ -111,6 +139,12 @@ const (
 	// RowElapsedMs is the distribution of sweep-row wall times in
 	// milliseconds.
 	RowElapsedMs
+	// DiagnoseUs is the distribution of per-item diagnosis times
+	// (signature + match/rank) in microseconds, recorded by the service.
+	DiagnoseUs
+	// RequestUs is the distribution of end-to-end request latencies in
+	// microseconds, recorded client-side by sddload (including retries).
+	RequestUs
 
 	numHists
 )
@@ -118,6 +152,8 @@ const (
 var histNames = [numHists]string{
 	RestartIndist: "restart_indist",
 	RowElapsedMs:  "row_elapsed_ms",
+	DiagnoseUs:    "diagnose_us",
+	RequestUs:     "request_us",
 }
 
 // histBuckets is one bucket per power of two: bucket b holds values v

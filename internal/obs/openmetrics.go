@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"time"
 )
 
 // MetricNamespace prefixes every metric in the OpenMetrics exposition,
@@ -103,7 +104,14 @@ func StartMetricsServerAddr(addr string, m *Metrics) (bound string, stop func() 
 		snap := m.Snapshot()
 		_ = snap.WriteOpenMetrics(w) // client went away; nothing to salvage
 	})
-	srv := &http.Server{Handler: mux}
+	// Header-read and idle timeouts keep a stalled or misbehaving
+	// scraper from pinning connections open for the life of the run
+	// (enforced tree-wide by the sddlint httpserver analyzer).
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	go srv.Serve(ln) //nolint — observability-only goroutine; see doc comment
 	return ln.Addr().String(), srv.Close, nil
 }

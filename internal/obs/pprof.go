@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // StartPprof serves the net/http/pprof profile endpoints on addr
@@ -29,7 +30,14 @@ func StartPprof(addr string) (stop func() error, err error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+	// Header-read and idle timeouts bound what a stalled profiling
+	// client can hold open; profile streaming itself is not bounded
+	// (CPU profiles legitimately run for tens of seconds).
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	go srv.Serve(ln) //nolint — observability-only goroutine; see doc comment
 	return srv.Close, nil
 }

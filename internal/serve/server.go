@@ -1,0 +1,470 @@
+// Package serve is the diagnosis-as-a-service layer: an HTTP server
+// that loads published dictionary artifacts (internal/dictio) and
+// answers observed-response queries with ranked fault candidates — the
+// paper's tester-side diagnosis flow as a long-running service.
+//
+// Robustness is the contract (DESIGN.md §12):
+//
+//   - every request runs under a deadline;
+//   - an in-flight cap sheds excess load with 503 + Retry-After instead
+//     of queueing unboundedly;
+//   - handler panics become 500s plus a handler_panic trace event, never
+//     a crashed process;
+//   - cancelling the Serve context (cli.Main does it on SIGTERM) drains:
+//     the listener stops accepting, in-flight requests finish, and the
+//     trace ends on a serve_shutdown event;
+//   - corrupt artifacts are refused at load (dictio's CRC verdicts),
+//     never half-served.
+//
+// The ranking path is core.RankRows — the same code cmd/diagnose runs —
+// so batch and service diagnoses are byte-comparable.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"sddict/internal/dictio"
+	"sddict/internal/faultfs"
+	"sddict/internal/logic"
+	"sddict/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to the listed default.
+type Config struct {
+	// MaxInFlight caps concurrently admitted requests on the
+	// shed-guarded routes (/diagnose, /dictionaries mutations); excess
+	// requests get 503 + Retry-After. Default 64.
+	MaxInFlight int
+	// Timeout is the per-request deadline. Default 5s.
+	Timeout time.Duration
+	// DrainTimeout bounds how long Serve waits for in-flight requests
+	// after its context is cancelled. Default 10s.
+	DrainTimeout time.Duration
+	// CacheSize is the dictionary registry's LRU capacity. Default 8.
+	CacheSize int
+	// RetryAfter is the hint attached to shed responses. Default 1s.
+	RetryAfter time.Duration
+	// ChaosDelay artificially stretches every diagnosis by this much —
+	// the fault-injection hook the chaos tests use to make shedding and
+	// drain windows deterministic. Default 0 (off).
+	ChaosDelay time.Duration
+	// FS is the filesystem artifacts load through. Default faultfs.OS.
+	FS faultfs.FS
+	// Obs receives metrics and trace events. A nil Observer (or one
+	// without metrics) is upgraded to a private registry so /metrics
+	// always serves.
+	Obs *obs.Observer
+	// Clock supplies timestamps for latency metrics. Default time.Now.
+	Clock func() time.Time
+}
+
+// Server is one diagnosis service instance.
+type Server struct {
+	cfg      Config
+	ob       *obs.Observer
+	reg      *registry
+	handler  http.Handler
+	inflight chan struct{}
+	draining atomic.Bool
+	clock    func() time.Time
+}
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.CacheSize < 1 {
+		cfg.CacheSize = 8
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.FS == nil {
+		cfg.FS = faultfs.OS
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	ob := cfg.Obs
+	switch {
+	case ob == nil:
+		ob = &obs.Observer{Metrics: obs.NewMetrics()}
+	case ob.Metrics == nil:
+		ob = &obs.Observer{Metrics: obs.NewMetrics(), Trace: ob.Trace, Progress: ob.Progress, Label: ob.Label}
+	}
+	s := &Server{
+		cfg:      cfg,
+		ob:       ob,
+		reg:      newRegistry(cfg.CacheSize, cfg.FS, ob),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		clock:    cfg.Clock,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /dictionaries", s.handleDictList)
+	mux.Handle("POST /dictionaries/load", s.limited(s.deadlined(http.HandlerFunc(s.handleDictLoad))))
+	mux.Handle("POST /dictionaries/evict", s.limited(s.deadlined(http.HandlerFunc(s.handleDictEvict))))
+	mux.Handle("POST /diagnose", s.limited(s.deadlined(http.HandlerFunc(s.handleDiagnose))))
+	s.handler = s.recovered(mux)
+	return s
+}
+
+// Handler returns the server's full middleware-wrapped handler — what
+// Serve mounts, exposed for in-process tests (httptest).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// LoadDictionary loads (or reloads) the artifact at path into the
+// registry — the preload hook cmd/sddserve uses so a corrupt artifact
+// fails startup instead of the first request.
+func (s *Server) LoadDictionary(path string) (DictionaryInfo, error) {
+	e, err := s.reg.load(path)
+	if err != nil {
+		return DictionaryInfo{}, err
+	}
+	return DictionaryInfo{
+		Path: e.path, Checksum: fmt.Sprintf("%08x", e.checksum),
+		Circuit: e.header.Circuit, Kind: e.header.Kind, TestSet: e.header.TestSet,
+		Faults: len(e.header.Faults), Tests: e.header.Tests, Outputs: e.header.Outputs,
+	}, nil
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then drains:
+// stop accepting, let in-flight requests finish (bounded by
+// DrainTimeout), and return. A clean drain returns nil — under cli.Main
+// that maps a SIGTERM-triggered shutdown to exit code 0. The trace ends
+// on a serve_shutdown event whose "clean" field records whether every
+// in-flight request completed.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler: s.handler,
+		// The per-request work deadline is the middleware's; these bound
+		// slow-loris header dribble and idle keep-alives.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	s.ob.Emit("serve_start", map[string]any{"addr": ln.Addr().String()})
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (closed underneath us, accept
+		// failure) — not a drain, a failure.
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	s.draining.Store(true)
+	s.ob.Emit("serve_drain", map[string]any{"timeout_ms": s.cfg.DrainTimeout.Milliseconds()})
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	<-errc // reap the Serve goroutine (it returns ErrServerClosed)
+	s.ob.Emit("serve_shutdown", map[string]any{"clean": err == nil})
+	if err != nil {
+		return fmt.Errorf("serve: drain incomplete after %v: %w", s.cfg.DrainTimeout, err)
+	}
+	return nil
+}
+
+// errorBody is the uniform JSON error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The status line is already out; an encode failure here has no
+	// channel left to the client.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// recovered is the outermost middleware: a handler panic becomes a 500
+// and a handler_panic trace event instead of tearing the process down
+// mid-fleet. http.ErrAbortHandler keeps its sentinel behaviour.
+func (s *Server) recovered(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.ob.M().Inc(obs.ServePanics)
+			s.ob.Emit("handler_panic", map[string]any{
+				"method": r.Method, "path": r.URL.Path, "panic": fmt.Sprint(p),
+			})
+			// Best effort: if the handler already wrote, the 500 is lost
+			// but the connection still closes in a defined state.
+			writeError(w, http.StatusInternalServerError, "internal error (panic recovered)")
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// limited admits a request if an in-flight slot is free and sheds it
+// with 503 + Retry-After otherwise — bounded degradation instead of an
+// unbounded queue collapsing tail latency.
+func (s *Server) limited(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			s.ob.M().Inc(obs.ServeRequests)
+			h.ServeHTTP(w, r)
+		default:
+			s.ob.M().Inc(obs.ServeShed)
+			s.ob.Emit("request_shed", map[string]any{"method": r.Method, "path": r.URL.Path})
+			secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusServiceUnavailable, "server at capacity (%d in flight); retry after %ds",
+				s.cfg.MaxInFlight, secs)
+		}
+	})
+}
+
+// deadlined attaches the per-request deadline to the request context.
+func (s *Server) deadlined(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness for new traffic: 503 once draining, so
+// a load balancer stops routing here while in-flight work completes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	snap := s.ob.M().Snapshot()
+	_ = snap.WriteOpenMetrics(w) // client went away; nothing to salvage
+}
+
+func (s *Server) handleDictList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"dictionaries": s.reg.list()})
+}
+
+// pathRequest is the body of the load/evict dictionary actions.
+type pathRequest struct {
+	Path string `json:"path"`
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// loadStatus maps a registry load failure onto an HTTP status: missing
+// file 404, damaged or foreign artifact 422, anything else 500.
+func loadStatus(err error) int {
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return http.StatusNotFound
+	case errors.Is(err, dictio.ErrCorruptArtifact), errors.Is(err, dictio.ErrArtifactVersion):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleDictLoad(w http.ResponseWriter, r *http.Request) {
+	var req pathRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "missing path")
+		return
+	}
+	info, err := s.LoadDictionary(req.Path)
+	if err != nil {
+		writeError(w, loadStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDictEvict(w http.ResponseWriter, r *http.Request) {
+	var req pathRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "missing path")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"evicted": s.reg.evict(req.Path)})
+}
+
+// DiagnoseRequest is the /diagnose body. Exactly one of Responses (a
+// single observation: one 0/1 output vector per test) or Batch (several
+// observations) must be set. TopK bounds the nearest-match fallback
+// when no fault matches exactly; 0 means 5.
+type DiagnoseRequest struct {
+	Dictionary string     `json:"dictionary"`
+	Responses  []string   `json:"responses,omitempty"`
+	Batch      [][]string `json:"batch,omitempty"`
+	TopK       int        `json:"top_k,omitempty"`
+}
+
+// Candidate is one ranked fault candidate, named from the artifact's
+// fault-class table.
+type Candidate struct {
+	Fault    int    `json:"fault"`
+	Name     string `json:"name"`
+	Distance int    `json:"distance"`
+}
+
+// DiagnoseResult is the diagnosis of one observation.
+type DiagnoseResult struct {
+	// Failing counts signature bits set ("different" verdicts).
+	Failing int `json:"failing"`
+	// Exact reports whether the candidates matched the signature
+	// exactly (distance 0); false means nearest-match fallback.
+	Exact      bool        `json:"exact"`
+	Candidates []Candidate `json:"candidates"`
+}
+
+// DiagnoseResponse is the /diagnose reply: one result per observation,
+// stamped with the artifact identity that produced it.
+type DiagnoseResponse struct {
+	Dictionary string           `json:"dictionary"`
+	Checksum   string           `json:"checksum"`
+	Results    []DiagnoseResult `json:"results"`
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	var req DiagnoseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Dictionary == "" {
+		writeError(w, http.StatusBadRequest, "missing dictionary")
+		return
+	}
+	batch := req.Batch
+	if req.Responses != nil {
+		if batch != nil {
+			writeError(w, http.StatusBadRequest, "set either responses or batch, not both")
+			return
+		}
+		batch = [][]string{req.Responses}
+	}
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, "no responses to diagnose")
+		return
+	}
+	e, err := s.reg.get(req.Dictionary)
+	if err != nil {
+		writeError(w, loadStatus(err), "%v", err)
+		return
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	resp := DiagnoseResponse{
+		Dictionary: e.path,
+		Checksum:   fmt.Sprintf("%08x", e.checksum),
+		Results:    make([]DiagnoseResult, 0, len(batch)),
+	}
+	ctx := r.Context()
+	for i, lines := range batch {
+		if err := ctx.Err(); err != nil {
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d observations", i, len(batch))
+			return
+		}
+		if s.cfg.ChaosDelay > 0 {
+			t := time.NewTimer(s.cfg.ChaosDelay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %d of %d observations", i, len(batch))
+				return
+			}
+		}
+		vectors, err := dictio.ParseVectors(lines, e.header.Outputs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "observation %d: %v", i+1, err)
+			return
+		}
+		res, err := s.diagnoseOne(e, vectors, topK)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "observation %d: %v", i+1, err)
+			return
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// diagnoseOne runs one observation through the compiled dictionary:
+// exact candidates if any row matches the signature, otherwise the topK
+// nearest rows — core.RankRows either way, the identical path
+// cmd/diagnose takes.
+func (s *Server) diagnoseOne(e *entry, vectors []logic.BitVec, topK int) (DiagnoseResult, error) {
+	start := s.clock()
+	dict := e.dict.Dict
+	sig, err := dict.Signature(vectors)
+	if err != nil {
+		return DiagnoseResult{}, err
+	}
+	res := DiagnoseResult{Failing: sig.PopCount()}
+	if exact := dict.Candidates(sig); len(exact) > 0 {
+		res.Exact = true
+		for _, f := range exact {
+			res.Candidates = append(res.Candidates, Candidate{Fault: f, Name: e.header.Faults[f]})
+		}
+	} else {
+		for _, rk := range dict.Rank(sig, topK) {
+			res.Candidates = append(res.Candidates, Candidate{
+				Fault: rk.Fault, Name: e.header.Faults[rk.Fault], Distance: rk.Distance,
+			})
+		}
+	}
+	s.ob.M().Observe(obs.DiagnoseUs, s.clock().Sub(start).Microseconds())
+	return res, nil
+}

@@ -1,0 +1,396 @@
+package serve
+
+// White-box tests for the diagnosis service: handler semantics (exact
+// vs ranked diagnoses, batch parity), the robustness middleware (panic
+// recovery, load shedding, per-request deadlines), the dictionary
+// registry's LRU behaviour, and the drain path of Serve.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sddict/internal/core"
+	"sddict/internal/dictio"
+	"sddict/internal/logic"
+	"sddict/internal/resp"
+)
+
+func vec(t *testing.T, s string) logic.BitVec {
+	t.Helper()
+	v, err := dictio.ParseVector(s, len(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// writeArtifact publishes a small pass/fail artifact (3 faults, 2
+// tests, 3 outputs) named name under dir and returns its path.
+//
+// Geometry worth knowing in assertions below: baselines are 000/111;
+// fault signatures are 10 (g0), 01 (g1), 10 (g2) — g0 and g2 are an
+// indistinguishable pair, and signature 11 matches no row (every row is
+// at Hamming distance 1 from it).
+func writeArtifact(t *testing.T, dir, name string) string {
+	t.Helper()
+	ff := []logic.BitVec{vec(t, "000"), vec(t, "111")}
+	responses := [][]logic.BitVec{
+		{vec(t, "001"), vec(t, "000"), vec(t, "010")},
+		{vec(t, "111"), vec(t, "011"), vec(t, "111")},
+	}
+	m := resp.FromResponses(3, ff, responses)
+	compiled, err := core.NewPassFail(m).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dictio.New(compiled, dictio.Header{
+		Circuit: "toy", TestSet: "exhaustive", Seed: 7,
+		Faults: []string{"g0 s-a-0", "g1 s-a-1", "g2 s-a-0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	path := writeArtifact(t, t.TempDir(), "toy.sdd")
+	return New(cfg), path
+}
+
+// post JSON-encodes body against the server's full handler chain.
+func post(t *testing.T, s *Server, url string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func get(t *testing.T, s *Server, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, url, nil))
+	return w
+}
+
+func decodeDiagnose(t *testing.T, w *httptest.ResponseRecorder) DiagnoseResponse {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body.String())
+	}
+	var resp DiagnoseResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestDiagnoseExactMatch(t *testing.T) {
+	s, path := newTestServer(t, Config{})
+	w := post(t, s, "/diagnose", DiagnoseRequest{
+		Dictionary: path, Responses: []string{"000", "011"},
+	})
+	resp := decodeDiagnose(t, w)
+	if len(resp.Results) != 1 {
+		t.Fatalf("results: %+v", resp.Results)
+	}
+	r := resp.Results[0]
+	if !r.Exact || r.Failing != 1 {
+		t.Errorf("exact=%v failing=%d, want exact with 1 failing test", r.Exact, r.Failing)
+	}
+	want := []Candidate{{Fault: 1, Name: "g1 s-a-1"}}
+	if len(r.Candidates) != 1 || r.Candidates[0] != want[0] {
+		t.Errorf("candidates %+v, want %+v", r.Candidates, want)
+	}
+	if resp.Checksum == "" || resp.Dictionary != path {
+		t.Errorf("artifact identity missing: %+v", resp)
+	}
+}
+
+func TestDiagnoseIndistinguishablePair(t *testing.T) {
+	s, path := newTestServer(t, Config{})
+	w := post(t, s, "/diagnose", DiagnoseRequest{
+		Dictionary: path, Responses: []string{"001", "111"},
+	})
+	r := decodeDiagnose(t, w).Results[0]
+	if !r.Exact || len(r.Candidates) != 2 {
+		t.Fatalf("want the g0/g2 equivalence class, got %+v", r)
+	}
+	if r.Candidates[0].Fault != 0 || r.Candidates[1].Fault != 2 {
+		t.Errorf("candidates %+v, want faults 0 and 2", r.Candidates)
+	}
+}
+
+func TestDiagnoseRankedFallback(t *testing.T) {
+	s, path := newTestServer(t, Config{})
+	// Signature 11 matches no dictionary row; all three rows sit at
+	// distance 1, so the default top-5 returns all of them in fault
+	// order and top_k=2 truncates deterministically.
+	obsv := []string{"001", "011"}
+	w := post(t, s, "/diagnose", DiagnoseRequest{Dictionary: path, Responses: obsv})
+	r := decodeDiagnose(t, w).Results[0]
+	if r.Exact || r.Failing != 2 || len(r.Candidates) != 3 {
+		t.Fatalf("ranked fallback: %+v", r)
+	}
+	for i, c := range r.Candidates {
+		if c.Fault != i || c.Distance != 1 {
+			t.Errorf("candidate %d = %+v, want fault %d at distance 1", i, c, i)
+		}
+	}
+	w = post(t, s, "/diagnose", DiagnoseRequest{Dictionary: path, Responses: obsv, TopK: 2})
+	if r := decodeDiagnose(t, w).Results[0]; len(r.Candidates) != 2 {
+		t.Errorf("top_k=2 returned %d candidates", len(r.Candidates))
+	}
+}
+
+// TestDiagnoseBatchParity: a batch must yield byte-identical per-result
+// JSON to the same observations sent one at a time.
+func TestDiagnoseBatchParity(t *testing.T) {
+	s, path := newTestServer(t, Config{})
+	batch := [][]string{{"000", "011"}, {"001", "111"}, {"001", "011"}}
+	bw := post(t, s, "/diagnose", DiagnoseRequest{Dictionary: path, Batch: batch})
+	bresp := decodeDiagnose(t, bw)
+	if len(bresp.Results) != len(batch) {
+		t.Fatalf("batch returned %d results for %d observations", len(bresp.Results), len(batch))
+	}
+	for i, lines := range batch {
+		sw := post(t, s, "/diagnose", DiagnoseRequest{Dictionary: path, Responses: lines})
+		single := decodeDiagnose(t, sw).Results[0]
+		got, _ := json.Marshal(bresp.Results[i])
+		want, _ := json.Marshal(single)
+		if !bytes.Equal(got, want) {
+			t.Errorf("observation %d: batch %s != single %s", i, got, want)
+		}
+	}
+}
+
+func TestDiagnoseRequestValidation(t *testing.T) {
+	s, path := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  DiagnoseRequest
+		code int
+	}{
+		{"missing dictionary", DiagnoseRequest{Responses: []string{"000", "111"}}, http.StatusBadRequest},
+		{"no observations", DiagnoseRequest{Dictionary: path}, http.StatusBadRequest},
+		{"both forms", DiagnoseRequest{Dictionary: path, Responses: []string{"000", "111"}, Batch: [][]string{{"000", "111"}}}, http.StatusBadRequest},
+		{"bad vector", DiagnoseRequest{Dictionary: path, Responses: []string{"00x", "111"}}, http.StatusBadRequest},
+		{"wrong test count", DiagnoseRequest{Dictionary: path, Responses: []string{"000"}}, http.StatusBadRequest},
+		{"missing artifact", DiagnoseRequest{Dictionary: path + ".nope", Responses: []string{"000", "111"}}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		if w := post(t, s, "/diagnose", tc.req); w.Code != tc.code {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, w.Code, tc.code, w.Body.String())
+		}
+	}
+}
+
+func TestDiagnoseCorruptArtifactRejected(t *testing.T) {
+	s, path := newTestServer(t, Config{})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	bad := filepath.Join(t.TempDir(), "bad.sdd")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := post(t, s, "/diagnose", DiagnoseRequest{Dictionary: bad, Responses: []string{"000", "111"}})
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("corrupt artifact: status %d, want 422 (body %s)", w.Code, w.Body.String())
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	s := New(Config{})
+	h := s.recovered(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", w.Code)
+	}
+	if got := s.ob.M().Snapshot().Counters["serve_panics"]; got != 1 {
+		t.Errorf("serve_panics = %d, want 1", got)
+	}
+	if !strings.Contains(w.Body.String(), "panic recovered") {
+		t.Errorf("body %q does not acknowledge the recovery", w.Body.String())
+	}
+}
+
+func TestShedAtCapacity(t *testing.T) {
+	s, path := newTestServer(t, Config{MaxInFlight: 1, RetryAfter: 2 * time.Second})
+	s.inflight <- struct{}{} // occupy the only slot
+	w := post(t, s, "/diagnose", DiagnoseRequest{Dictionary: path, Responses: []string{"000", "111"}})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	if got := s.ob.M().Snapshot().Counters["serve_shed"]; got != 1 {
+		t.Errorf("serve_shed = %d, want 1", got)
+	}
+	<-s.inflight
+	// With the slot free the same request succeeds: shedding is load
+	// response, not lockout.
+	if w := post(t, s, "/diagnose", DiagnoseRequest{Dictionary: path, Responses: []string{"000", "111"}}); w.Code != http.StatusOK {
+		t.Errorf("after slot freed: status %d, want 200", w.Code)
+	}
+}
+
+func TestHealthzAlwaysReadyzDrains(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	if w := get(t, s, "/readyz"); w.Code != http.StatusOK {
+		t.Errorf("readyz before drain: %d", w.Code)
+	}
+	s.draining.Store(true)
+	if w := get(t, s, "/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: %d, want 503", w.Code)
+	}
+	if w := get(t, s, "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz during drain: %d, want 200 (process is alive)", w.Code)
+	}
+}
+
+// TestDeadlineExceeded: a chaos delay longer than the request timeout
+// must surface as 504, not a hung handler.
+func TestDeadlineExceeded(t *testing.T) {
+	s, path := newTestServer(t, Config{Timeout: 20 * time.Millisecond, ChaosDelay: 5 * time.Second})
+	start := time.Now()
+	w := post(t, s, "/diagnose", DiagnoseRequest{Dictionary: path, Responses: []string{"000", "111"}})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504 (body %s)", w.Code, w.Body.String())
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("handler held the request %v past its 20ms deadline", elapsed)
+	}
+}
+
+func TestDictionaryEndpoints(t *testing.T) {
+	s, path := newTestServer(t, Config{})
+	if w := post(t, s, "/dictionaries/load", pathRequest{Path: path}); w.Code != http.StatusOK {
+		t.Fatalf("load: %d %s", w.Code, w.Body.String())
+	}
+	w := get(t, s, "/dictionaries")
+	var listing struct {
+		Dictionaries []DictionaryInfo `json:"dictionaries"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Dictionaries) != 1 || listing.Dictionaries[0].Path != path ||
+		listing.Dictionaries[0].Faults != 3 || listing.Dictionaries[0].Circuit != "toy" {
+		t.Fatalf("listing: %+v", listing)
+	}
+	var evicted map[string]bool
+	if w := post(t, s, "/dictionaries/evict", pathRequest{Path: path}); true {
+		if err := json.Unmarshal(w.Body.Bytes(), &evicted); err != nil || !evicted["evicted"] {
+			t.Errorf("evict: %s (err %v)", w.Body.String(), err)
+		}
+	}
+	if w := post(t, s, "/dictionaries/evict", pathRequest{Path: path}); true {
+		if err := json.Unmarshal(w.Body.Bytes(), &evicted); err != nil || evicted["evicted"] {
+			t.Errorf("second evict should be a no-op: %s", w.Body.String())
+		}
+	}
+	if w := post(t, s, "/dictionaries/load", pathRequest{Path: path + ".nope"}); w.Code != http.StatusNotFound {
+		t.Errorf("load of missing artifact: %d, want 404", w.Code)
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	a := writeArtifact(t, dir, "a.sdd")
+	b := writeArtifact(t, dir, "b.sdd")
+	s := New(Config{CacheSize: 1})
+	obsv := []string{"000", "011"}
+	for _, p := range []string{a, b, a, a} {
+		if w := post(t, s, "/diagnose", DiagnoseRequest{Dictionary: p, Responses: obsv}); w.Code != http.StatusOK {
+			t.Fatalf("diagnose via %s: %d %s", p, w.Code, w.Body.String())
+		}
+	}
+	c := s.ob.M().Snapshot().Counters
+	// a, b, a are loads (each displacing the other); the final a is a hit.
+	if c["serve_dict_loads"] != 3 || c["serve_dict_evicts"] != 2 || c["serve_dict_hits"] != 1 {
+		t.Errorf("loads=%d evicts=%d hits=%d, want 3/2/1",
+			c["serve_dict_loads"], c["serve_dict_evicts"], c["serve_dict_hits"])
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, path := newTestServer(t, Config{})
+	post(t, s, "/diagnose", DiagnoseRequest{Dictionary: path, Responses: []string{"000", "111"}})
+	w := get(t, s, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{"sdd_serve_requests_total 1", "sdd_serve_dict_loads_total 1", "# EOF"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServeDrain exercises the full lifecycle over a real listener:
+// serve, answer, cancel the context, and return nil once in-flight work
+// is done — the path cli.Main maps to exit code 0 on SIGTERM.
+func TestServeDrain(t *testing.T) {
+	s, path := newTestServer(t, Config{DrainTimeout: 5 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }() //nolint — test harness goroutine
+	base := "http://" + ln.Addr().String()
+
+	body, err := json.Marshal(DiagnoseRequest{Dictionary: path, Responses: []string{"000", "011"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/diagnose", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("diagnose over the wire: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diagnose over the wire: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after context cancellation")
+	}
+	if !s.draining.Load() {
+		t.Error("draining flag not set after shutdown")
+	}
+}
