@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz bench bench-compare chaos check clean
+.PHONY: build test race vet lint lint-fix-check fuzz bench bench-compare chaos check clean
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,28 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The repo's own invariant checkers (determinism, ctxpropagate,
-# atomicwrite, errwrap, concurrency, noprint); see DESIGN.md §8.
+# The repo's own invariant checkers (sddlint -list prints the catalog);
+# see DESIGN.md §8 and §13.
 lint:
 	$(GO) run ./cmd/sddlint ./...
+
+# Convergence proof for `sddlint -fix`: apply every suggested fix to a
+# scratch copy of the module and fail if any file changes — on a clean
+# tree, -fix must be a byte-for-byte no-op. This is what keeps suggested
+# fixes trustworthy enough to auto-apply.
+lint-fix-check:
+	@rm -rf .lintfix-scratch
+	@mkdir .lintfix-scratch
+	@tar --exclude=.git --exclude=.lintfix-scratch -cf - . | tar -xf - -C .lintfix-scratch
+	cd .lintfix-scratch && $(GO) run ./cmd/sddlint -fix ./...
+	@if ! diff -r --exclude=.git --exclude=.lintfix-scratch -q . .lintfix-scratch > /dev/null; then \
+		echo "lint-fix-check: sddlint -fix modified a clean tree:"; \
+		diff -r --exclude=.git --exclude=.lintfix-scratch . .lintfix-scratch; \
+		rm -rf .lintfix-scratch; \
+		exit 1; \
+	fi
+	@rm -rf .lintfix-scratch
+	@echo "lint-fix-check: -fix is a no-op on a clean tree"
 
 race:
 	$(GO) test -race ./...

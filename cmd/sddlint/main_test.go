@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestListOutput pins the -list table against testdata/list.golden so
+// the registered analyzer set (names, one-line docs, sorted order, and
+// the table format itself) cannot drift silently. Regenerate the golden
+// with `go run ./cmd/sddlint -list > cmd/sddlint/testdata/list.golden`
+// after deliberately adding or renaming an analyzer.
+func TestListOutput(t *testing.T) {
+	want, err := os.ReadFile("testdata/list.golden")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-list"}); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	if out.String() != string(want) {
+		t.Errorf("-list output drifted from testdata/list.golden:\ngot:\n%swant:\n%s", out.String(), want)
+	}
+	if n := len(strings.Split(strings.TrimRight(out.String(), "\n"), "\n")); n != 12 {
+		t.Errorf("-list printed %d analyzers, want 12", n)
+	}
+}
+
+// jsonFinding mirrors the fields of analysis.Finding the command tests
+// care about.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Message  string `json:"message"`
+}
+
+func runDemoJSON(t *testing.T) (raw string, findings []jsonFinding) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(&out, &errb, []string{"-json", "./testdata/demo"})
+	if code != 1 {
+		t.Fatalf("run(-json ./testdata/demo) = %d, want 1 (findings present); stderr: %s", code, errb.String())
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	return out.String(), findings
+}
+
+// TestJSONFindingsAndDeterminism runs the full pipeline (go list, type
+// check, facts, analyzers, suppression, JSON encoding) twice over the
+// demo fixture and requires byte-identical output — the end-to-end
+// counterpart of the framework-level determinism test in
+// internal/analysis.
+func TestJSONFindingsAndDeterminism(t *testing.T) {
+	first, findings := runDemoJSON(t)
+
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (suppressed finding must not appear):\n%s", len(findings), first)
+	}
+	byAnalyzer := map[string]jsonFinding{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = f
+		if f.File != "testdata/demo/demo.go" {
+			t.Errorf("finding path = %q, want testdata/demo/demo.go (relative to the working directory)", f.File)
+		}
+		if f.Line == 0 {
+			t.Errorf("finding %q has no line number", f.Message)
+		}
+	}
+	if _, ok := byAnalyzer["errcmp"]; !ok {
+		t.Errorf("no errcmp finding for CompareEOF:\n%s", first)
+	}
+	if _, ok := byAnalyzer["leakcheck"]; !ok {
+		t.Errorf("no leakcheck finding for LeakFile:\n%s", first)
+	}
+
+	second, _ := runDemoJSON(t)
+	if first != second {
+		t.Errorf("two -json runs differ:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// TestSARIFOutput smoke-tests the -sarif path end to end: valid SARIF
+// 2.1.0 envelope, all twelve rules registered, and one result per
+// unsuppressed demo finding.
+func TestSARIFOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-sarif", "./testdata/demo"}); code != 1 {
+		t.Fatalf("run(-sarif) = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not SARIF JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("sarif has %d runs, want 1", len(doc.Runs))
+	}
+	if got := doc.Runs[0].Tool.Driver.Name; got != "sddlint" {
+		t.Errorf("driver name = %q, want sddlint", got)
+	}
+	if got := len(doc.Runs[0].Tool.Driver.Rules); got != 12 {
+		t.Errorf("driver registers %d rules, want 12", got)
+	}
+	if got := len(doc.Runs[0].Results); got != 2 {
+		t.Errorf("sarif carries %d results, want 2", got)
+	}
+}
+
+// TestFlagErrors pins the exit-code contract for bad invocations.
+func TestFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-json", "-sarif"}); code != 2 {
+		t.Errorf("run(-json -sarif) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "mutually exclusive") {
+		t.Errorf("conflict error missing from stderr: %q", errb.String())
+	}
+	errb.Reset()
+	if code := run(&out, &errb, []string{"-no-such-flag"}); code != 2 {
+		t.Errorf("run(-no-such-flag) = %d, want 2", code)
+	}
+}

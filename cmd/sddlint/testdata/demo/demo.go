@@ -1,0 +1,32 @@
+// Package demo is a fixture for the sddlint command tests: a known set
+// of findings so the end-to-end -json/-sarif output is non-trivial. The
+// directory is named testdata, so module-wide patterns (./...) never
+// match it; the tests load it by explicit path.
+package demo
+
+import (
+	"io"
+	"os"
+)
+
+// CompareEOF compares an error with == (an errcmp finding; no fix is
+// suggested because the file does not import "errors").
+func CompareEOF(err error) bool {
+	return err == io.EOF
+}
+
+// LeakFile opens a file and never closes it (a leakcheck finding with a
+// suggested defer fix).
+func LeakFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+// Suppressed exercises the in-source suppression path end to end.
+func Suppressed(err error) bool {
+	//lint:ignore errcmp fixture exercising the suppression path
+	return err == io.EOF
+}

@@ -89,6 +89,7 @@ func run(ctx context.Context) error {
 			info.Path, info.Circuit, info.Kind, info.Faults, info.Tests, info.Checksum)
 	}
 
+	//lint:ignore leakcheck ownership moves to srv.Serve; http.Server closes the listener on Shutdown
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -18,26 +18,53 @@ import (
 )
 
 // Analyzer describes one invariant checker. Run is called once per
-// type-checked target package.
+// type-checked package, in import-dependency order, so facts exported
+// while analyzing a package are visible when its importers are
+// analyzed.
 type Analyzer struct {
 	// Name is the short identifier used in diagnostics and on the
 	// command line (e.g. "determinism").
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
-	// Run reports violations through pass.Reportf.
+	// Run reports violations through pass.Report/Reportf and may
+	// export facts for downstream packages.
 	Run func(*Pass) error
+	// FactTypes lists the fact types Run exports, if any — documentary
+	// (the in-memory store needs no registration), but kept so the
+	// analyzer catalog is self-describing.
+	FactTypes []Fact
 }
 
-// Diagnostic is one reported violation.
+// Diagnostic is one reported violation. SuggestedFixes, when present,
+// carry machine-applicable edits (`sddlint -fix`).
 type Diagnostic struct {
-	Pos      token.Pos
-	Analyzer string
-	Message  string
+	Pos            token.Pos
+	Analyzer       string
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained, machine-applicable resolution of
+// a diagnostic: applying every edit resolves the finding.
+type SuggestedFix struct {
+	// Message describes the fix ("wrap with %w").
+	Message string
+	// Edits are non-overlapping replacements within a single file.
+	Edits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. End may
+// equal Pos for a pure insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Pass carries one package's syntax and type information through an
-// Analyzer.Run invocation.
+// Analyzer.Run invocation, plus the run-wide fact store the analyzer
+// exports to and imports from.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -46,12 +73,18 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report  func(Diagnostic)
+	facts   *FactStore
 	parents map[ast.Node]ast.Node
 }
 
 // NewPass assembles a Pass for one package. report receives each
-// diagnostic as it is emitted.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+// diagnostic as it is emitted. facts may be nil, in which case the pass
+// gets a private store (facts exported in it are invisible to other
+// passes — fine for single-package tests).
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore, report func(Diagnostic)) *Pass {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	return &Pass{
 		Analyzer:  a,
 		Fset:      fset,
@@ -59,6 +92,7 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 		Pkg:       pkg,
 		TypesInfo: info,
 		report:    report,
+		facts:     facts,
 		parents:   buildParents(files),
 	}
 }
@@ -66,6 +100,36 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 // Reportf emits a diagnostic anchored at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report emits d, filling in the analyzer name.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// ExportObjectFact attaches fact to obj for this pass's analyzer;
+// passes of the same analyzer over importing packages can retrieve it
+// with ImportObjectFact.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.ExportObjectFact(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact copies the fact of fact's concrete type attached to
+// obj into fact, reporting whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.ImportObjectFact(p.Analyzer.Name, obj, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.ExportPackageFact(p.Analyzer.Name, p.Pkg, fact)
+}
+
+// ImportPackageFact copies pkg's fact of fact's concrete type into
+// fact, reporting whether one exists.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	return p.facts.ImportPackageFact(p.Analyzer.Name, pkg, fact)
 }
 
 // Parent returns the syntactic parent of n within the pass's files, or

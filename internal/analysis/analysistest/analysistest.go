@@ -12,10 +12,22 @@
 // the message of a distinct
 // diagnostic reported on that line. Lines without a want comment must
 // produce no diagnostics.
+//
+// Packages named in one Run call share a loader and a fact store and
+// are analyzed in argument order, so a fixture package may import an
+// earlier one (by its bare fixture name) and the analyzer sees the
+// facts it exported there — the cross-package half of the facts model.
+//
+// RunWithSuggestedFixes additionally applies every suggested fix and
+// compares the result against <file>.golden, then re-analyzes the
+// fixed source to prove the fixes converge (no fixable finding may
+// survive its own fix).
 package analysistest
 
 import (
+	"bytes"
 	"go/ast"
+	"go/format"
 	"go/parser"
 	"os"
 	"path/filepath"
@@ -42,12 +54,27 @@ func TestData() string {
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	loader := analysis.NewLoader()
+	facts := analysis.NewFactStore()
 	for _, pkg := range pkgs {
-		runPackage(t, loader, testdata, a, pkg)
+		runPackage(t, loader, facts, testdata, a, pkg, false)
 	}
 }
 
-func runPackage(t *testing.T, loader *analysis.Loader, testdata string, a *analysis.Analyzer, pkg string) {
+// RunWithSuggestedFixes is Run plus golden-file checking of the
+// analyzer's suggested fixes: for every fixture file that produced at
+// least one fix, the fixed-and-gofmt'd source must equal
+// <file>.golden, and re-running the analyzer over the fixed source
+// must yield no further fixable diagnostics (idempotence).
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	facts := analysis.NewFactStore()
+	for _, pkg := range pkgs {
+		runPackage(t, loader, facts, testdata, a, pkg, true)
+	}
+}
+
+func runPackage(t *testing.T, loader *analysis.Loader, facts *analysis.FactStore, testdata string, a *analysis.Analyzer, pkg string, checkFixes bool) {
 	t.Helper()
 	dir := filepath.Join(testdata, "src", pkg)
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
@@ -76,6 +103,9 @@ func runPackage(t *testing.T, loader *analysis.Loader, testdata string, a *analy
 		paths = append(paths, p)
 	}
 	if len(paths) > 0 {
+		// Fixture-to-fixture imports resolve from packages already
+		// checked in this Run call; only the remainder (stdlib, module
+		// packages) goes through `go list`.
 		if err := loader.LoadImports(dir, paths); err != nil {
 			t.Fatalf("loading fixture imports: %v", err)
 		}
@@ -86,7 +116,7 @@ func runPackage(t *testing.T, loader *analysis.Loader, testdata string, a *analy
 	}
 
 	var diags []analysis.Diagnostic
-	pass := analysis.NewPass(a, loader.Fset, p.Files, p.Pkg, p.Info, func(d analysis.Diagnostic) {
+	pass := analysis.NewPass(a, loader.Fset, p.Files, p.Pkg, p.Info, facts, func(d analysis.Diagnostic) {
 		diags = append(diags, d)
 	})
 	if err := a.Run(pass); err != nil {
@@ -106,6 +136,105 @@ func runPackage(t *testing.T, loader *analysis.Loader, testdata string, a *analy
 	for key, res := range wants {
 		for _, re := range res {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, re)
+		}
+	}
+
+	if checkFixes {
+		var sources []string
+		for _, f := range files {
+			sources = append(sources, loader.Fset.Position(f.Pos()).Filename)
+		}
+		checkSuggestedFixes(t, loader, a, pkg, sources, diags)
+	}
+}
+
+// checkSuggestedFixes applies the fixes from diags in memory, diffs
+// each changed file against its .golden sibling, and re-analyzes the
+// fixed source for convergence.
+func checkSuggestedFixes(t *testing.T, loader *analysis.Loader, a *analysis.Analyzer, pkg string, sources []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	fixed := map[string][]byte{}
+	results, err := analysis.ApplyFixes(loader.Fset, diags, func(path string, data []byte) error {
+		fixed[path] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("applying %s fixes in %s: %v", a.Name, pkg, err)
+	}
+	if len(results) == 0 {
+		t.Errorf("fixture %s produced no suggested fixes; RunWithSuggestedFixes expects at least one", pkg)
+		return
+	}
+	for _, r := range results {
+		if r.Skipped > 0 {
+			t.Errorf("%s: %d overlapping edits skipped", r.Path, r.Skipped)
+		}
+	}
+	for path, data := range fixed {
+		golden := path + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("fix output for %s: missing golden file %s; got:\n%s", path, golden, data)
+			continue
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("fixed %s differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, golden, data, want)
+		}
+		if formatted, ferr := format.Source(data); ferr != nil || !bytes.Equal(formatted, data) {
+			t.Errorf("fixed %s is not gofmt-clean (err=%v)", path, ferr)
+		}
+	}
+
+	// Idempotence: the fixed source must not provoke further fixes.
+	// Re-check the whole package with fixed bytes substituted in,
+	// under a fresh loader so positions don't collide.
+	reloader := analysis.NewLoader()
+	var refiles []*ast.File
+	imports := map[string]bool{}
+	for _, path := range sources {
+		var src any
+		if data, ok := fixed[path]; ok {
+			src = data
+		}
+		f, perr := parser.ParseFile(reloader.Fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			t.Errorf("fixed %s does not parse: %v", path, perr)
+			return
+		}
+		refiles = append(refiles, f)
+		for _, imp := range f.Imports {
+			if p, uerr := strconv.Unquote(imp.Path.Value); uerr == nil {
+				imports[p] = true
+			}
+		}
+	}
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	if len(paths) > 0 {
+		if err := reloader.LoadImports(filepath.Dir(sources[0]), paths); err != nil {
+			t.Errorf("reloading fixed imports: %v", err)
+			return
+		}
+	}
+	rp, err := reloader.Check(pkg, refiles)
+	if err != nil {
+		t.Errorf("type-checking fixed %s: %v", pkg, err)
+		return
+	}
+	var rediags []analysis.Diagnostic
+	repass := analysis.NewPass(a, reloader.Fset, rp.Files, rp.Pkg, rp.Info, nil, func(d analysis.Diagnostic) {
+		rediags = append(rediags, d)
+	})
+	if err := a.Run(repass); err != nil {
+		t.Errorf("%s on fixed %s: %v", a.Name, pkg, err)
+		return
+	}
+	for _, d := range rediags {
+		if len(d.SuggestedFixes) > 0 {
+			t.Errorf("%s: fix not idempotent: fixed source still offers %q at %s",
+				pkg, d.Message, reloader.Fset.Position(d.Pos))
 		}
 	}
 }

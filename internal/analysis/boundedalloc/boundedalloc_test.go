@@ -1,0 +1,22 @@
+package boundedalloc_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/boundedalloc"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), boundedalloc.Analyzer, "basic")
+}
+
+// TestCrossPackageFacts analyzes the decoder package first, then a
+// consumer whose only taint sources are the decoder's exported facts.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), boundedalloc.Analyzer, "a", "b")
+}
+
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), boundedalloc.Analyzer, "fix")
+}

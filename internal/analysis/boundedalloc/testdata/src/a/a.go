@@ -1,0 +1,25 @@
+// Fixture: the fact-producing side — decoders that hand back untrusted
+// sizes export an UntrustedFact; decoders that bound first do not.
+package a
+
+import "encoding/binary"
+
+// Count decodes a record count and returns it unbounded: callers must
+// bound it before allocating.
+func Count(header []byte) uint32 {
+	return binary.BigEndian.Uint32(header)
+}
+
+// SafeCount clamps before returning: no fact, callers may trust it.
+func SafeCount(header []byte) uint32 {
+	n := binary.BigEndian.Uint32(header)
+	if n > 1<<12 {
+		n = 1 << 12
+	}
+	return n
+}
+
+// Derived stays untrusted through a same-package helper chain.
+func Derived(header []byte) uint32 {
+	return Count(header) * 8
+}

@@ -1,0 +1,30 @@
+// Fixture: the fact-consuming side — package b never touches
+// encoding/binary; taint arrives through package a's exported decoders.
+package b
+
+import "a"
+
+func alloc(header []byte) []byte {
+	n := a.Count(header)
+	return make([]byte, n) // want "make sized by `n` from a.Count without a bound check"
+}
+
+// SafeCount carried no fact: its result is trusted.
+func allocSafe(header []byte) []byte {
+	n := a.SafeCount(header)
+	return make([]byte, n)
+}
+
+// Bounding locally clears the cross-package taint.
+func allocBounded(header []byte) []byte {
+	n := a.Count(header)
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	return make([]byte, n)
+}
+
+// The transitive decoder is just as untrusted.
+func allocDerived(header []byte) []byte {
+	return make([]byte, a.Derived(header)) // want "make sized by .* from a.Derived without a bound check"
+}

@@ -1,0 +1,23 @@
+// Fixture: boundedalloc's insert-guard suggested fix, checked against
+// fix.go.golden and re-analyzed for idempotence.
+package fix
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strconv"
+)
+
+func decodeBody(header []byte) []byte {
+	n := binary.BigEndian.Uint32(header)
+	buf := make([]byte, n) // want "make sized by `n` from binary.Uint32 without a bound check"
+	return buf
+}
+
+func growBuf(buf *bytes.Buffer, s string) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return
+	}
+	buf.Grow(n) // want "Buffer.Grow sized by `n` from strconv.Atoi without a bound check"
+}

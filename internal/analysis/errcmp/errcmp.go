@@ -1,0 +1,101 @@
+// Package errcmp flags error comparisons with == or !=: once errors
+// are wrapped with %w (which the errwrap analyzer pushes toward),
+// identity comparison silently stops matching and the error path
+// changes behavior. errors.Is unwraps; == does not. Comparisons with
+// nil are the idiom and stay exempt.
+//
+// The suggested fix rewrites `x == sentinel` to `errors.Is(x,
+// sentinel)` (and the != form to its negation), but only in files that
+// already import "errors" — the fix applier edits text, not import
+// graphs.
+package errcmp
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"sddict/internal/analysis"
+)
+
+// Analyzer is the error-identity-comparison checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc:  "errors must be compared with errors.Is, not == or !=",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		hasErrors := importsPackage(file, "errors")
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isErrorExpr(pass, be.X) || !isErrorExpr(pass, be.Y) {
+				return true
+			}
+			if isNilExpr(pass, be.X) || isNilExpr(pass, be.Y) {
+				return true
+			}
+			op := "=="
+			if be.Op == token.NEQ {
+				op = "!="
+			}
+			d := analysis.Diagnostic{
+				Pos:     be.Pos(),
+				Message: "error compared with " + op + "; use errors.Is so wrapped errors still match",
+			}
+			if hasErrors {
+				call := "errors.Is(" + exprString(pass.Fset, be.X) + ", " + exprString(pass.Fset, be.Y) + ")"
+				if be.Op == token.NEQ {
+					call = "!" + call
+				}
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message: "rewrite with errors.Is",
+					Edits: []analysis.TextEdit{{
+						Pos:     be.Pos(),
+						End:     be.End(),
+						NewText: call,
+					}},
+				}}
+			}
+			pass.Report(d)
+			return true
+		})
+	}
+	return nil
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && types.Identical(tv.Type, errorType)
+}
+
+func isNilExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+func importsPackage(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return true
+		}
+	}
+	return false
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

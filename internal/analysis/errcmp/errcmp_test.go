@@ -1,0 +1,16 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/errcmp"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errcmp.Analyzer, "basic")
+}
+
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), errcmp.Analyzer, "fix")
+}

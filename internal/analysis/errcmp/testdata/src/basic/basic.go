@@ -1,0 +1,28 @@
+// Fixture: error identity comparisons, nil exemption, and the
+// errors.Is rewrite.
+package basic
+
+import (
+	"errors"
+	"io"
+)
+
+var errDone = errors.New("done")
+
+func compare(err error) bool {
+	return err == io.EOF // want "error compared with ==; use errors.Is"
+}
+
+func compareNeq(err error) bool {
+	return err != errDone // want "error compared with !=; use errors.Is"
+}
+
+// Comparing with nil is the idiom: clean.
+func nilCheck(err error) bool {
+	return err != nil
+}
+
+// errors.Is is what the analyzer wants: clean.
+func already(err error) bool {
+	return errors.Is(err, io.EOF)
+}

@@ -1,0 +1,17 @@
+// Fixture: the errors.Is rewrite, checked against fix.go.golden.
+package fix
+
+import (
+	"errors"
+	"io"
+)
+
+var errStop = errors.New("stop")
+
+func isEOF(err error) bool {
+	return err == io.EOF // want "error compared with ==; use errors.Is"
+}
+
+func keepGoing(err error) bool {
+	return err != errStop // want "error compared with !=; use errors.Is"
+}

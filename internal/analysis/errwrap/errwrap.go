@@ -5,9 +5,12 @@
 package errwrap
 
 import (
+	"fmt"
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
+	"strconv"
 	"strings"
 
 	"sddict/internal/analysis"
@@ -52,9 +55,73 @@ func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
 			continue
 		}
 		if t := pass.TypesInfo.Types[args[i]].Type; t != nil && implementsError(t) {
-			pass.Reportf(args[i].Pos(), "error argument formatted with %%%c loses the unwrap chain; use %%w", v)
+			d := analysis.Diagnostic{
+				Pos:     args[i].Pos(),
+				Message: fmt.Sprintf("error argument formatted with %%%c loses the unwrap chain; use %%w", v),
+			}
+			if fix := verbFix(call.Args[0], format, i); fix != nil {
+				d.SuggestedFixes = []analysis.SuggestedFix{*fix}
+			}
+			pass.Report(d)
 		}
 	}
+}
+
+// verbFix rewrites the format literal with the verb for argument
+// argIndex replaced by %w. Only direct string literals are rewritten —
+// a concatenated or named format has no single source range to edit.
+func verbFix(formatExpr ast.Expr, format string, argIndex int) *analysis.SuggestedFix {
+	lit, ok := ast.Unparen(formatExpr).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	rewritten, ok := replaceVerb(format, argIndex)
+	if !ok {
+		return nil
+	}
+	return &analysis.SuggestedFix{
+		Message: "wrap with %w",
+		Edits: []analysis.TextEdit{{
+			Pos:     lit.Pos(),
+			End:     lit.End(),
+			NewText: strconv.Quote(rewritten),
+		}},
+	}
+}
+
+// replaceVerb substitutes 'w' for the verb consuming argument argIndex,
+// mirroring parseVerbs' scan so both agree on which verb that is.
+func replaceVerb(format string, argIndex int) (string, bool) {
+	runes := []rune(format)
+	arg := 0
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(runes) {
+			c := runes[i]
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", c) {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(runes) || runes[i] == '%' {
+			continue
+		}
+		if arg == argIndex {
+			runes[i] = 'w'
+			return string(runes), true
+		}
+		arg++
+	}
+	return "", false
 }
 
 // constantString evaluates string literals and literal concatenations.

@@ -10,3 +10,7 @@ import (
 func TestErrWrap(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), errwrap.Analyzer, "a")
 }
+
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), errwrap.Analyzer, "fix")
+}

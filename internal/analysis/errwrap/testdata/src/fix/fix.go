@@ -1,0 +1,12 @@
+// Fixture: the %v-to-%w rewrite, checked against fix.go.golden.
+package fix
+
+import "fmt"
+
+func open(path string, err error) error {
+	return fmt.Errorf("open %s: %v", path, err) // want "error argument formatted with %v loses the unwrap chain"
+}
+
+func decode(line int, err error) error {
+	return fmt.Errorf("line %d: %s", line, err) // want "error argument formatted with %s loses the unwrap chain"
+}

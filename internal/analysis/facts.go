@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+)
+
+// Fact is a typed datum an analyzer attaches to a types.Object or a
+// types.Package while analyzing one package, to be consumed when the
+// same analyzer later runs over a package that imports it — the
+// mechanism behind cross-package reasoning ("this helper closes its
+// argument", "this decoder returns an untrusted length"). The marker
+// method keeps arbitrary values out of the store; fact types are
+// conventionally unexported structs with exported fields, one or more
+// per analyzer, declared next to the analyzer that owns them.
+//
+// Facts mirror golang.org/x/tools/go/analysis facts with one deliberate
+// simplification: this runner analyzes a whole module in one process in
+// dependency order, so facts live in memory for the life of the run and
+// never need gob serialization.
+type Fact interface {
+	AFact()
+}
+
+// factKey identifies one stored fact: the owning analyzer, the carrier
+// (an object, or nil for package facts plus the package path), and the
+// concrete fact type, so one analyzer can attach several fact kinds to
+// the same object.
+type factKey struct {
+	analyzer string
+	obj      types.Object
+	pkgPath  string
+	t        reflect.Type
+}
+
+// FactStore holds every fact exported during one Run, shared by all
+// passes. The zero value is not usable; call NewFactStore.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+func (s *FactStore) key(analyzer string, obj types.Object, pkg *types.Package, fact Fact) factKey {
+	k := factKey{analyzer: analyzer, obj: obj, t: reflect.TypeOf(fact)}
+	if pkg != nil {
+		k.pkgPath = pkg.Path()
+	}
+	return k
+}
+
+// ExportObjectFact records fact for obj on behalf of the named
+// analyzer. The stored value is the pointer itself; callers must not
+// mutate a fact after exporting it.
+func (s *FactStore) ExportObjectFact(analyzer string, obj types.Object, fact Fact) {
+	if obj == nil {
+		return
+	}
+	s.m[s.key(analyzer, obj, nil, fact)] = fact
+}
+
+// ImportObjectFact copies the fact of fact's concrete type previously
+// exported for obj into fact, reporting whether one was found. fact
+// must be a non-nil pointer, as with ExportObjectFact.
+func (s *FactStore) ImportObjectFact(analyzer string, obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	stored, ok := s.m[s.key(analyzer, obj, nil, fact)]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// ExportPackageFact records fact for the package pkg.
+func (s *FactStore) ExportPackageFact(analyzer string, pkg *types.Package, fact Fact) {
+	if pkg == nil {
+		return
+	}
+	s.m[s.key(analyzer, nil, pkg, fact)] = fact
+}
+
+// ImportPackageFact copies pkg's fact of fact's concrete type into
+// fact, reporting whether one was found.
+func (s *FactStore) ImportPackageFact(analyzer string, pkg *types.Package, fact Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	stored, ok := s.m[s.key(analyzer, nil, pkg, fact)]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// FixResult describes one file rewritten by ApplyFixes.
+type FixResult struct {
+	Path    string
+	Applied int // edits applied
+	Skipped int // edits dropped because they overlapped an earlier edit
+}
+
+// ApplyFixes applies every suggested fix carried by diags to the source
+// files on disk and returns the per-file results, sorted by path. Edits
+// are applied right to left so earlier offsets stay valid; an edit
+// overlapping one already applied is skipped rather than corrupting the
+// file (the next run offers it again on the reformatted source — the
+// applier converges because each application strictly reduces the
+// outstanding fixable findings). Rewritten files are gofmt'd before
+// write, and write is the caller's seam — pass a wrapper around
+// core.AtomicWriteFile so a crash mid-fix never leaves a torn source
+// file.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, write func(path string, data []byte) error) ([]FixResult, error) {
+	type edit struct {
+		start, end int // byte offsets
+		newText    string
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.Edits {
+				file := fset.File(te.Pos)
+				if file == nil || (te.End != token.NoPos && fset.File(te.End) != file) {
+					return nil, fmt.Errorf("analysis: fix %q has edits outside its file", fix.Message)
+				}
+				end := te.End
+				if end == token.NoPos {
+					end = te.Pos
+				}
+				perFile[file.Name()] = append(perFile[file.Name()], edit{
+					start:   file.Offset(te.Pos),
+					end:     file.Offset(end),
+					newText: te.NewText,
+				})
+			}
+		}
+	}
+
+	paths := make([]string, 0, len(perFile))
+	for path := range perFile {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	var results []FixResult
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: reading %s for fixing: %w", path, err)
+		}
+		edits := perFile[path]
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		res := FixResult{Path: path}
+		out := src
+		// Apply right to left; drop overlaps with the previously kept
+		// (i.e. following) edit.
+		lastStart := len(src) + 1
+		for i := len(edits) - 1; i >= 0; i-- {
+			e := edits[i]
+			if e.start < 0 || e.end > len(src) || e.end < e.start || e.end > lastStart {
+				res.Skipped++
+				continue
+			}
+			out = append(out[:e.start], append([]byte(e.newText), out[e.end:]...)...)
+			lastStart = e.start
+			res.Applied++
+		}
+		if res.Applied == 0 {
+			continue
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixed %s does not parse (fix bug): %w", path, err)
+		}
+		if err := write(path, formatted); err != nil {
+			return nil, fmt.Errorf("analysis: writing fixed %s: %w", path, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,152 @@
+package analysis_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sddict/internal/analysis"
+)
+
+// writeFixture puts src on disk (ApplyFixes reads the file back) and
+// parses it into fset.
+func writeFixture(t *testing.T, fset *token.FileSet, src string) (string, *token.File) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fix.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return path, fset.File(f.Pos())
+}
+
+func TestApplyFixes(t *testing.T) {
+	const src = `package p
+
+func f() string {
+	return "old"
+}
+`
+	fset := token.NewFileSet()
+	path, tf := writeFixture(t, fset, src)
+
+	at := func(offset int) token.Pos { return tf.Pos(offset) }
+	oldPos := strings.Index(src, `"old"`)
+
+	diags := []analysis.Diagnostic{{
+		Pos:      at(oldPos),
+		Analyzer: "demo",
+		Message:  "use new",
+		SuggestedFixes: []analysis.SuggestedFix{{
+			Message: "replace",
+			Edits: []analysis.TextEdit{{
+				Pos:     at(oldPos),
+				End:     at(oldPos + len(`"old"`)),
+				NewText: `"new"`,
+			}},
+		}},
+	}}
+
+	written := map[string][]byte{}
+	results, err := analysis.ApplyFixes(fset, diags, func(p string, data []byte) error {
+		written[p] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(results) != 1 || results[0].Applied != 1 || results[0].Skipped != 0 {
+		t.Fatalf("results = %+v, want one file with one applied edit", results)
+	}
+	got := string(written[path])
+	if !strings.Contains(got, `return "new"`) || strings.Contains(got, "old") {
+		t.Errorf("fixed source did not swap the literal:\n%s", got)
+	}
+}
+
+// Overlapping edits must not corrupt the file: edits apply right to
+// left, so the rightmost edit wins and the overlap is counted, not
+// applied (the next -fix run re-offers it on the rewritten source).
+func TestApplyFixesOverlap(t *testing.T) {
+	const src = `package p
+
+var v = 1234
+`
+	fset := token.NewFileSet()
+	path, tf := writeFixture(t, fset, src)
+	numPos := strings.Index(src, "1234")
+	at := func(offset int) token.Pos { return tf.Pos(offset) }
+
+	mkdiag := func(start, end int, text string) analysis.Diagnostic {
+		return analysis.Diagnostic{
+			Pos: at(start), Analyzer: "demo", Message: "m",
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message: "edit",
+				Edits:   []analysis.TextEdit{{Pos: at(start), End: at(end), NewText: text}},
+			}},
+		}
+	}
+	diags := []analysis.Diagnostic{
+		mkdiag(numPos, numPos+4, "9"),
+		mkdiag(numPos+2, numPos+4, "8"), // overlaps the first edit
+	}
+	written := map[string][]byte{}
+	results, err := analysis.ApplyFixes(fset, diags, func(p string, data []byte) error {
+		written[p] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(results) != 1 || results[0].Applied != 1 || results[0].Skipped != 1 {
+		t.Fatalf("results = %+v, want 1 applied + 1 skipped", results)
+	}
+	if got := string(written[path]); !strings.Contains(got, "var v = 128") {
+		t.Errorf("overlap corrupted the file:\n%s", got)
+	}
+}
+
+// An insertion (End == Pos) at a statement boundary must survive the
+// gofmt pass.
+func TestApplyFixesInsertion(t *testing.T) {
+	const src = `package p
+
+func f() {
+	g()
+}
+
+func g() {}
+`
+	fset := token.NewFileSet()
+	path, tf := writeFixture(t, fset, src)
+	callEnd := strings.Index(src, "g()") + len("g()")
+	at := tf.Pos(callEnd)
+
+	diags := []analysis.Diagnostic{{
+		Pos: at, Analyzer: "demo", Message: "add call",
+		SuggestedFixes: []analysis.SuggestedFix{{
+			Message: "append statement",
+			Edits:   []analysis.TextEdit{{Pos: at, End: token.NoPos, NewText: "\ng()"}},
+		}},
+	}}
+	written := map[string][]byte{}
+	if _, err := analysis.ApplyFixes(fset, diags, func(p string, data []byte) error {
+		written[p] = data
+		return nil
+	}); err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	got := string(written[path])
+	if strings.Count(got, "g()") != 3 { // two calls + one declaration
+		t.Errorf("insertion missing:\n%s", got)
+	}
+	if !strings.Contains(got, "\tg()\n\tg()\n") {
+		t.Errorf("inserted statement not gofmt-indented:\n%s", got)
+	}
+}

@@ -1,0 +1,788 @@
+// Package leakcheck enforces resource release: a file, listener,
+// connection, or context cancel function acquired in a function must be
+// released on every path out of it — deferred, closed before each
+// return (error paths included), or handed off (returned, stored, or
+// passed to a helper that releases it). The serve and dictio layers
+// hold dictionaries, listeners and trace files open for the life of a
+// long-running process; a handle leaked on an error path is the classic
+// slow death under production traffic.
+//
+// Cross-package reasoning rides the facts layer: when a function
+// releases one of its parameters (directly, deferred, or by passing it
+// on to another releasing function), leakcheck exports a ClosesFact for
+// it, so call sites in importing packages count `registry.evict`-style
+// helpers as releases instead of demanding a literal Close.
+//
+// The path analysis is lexical, not a full CFG: a return statement is
+// covered when a release dominates it in the statement tree between
+// acquisition and return. The error check immediately following an
+// acquisition (`f, err := os.Open(...); if err != nil { return ... }`)
+// is exempt — the resource was never acquired on that path.
+package leakcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sddict/internal/analysis"
+)
+
+// ClosesFact marks a function that releases (closes, stops, cancels)
+// the parameters named by index. Exported while analyzing the
+// function's package; imported at call sites anywhere downstream.
+type ClosesFact struct {
+	Params []int
+}
+
+// AFact marks ClosesFact as a fact type.
+func (*ClosesFact) AFact() {}
+
+// Analyzer is the resource-release invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "leakcheck",
+	Doc:       "os/net handles and context cancel funcs must be released on every return path",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*ClosesFact)(nil)},
+}
+
+// acquisition table: package-level functions whose call hands the
+// caller a resource it must release.
+type acqSpec struct {
+	pkg, name string
+	result    int    // index of the resource in the result tuple
+	release   string // method name, or "" when the resource is itself called (cancel funcs)
+	what      string // human name for diagnostics
+}
+
+var acquirers = []acqSpec{
+	{"os", "Open", 0, "Close", "file"},
+	{"os", "OpenFile", 0, "Close", "file"},
+	{"os", "Create", 0, "Close", "file"},
+	{"os", "CreateTemp", 0, "Close", "file"},
+	{"net", "Listen", 0, "Close", "listener"},
+	{"net", "ListenTCP", 0, "Close", "listener"},
+	{"net", "ListenUDP", 0, "Close", "listener"},
+	{"net", "ListenPacket", 0, "Close", "listener"},
+	{"net", "Dial", 0, "Close", "connection"},
+	{"net", "DialTimeout", 0, "Close", "connection"},
+	{"context", "WithCancel", 1, "", "cancel func"},
+	{"context", "WithTimeout", 1, "", "cancel func"},
+	{"context", "WithDeadline", 1, "", "cancel func"},
+}
+
+func matchAcquirer(info *types.Info, call *ast.CallExpr) *acqSpec {
+	for i := range acquirers {
+		if analysis.IsPkgFunc(info, call, acquirers[i].pkg, acquirers[i].name) {
+			return &acquirers[i]
+		}
+	}
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	exportFacts(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFuncUnits(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFuncUnits analyzes body as one unit and recurses into each
+// nested function literal as its own unit — an acquisition belongs to
+// the innermost function that performs it.
+func checkFuncUnits(pass *analysis.Pass, body *ast.BlockStmt) {
+	checkUnit(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			checkUnit(pass, fl.Body)
+		}
+		return true
+	})
+}
+
+// checkUnit finds the acquisitions performed directly by the statements
+// of body (not those of nested function literals) and checks each.
+func checkUnit(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate unit
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		spec := matchAcquirer(pass.TypesInfo, call)
+		if spec == nil || spec.result >= len(as.Lhs) {
+			return true
+		}
+		id, ok := as.Lhs[spec.result].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(id.Pos(), "%s returned by %s.%s is discarded and can never be released",
+				spec.what, spec.pkg, spec.name)
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		checkAcquisition(pass, body, as, call, id, obj, spec)
+		return true
+	})
+}
+
+// checkAcquisition decides whether the resource bound to obj by the
+// acquisition statement acq is released on every path out of body.
+func checkAcquisition(pass *analysis.Pass, body *ast.BlockStmt, acq *ast.AssignStmt, call *ast.CallExpr, id *ast.Ident, obj types.Object, spec *acqSpec) {
+	ev := collectEvidence(pass, body, acq, obj, spec)
+	switch {
+	case ev.escapes || ev.deferred:
+		return
+	case !ev.released:
+		d := analysis.Diagnostic{
+			Pos: id.Pos(),
+			Message: spec.what + " `" + id.Name + "` from " + spec.pkg + "." + spec.name +
+				" is never released; release it with `" + releaseText(id.Name, spec) + "`",
+		}
+		if fix := deferFix(pass, body, acq, id, obj, spec); fix != nil {
+			d.SuggestedFixes = []analysis.SuggestedFix{*fix}
+		}
+		pass.Report(d)
+	default:
+		// Released somewhere, but not deferred and not escaping: every
+		// return after the acquisition must be dominated by a release.
+		w := &walker{pass: pass, obj: obj, spec: spec, acq: acq, id: id}
+		w.walk(body.List, false)
+		for _, ret := range w.leaks {
+			pass.Reportf(ret.Pos(), "return leaks %s `%s` acquired at line %d (no release on this path)",
+				spec.what, id.Name, pass.Fset.Position(acq.Pos()).Line)
+		}
+	}
+}
+
+// evidence summarizes how obj is used after acquisition.
+type evidence struct {
+	deferred bool // a defer releases it: covers every exit
+	released bool // some statement releases it
+	escapes  bool // ownership leaves the function (returned, stored, captured, sent)
+}
+
+func collectEvidence(pass *analysis.Pass, body *ast.BlockStmt, acq *ast.AssignStmt, obj types.Object, spec *acqSpec) evidence {
+	var ev evidence
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if releasesObj(pass, n.Call, obj, spec) {
+				ev.deferred = true
+				ev.released = true
+			}
+		case *ast.CallExpr:
+			if releasesObj(pass, n, obj, spec) {
+				ev.released = true
+			}
+		case *ast.FuncLit:
+			if usesObj(pass, n.Body, obj) {
+				ev.escapes = true // captured: lifetime beyond this walk
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if exprIsObj(pass, res, obj) || exprContainsObjValue(pass, res, obj) {
+					ev.escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == acq || blankOnly(n.Lhs) {
+				// `_ = x` silences an unused variable; it does not
+				// transfer ownership.
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if exprIsObj(pass, rhs, obj) || exprContainsObjValue(pass, rhs, obj) {
+					ev.escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if exprIsObj(pass, n.Value, obj) {
+				ev.escapes = true
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+// releasesObj reports whether call releases obj: `obj.Close()`, `obj()`
+// for cancel funcs, or a call passing obj to a parameter the callee is
+// known (by fact) to release.
+func releasesObj(pass *analysis.Pass, call *ast.CallExpr, obj types.Object, spec *acqSpec) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if spec.release == "" && pass.TypesInfo.Uses[fun] == obj {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if spec.release != "" && fun.Sel.Name == spec.release {
+			if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok && pass.TypesInfo.Uses[x] == obj {
+				return true
+			}
+		}
+	}
+	// Passed to a releasing helper?
+	callee := analysis.CalleeFunc(pass.TypesInfo, call)
+	if callee == nil {
+		return false
+	}
+	var fact ClosesFact
+	if !pass.ImportObjectFact(callee, &fact) {
+		return false
+	}
+	for _, pi := range fact.Params {
+		if pi < len(call.Args) {
+			if id, ok := ast.Unparen(call.Args[pi]).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprIsObj reports whether e is (a parenthesization or unary-& of) an
+// identifier bound to obj.
+func exprIsObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && (pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj)
+}
+
+// exprContainsObjValue reports whether obj's identifier occurs anywhere
+// in a composite literal or call inside e — a store or wrap that takes
+// over the resource (e.g. `&session{f: f}`, `bufio.NewWriter(f)` kept
+// in a struct). Conservative: any occurrence counts as an escape only
+// for composite literals, where ownership transfer is the norm.
+func exprContainsObjValue(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.CompositeLit); ok {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func blankOnly(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+func usesObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// walker flags return statements reachable with the resource live and
+// unreleased. The walk is lexical over the statement tree with a
+// single bit of state per path — "leaky": the resource has been
+// acquired on some path reaching this point and not released since.
+// Branches fork the bit and merge with OR (a path that never acquired,
+// or that released, contributes false), so an open-and-close inside one
+// switch arm does not poison returns after the switch.
+type walker struct {
+	pass  *analysis.Pass
+	obj   types.Object
+	spec  *acqSpec
+	acq   *ast.AssignStmt
+	id    *ast.Ident
+	leaks []*ast.ReturnStmt
+}
+
+// walk processes stmts with the entry leaky state; it returns the exit
+// state and whether every path through stmts terminates (return or
+// panic), in which case the exit state never merges into the parent.
+func (w *walker) walk(stmts []ast.Stmt, leaky bool) (exitLeaky, terminated bool) {
+	skipNext := false
+	for i, s := range stmts {
+		if skipNext {
+			skipNext = false
+			continue
+		}
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if s == w.acq {
+				leaky = true
+				// The error check immediately following the acquisition
+				// guards the not-acquired path; returns inside it are
+				// not leaks.
+				if i+1 < len(stmts) && isErrCheck(w.pass, stmts[i+1], w.acq) {
+					skipNext = true
+				}
+				continue
+			}
+			if containsAcq(s, w.acq) {
+				leaky = true
+			}
+			// `cerr := f.Close()` releases just like a bare call.
+			if w.releasesWithin(s) {
+				leaky = false
+			}
+		case *ast.DeferStmt:
+			if releasesObj(w.pass, s.Call, w.obj, w.spec) {
+				leaky = false
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if releasesObj(w.pass, call, w.obj, w.spec) {
+					leaky = false
+				}
+				if isPanic(call) {
+					return false, true
+				}
+			}
+		case *ast.ReturnStmt:
+			if leaky && !w.returnsObj(s) {
+				w.leaks = append(w.leaks, s)
+			}
+			return false, true
+		case *ast.BlockStmt:
+			var t bool
+			leaky, t = w.walk(s.List, leaky)
+			if t {
+				return false, true
+			}
+		case *ast.LabeledStmt:
+			var t bool
+			leaky, t = w.walk([]ast.Stmt{s.Stmt}, leaky)
+			if t {
+				return false, true
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				// `if err := f.Close(); err != nil { ... }` — the init
+				// runs unconditionally before the branch.
+				if w.releasesWithin(s.Init) {
+					leaky = false
+				}
+			}
+			if containsAcq(s, w.acq) && !stmtIs(s.Body, w.acq) {
+				// Acquisition nested in the condition/init: be
+				// conservative and treat the resource as live after.
+				w.walkNested(s, leaky)
+				leaky = true
+				continue
+			}
+			bodyLeaky, bodyTerm := w.walk(s.Body.List, leaky)
+			elseLeaky, elseTerm := leaky, false
+			hasElse := s.Else != nil
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseLeaky, elseTerm = w.walk(e.List, leaky)
+			case *ast.IfStmt:
+				elseLeaky, elseTerm = w.walk([]ast.Stmt{e}, leaky)
+			}
+			if bodyTerm && elseTerm && hasElse {
+				return false, true
+			}
+			leaky = false
+			if !bodyTerm {
+				leaky = leaky || bodyLeaky
+			}
+			if !elseTerm {
+				leaky = leaky || elseLeaky
+			}
+		case *ast.ForStmt:
+			bodyLeaky, _ := w.walk(s.Body.List, leaky)
+			leaky = leaky || bodyLeaky
+		case *ast.RangeStmt:
+			bodyLeaky, _ := w.walk(s.Body.List, leaky)
+			leaky = leaky || bodyLeaky
+		case *ast.SwitchStmt:
+			var t bool
+			leaky, t = w.walkBranches(caseBodies(s.Body), hasDefault(s.Body), leaky)
+			if t {
+				return false, true
+			}
+		case *ast.TypeSwitchStmt:
+			var t bool
+			leaky, t = w.walkBranches(caseBodies(s.Body), hasDefault(s.Body), leaky)
+			if t {
+				return false, true
+			}
+		case *ast.SelectStmt:
+			var t bool
+			leaky, t = w.walkBranches(commBodies(s.Body), true, leaky)
+			if t {
+				return false, true
+			}
+		}
+	}
+	return leaky, false
+}
+
+// releasesWithin reports whether any call expression inside s (outside
+// nested function literals) releases the tracked resource.
+func (w *walker) releasesWithin(s ast.Stmt) bool {
+	released := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if released {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && releasesObj(w.pass, call, w.obj, w.spec) {
+			released = true
+		}
+		return !released
+	})
+	return released
+}
+
+// walkNested still visits returns inside a statement whose structure
+// the walker does not model, so leaks there are not silently missed.
+func (w *walker) walkNested(s ast.Stmt, leaky bool) {
+	if ifs, ok := s.(*ast.IfStmt); ok {
+		w.walk(ifs.Body.List, leaky || containsAcq(s, w.acq))
+	}
+}
+
+// walkBranches merges the arms of a switch/select: the exit state is
+// the OR of every non-terminating arm, plus the entry state when the
+// construct is not exhaustive (no default arm — execution can skip
+// every arm).
+func (w *walker) walkBranches(bodies [][]ast.Stmt, exhaustive bool, leaky bool) (exitLeaky, terminated bool) {
+	exit := false
+	if !exhaustive {
+		exit = leaky
+	}
+	allTerm := len(bodies) > 0
+	for _, body := range bodies {
+		l, t := w.walk(body, leaky)
+		if !t {
+			exit = exit || l
+			allTerm = false
+		}
+	}
+	return exit, allTerm && exhaustive
+}
+
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func commBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CommClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+// containsAcq reports whether the acquisition statement sits anywhere
+// inside s.
+func containsAcq(s ast.Stmt, acq *ast.AssignStmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if n == acq {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func stmtIs(b *ast.BlockStmt, acq *ast.AssignStmt) bool {
+	for _, s := range b.List {
+		if s == acq {
+			return true
+		}
+	}
+	return false
+}
+
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (w *walker) returnsObj(ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		if exprIsObj(w.pass, res, w.obj) || exprContainsObjValue(w.pass, res, w.obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrCheck reports whether s is `if <err> != nil { ... }` where
+// <err> is the error result defined by the acquisition acq.
+func isErrCheck(pass *analysis.Pass, s ast.Stmt, acq *ast.AssignStmt) bool {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.NEQ {
+		return false
+	}
+	id, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if nilIdent, ok := ast.Unparen(cond.Y).(*ast.Ident); !ok || nilIdent.Name != "nil" {
+		return false
+	}
+	errObj := pass.TypesInfo.Uses[id]
+	if errObj == nil {
+		return false
+	}
+	for _, lhs := range acq.Lhs {
+		if lid, ok := lhs.(*ast.Ident); ok {
+			if pass.TypesInfo.Defs[lid] == errObj || pass.TypesInfo.Uses[lid] == errObj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func releaseText(name string, spec *acqSpec) string {
+	if spec.release == "" {
+		return "defer " + name + "()"
+	}
+	return "defer " + name + "." + spec.release + "()"
+}
+
+// deferFix builds the insert-`defer` suggested fix: after the error
+// check when one immediately follows the acquisition, else directly
+// after the acquisition statement.
+func deferFix(pass *analysis.Pass, body *ast.BlockStmt, acq *ast.AssignStmt, id *ast.Ident, obj types.Object, spec *acqSpec) *analysis.SuggestedFix {
+	insertAfter := ast.Stmt(acq)
+	// Locate acq's statement list to find the statement after it.
+	if parent, ok := pass.Parent(acq).(*ast.BlockStmt); ok {
+		for i, s := range parent.List {
+			if s == acq && i+1 < len(parent.List) && isErrCheck(pass, parent.List[i+1], acq) {
+				insertAfter = parent.List[i+1]
+			}
+		}
+	}
+	at := lineEndPos(pass.Fset, insertAfter.End())
+	return &analysis.SuggestedFix{
+		Message: "insert " + releaseText(id.Name, spec),
+		Edits: []analysis.TextEdit{{
+			Pos:     at,
+			End:     at,
+			NewText: "\n" + releaseText(id.Name, spec),
+		}},
+	}
+}
+
+// lineEndPos returns the position of the newline ending pos's line, so
+// an insertion lands after any trailing comment rather than splitting
+// it from its statement. Falls back to pos on the last line of a file.
+func lineEndPos(fset *token.FileSet, pos token.Pos) token.Pos {
+	f := fset.File(pos)
+	if f == nil {
+		return pos
+	}
+	line := f.Line(pos)
+	if line >= f.LineCount() {
+		return pos
+	}
+	return f.LineStart(line+1) - 1
+}
+
+// exportFacts computes ClosesFact for every function in the package
+// that releases one of its parameters, iterating to a fixed point so
+// same-package helper chains (a calls b calls Close) resolve in any
+// declaration order.
+func exportFacts(pass *analysis.Pass) {
+	type candidate struct {
+		fn     *types.Func
+		decl   *ast.FuncDecl
+		params []types.Object // releasable params, by index
+	}
+	var cands []candidate
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			fnObj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fnObj == nil {
+				continue
+			}
+			var params []types.Object
+			releasable := false
+			idx := 0
+			for _, field := range fd.Type.Params.List {
+				names := field.Names
+				if len(names) == 0 {
+					idx++
+					params = append(params, nil)
+					continue
+				}
+				for _, name := range names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj != nil && isReleasable(obj.Type()) {
+						params = append(params, obj)
+						releasable = true
+					} else {
+						params = append(params, nil)
+					}
+					idx++
+				}
+			}
+			if releasable {
+				cands = append(cands, candidate{fn: fnObj, decl: fd, params: params})
+			}
+		}
+	}
+	// Fixed point: keep scanning until no new fact appears (bounded by
+	// the candidate count — each iteration grants at least one fact).
+	for changed := true; changed; {
+		changed = false
+		for _, c := range cands {
+			var have ClosesFact
+			known := map[int]bool{}
+			if pass.ImportObjectFact(c.fn, &have) {
+				for _, i := range have.Params {
+					known[i] = true
+				}
+			}
+			var updated []int
+			for i, pobj := range c.params {
+				if pobj == nil {
+					continue
+				}
+				if known[i] || paramReleased(pass, c.decl.Body, pobj) {
+					updated = append(updated, i)
+				}
+			}
+			if len(updated) > len(have.Params) {
+				pass.ExportObjectFact(c.fn, &ClosesFact{Params: updated})
+				changed = true
+			}
+		}
+	}
+}
+
+// paramReleased reports whether body releases pobj: calls pobj.Close()
+// (or pobj.Stop(), or pobj() for func-typed params), defers one of
+// those, or passes pobj to a function already carrying a ClosesFact.
+func paramReleased(pass *analysis.Pass, body *ast.BlockStmt, pobj types.Object) bool {
+	released := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if released {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[fun] == pobj {
+				released = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Close" || fun.Sel.Name == "Stop" {
+				if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok && pass.TypesInfo.Uses[x] == pobj {
+					released = true
+					return false
+				}
+			}
+		}
+		if callee := analysis.CalleeFunc(pass.TypesInfo, call); callee != nil {
+			var fact ClosesFact
+			if pass.ImportObjectFact(callee, &fact) {
+				for _, pi := range fact.Params {
+					if pi < len(call.Args) {
+						if id, ok := ast.Unparen(call.Args[pi]).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == pobj {
+							released = true
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return released
+}
+
+// isReleasable reports whether t is a type leakcheck can release: it
+// has a Close or Stop method, or it is a no-arg no-result function
+// (cancel funcs).
+func isReleasable(t types.Type) bool {
+	if sig, ok := t.Underlying().(*types.Signature); ok {
+		return sig.Params().Len() == 0 && sig.Results().Len() == 0
+	}
+	for _, name := range []string{"Close", "Stop"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		if fn, ok := obj.(*types.Func); ok {
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

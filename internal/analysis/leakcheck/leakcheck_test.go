@@ -1,0 +1,22 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/leakcheck"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), leakcheck.Analyzer, "basic")
+}
+
+// TestCrossPackageFacts analyzes the fact producer first, then a
+// package whose releases all go through the producer's helpers.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), leakcheck.Analyzer, "a", "b")
+}
+
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), leakcheck.Analyzer, "fix")
+}

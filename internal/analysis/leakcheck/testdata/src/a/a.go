@@ -1,0 +1,33 @@
+// Fixture: the fact-producing side of cross-package leak analysis.
+// Every function here releases the handle passed to it, so leakcheck
+// exports a ClosesFact for each — including Shutdown, which only
+// releases transitively through CleanUp (same-package fixed point).
+package a
+
+import "io"
+
+// CleanUp closes the handle it is given.
+func CleanUp(c io.Closer) {
+	if c != nil {
+		c.Close()
+	}
+}
+
+// Shutdown releases its argument by delegating to CleanUp.
+func Shutdown(c io.Closer) {
+	Vacuous()
+	CleanUp(c)
+}
+
+// Stop cancels the func it is given.
+func Stop(cancel func()) {
+	cancel()
+}
+
+// Vacuous releases nothing and must not earn a fact.
+func Vacuous() {}
+
+// Keep takes a handle but never releases it: no fact.
+func Keep(c io.Closer) {
+	_ = c
+}

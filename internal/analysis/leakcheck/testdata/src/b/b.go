@@ -1,0 +1,74 @@
+// Fixture: the fact-consuming side — package b never calls Close
+// itself; releases happen through helpers in package a whose ClosesFact
+// was exported while a was analyzed.
+package b
+
+import (
+	"context"
+	"os"
+
+	"a"
+)
+
+// Handing the file to a.CleanUp counts as the release: clean.
+func viaHelper(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	a.CleanUp(f)
+	return nil
+}
+
+// The fact reaches transitive releasers too (Shutdown -> CleanUp).
+func viaChain(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	a.Shutdown(f)
+	return nil
+}
+
+// Deferring the helper covers every path: clean.
+func viaDeferredHelper(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer a.CleanUp(f)
+	if f.Name() == "" {
+		return os.ErrInvalid
+	}
+	return nil
+}
+
+// Cancel funcs release through fact-carrying helpers as well.
+func cancelViaHelper(ctx context.Context) context.Context {
+	ctx, cancel := context.WithCancel(ctx)
+	a.Stop(cancel)
+	return ctx
+}
+
+// a.Keep holds the handle without closing it — no fact, so this leaks.
+func viaNonReleasing(path string) error {
+	f, err := os.Open(path) // want "file `f` from os.Open is never released"
+	if err != nil {
+		return err
+	}
+	a.Keep(f)
+	return nil
+}
+
+// The helper releases, but only on one path; the other return leaks.
+func helperOnOnePath(path string, really bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if really {
+		a.CleanUp(f)
+		return nil
+	}
+	return nil // want "return leaks file `f` acquired at line"
+}

@@ -1,0 +1,179 @@
+// Fixture: the intra-procedural half of leakcheck — acquisition,
+// release, escape, and path-sensitive return coverage.
+package basic
+
+import (
+	"context"
+	"net"
+	"os"
+)
+
+type holder struct {
+	f *os.File
+}
+
+// Deferred release covers every path: clean.
+func deferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_ = f.Name()
+	return nil
+}
+
+// Never released anywhere: flagged at the acquisition.
+func neverReleased(path string) error {
+	f, err := os.Open(path) // want "file `f` from os.Open is never released"
+	if err != nil {
+		return err
+	}
+	_ = f.Name()
+	return nil
+}
+
+// Discarding the handle makes release impossible.
+func discarded(path string) {
+	_, _ = os.Open(path) // want "file returned by os.Open is discarded"
+}
+
+// Closed before the only return: clean.
+func closedInline(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	_ = f.Name()
+	f.Close()
+	return nil
+}
+
+// Released at the end but leaked on an early error return.
+func leakOnErrorPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := touch(f); err != nil {
+		return err // want "return leaks file `f` acquired at line"
+	}
+	f.Close()
+	return nil
+}
+
+// Returning the handle transfers ownership: clean.
+func escapesByReturn(path string) (*os.File, error) {
+	return openNamed(path)
+}
+
+func openNamed(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Storing the handle in a composite literal transfers ownership: clean.
+func escapesByStore(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+// A handle captured by a goroutine closure outlives the walk: clean.
+func escapesByCapture(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer f.Close()
+		_ = f.Name()
+	}()
+	return nil
+}
+
+// Open-and-close inside one switch arm must not poison returns after
+// the switch: clean.
+func switchArm(path string, mode int) error {
+	var n string
+	switch mode {
+	case 0:
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		n = f.Name()
+		f.Close()
+	default:
+		n = path
+	}
+	_ = n
+	return nil
+}
+
+// Closing in an if-init is a release — the init runs before the branch.
+func closeInInit(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// So is capturing the close error in an assignment.
+func closeCaptured(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	cerr := f.Close()
+	return cerr
+}
+
+// Cancel funcs follow the same contract as Close.
+func cancelDeferred(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = ctx
+}
+
+func cancelLeaked(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx) // want "cancel func `cancel` from context.WithCancel is never released"
+	_ = ctx
+	_ = cancel
+}
+
+// Listeners are resources too.
+func listenerLeaked(addr string) error {
+	ln, err := net.Listen("tcp", addr) // want "listener `ln` from net.Listen is never released"
+	if err != nil {
+		return err
+	}
+	_ = ln.Addr()
+	return nil
+}
+
+// A function literal is its own unit: the leak belongs to it.
+func inFuncLit(path string) func() error {
+	return func() error {
+		f, err := os.Open(path) // want "file `f` from os.Open is never released"
+		if err != nil {
+			return err
+		}
+		_ = f.Name()
+		return nil
+	}
+}
+
+func touch(f *os.File) error {
+	_, err := f.Stat()
+	return err
+}

@@ -1,0 +1,25 @@
+// Fixture: leakcheck's insert-defer suggested fix, checked against
+// fix.go.golden and re-analyzed for idempotence.
+package fix
+
+import (
+	"context"
+	"os"
+)
+
+// The defer lands after the error check that guards the acquisition.
+func afterErrCheck(path string) error {
+	f, err := os.Open(path) // want "file `f` from os.Open is never released"
+	if err != nil {
+		return err
+	}
+	_ = f.Name()
+	return nil
+}
+
+// No error result to check: the defer lands right after the acquisition.
+func cancelFunc(ctx context.Context) context.Context {
+	ctx, cancel := context.WithCancel(ctx) // want "cancel func `cancel` from context.WithCancel is never released"
+	_ = cancel
+	return ctx
+}

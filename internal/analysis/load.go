@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -58,8 +59,12 @@ type listPackage struct {
 }
 
 // Load expands patterns (run from dir, e.g. "./...") and returns the
-// type-checked target packages. Dependencies, including the standard
-// library, are checked from source with function bodies skipped.
+// type-checked module packages in dependency order: imported packages
+// precede their importers, so a runner consuming the slice front to
+// back sees facts for a dependency before analyzing its users. Standard
+// library packages are type-checked (with function bodies skipped) but
+// not returned; module packages pulled in only as dependencies are
+// returned with Target=false — analyzed for facts, not reported on.
 func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -68,7 +73,7 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var targets []*Package
+	var pkgs []*Package
 	for _, lp := range list {
 		p, err := l.check(lp)
 		if err != nil {
@@ -76,11 +81,11 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 			// to be trustworthy; surface the first hard failure.
 			return nil, err
 		}
-		if p != nil && p.Target {
-			targets = append(targets, p)
+		if p != nil {
+			pkgs = append(pkgs, p)
 		}
 	}
-	return targets, nil
+	return pkgs, nil
 }
 
 // LoadImports type-checks the named import paths (and their closure)
@@ -142,8 +147,16 @@ func (l *Loader) check(lp listPackage) (*Package, error) {
 		}
 		files = append(files, f)
 	}
+	// Module packages keep their function bodies even when they are
+	// only dependencies: fact-producing analyzers need to see inside
+	// helper bodies ("does this close its argument?"). Only the
+	// standard library is checked API-only.
 	target := !lp.DepOnly && !lp.Standard
-	return l.typeCheck(lp.ImportPath, lp.Dir, files, !target, target)
+	p, err := l.typeCheck(lp.ImportPath, lp.Dir, files, lp.Standard, target)
+	if err != nil || lp.Standard {
+		return nil, err
+	}
+	return p, nil
 }
 
 func (l *Loader) typeCheck(importPath, dir string, files []*ast.File, bodiesIgnored, target bool) (*Package, error) {
@@ -208,7 +221,7 @@ func goList(dir string, patterns []string) ([]listPackage, error) {
 	var list []listPackage
 	for {
 		var lp listPackage
-		if err := dec.Decode(&lp); err == io.EOF {
+		if err := dec.Decode(&lp); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("decoding go list output: %w", err)

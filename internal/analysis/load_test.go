@@ -33,9 +33,30 @@ func TestLoadModule(t *testing.T) {
 			t.Errorf("%s loaded without syntax or types", want)
 		}
 	}
-	// Dependencies are loaded but not returned as analysis targets.
-	if _, ok := byPath["sddict/internal/resp"]; ok {
-		t.Errorf("dependency package returned as a target")
+	// Module dependencies come back analyzable (bodies type-checked,
+	// so fact-producing analyzers can look inside them) but flagged as
+	// non-targets; the standard library is never returned.
+	dep := byPath["sddict/internal/logic"]
+	if dep == nil {
+		t.Fatalf("module dependency package not returned for fact analysis")
+	}
+	if dep.Target {
+		t.Errorf("dependency package marked as a target")
+	}
+	if len(dep.Files) == 0 || dep.Pkg == nil {
+		t.Errorf("dependency package loaded without syntax or types")
+	}
+	if _, ok := byPath["fmt"]; ok {
+		t.Errorf("standard library package returned for analysis")
+	}
+	// Dependency order: an imported package must precede its importer,
+	// so facts flow forward.
+	idx := map[string]int{}
+	for i, p := range pkgs {
+		idx[p.ImportPath] = i
+	}
+	if idx["sddict/internal/logic"] > idx["sddict/internal/core"] {
+		t.Errorf("dependency sddict/internal/logic listed after its importer sddict/internal/core")
 	}
 }
 

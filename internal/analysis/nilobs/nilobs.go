@@ -1,0 +1,288 @@
+// Package nilobs enforces the nil-observer contract of internal/obs: a
+// nil *Metrics, *Tracer, or *Progress is "observability off", so every
+// exported pointer-receiver method in a package named obs must guard
+// the receiver before touching its fields. The contract is what lets
+// every other layer thread observers through without nil checks — which
+// is also why this analyzer's second half exists: a call site that
+// wraps a nil-safe method in its own `if x != nil` guard re-introduces
+// the noise the contract removed, so nilobs flags the guard as
+// redundant and offers the unwrapped call as a fix.
+//
+// Cross-package reasoning rides the facts layer: while the obs package
+// is analyzed, each method that honors the contract exports a
+// NilSafeFact; importing packages consume it to spot redundant guards.
+package nilobs
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"sddict/internal/analysis"
+)
+
+// NilSafeFact marks a method that is a no-op (or otherwise safe) when
+// its receiver is nil.
+type NilSafeFact struct{}
+
+// AFact marks NilSafeFact as a fact type.
+func (*NilSafeFact) AFact() {}
+
+// Analyzer is the nil-observer contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "nilobs",
+	Doc:       "obs methods must tolerate nil receivers; nil-safe calls need no guard",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*NilSafeFact)(nil)},
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		checkObsPackage(pass)
+	}
+	checkRedundantGuards(pass)
+	return nil
+}
+
+// checkObsPackage verifies the contract on every exported
+// pointer-receiver method and exports NilSafeFact for the compliant
+// ones.
+func checkObsPackage(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverObj(pass, fd)
+			if recv == nil || !isPointerReceiver(recv) {
+				continue
+			}
+			guardPos, derefPos := guardAndDeref(pass, fd.Body, recv)
+			if derefPos == token.NoPos || (guardPos != token.NoPos && guardPos < derefPos) {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					pass.ExportObjectFact(fn, &NilSafeFact{})
+				}
+				continue
+			}
+			d := analysis.Diagnostic{
+				Pos: fd.Name.Pos(),
+				Message: "exported method " + fd.Name.Name +
+					" dereferences its receiver before a nil guard (nil observer must be a no-op)",
+			}
+			if fix := guardFix(pass, fd, recv); fix != nil {
+				d.SuggestedFixes = []analysis.SuggestedFix{*fix}
+			}
+			pass.Report(d)
+		}
+	}
+}
+
+func receiverObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil // unnamed receiver cannot be dereferenced
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+func isPointerReceiver(recv types.Object) bool {
+	_, ok := recv.Type().(*types.Pointer)
+	return ok
+}
+
+// guardAndDeref scans body for the first nil comparison of recv and the
+// first dereference of a recv field. Lexical position order stands in
+// for dominance: `if o == nil { return }` as the first statement, and
+// `return o != nil && o.enabled` both place the guard before the
+// dereference. Method calls through recv are not dereferences — the
+// callee enforces its own contract.
+func guardAndDeref(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) (guardPos, derefPos token.Pos) {
+	guardPos, derefPos = token.NoPos, token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if (n.Op == token.EQL || n.Op == token.NEQ) && comparesToNil(pass, n, recv) {
+				if guardPos == token.NoPos || n.Pos() < guardPos {
+					guardPos = n.Pos()
+				}
+			}
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != recv {
+				return true
+			}
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok {
+				return true
+			}
+			// A field access is a dereference. So is a call to an
+			// unexported method: helpers skip the guard and rely on the
+			// exported caller having checked already.
+			deref := sel.Kind() == types.FieldVal
+			if fn, isFn := sel.Obj().(*types.Func); isFn && !fn.Exported() {
+				deref = true
+			}
+			if deref && (derefPos == token.NoPos || n.Pos() < derefPos) {
+				derefPos = n.Pos()
+			}
+		}
+		return true
+	})
+	return guardPos, derefPos
+}
+
+func comparesToNil(pass *analysis.Pass, be *ast.BinaryExpr, recv types.Object) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y))
+}
+
+// guardFix inserts `if recv == nil { return <zeros> }` as the method's
+// first statement; nil when a result type has no obvious zero value.
+func guardFix(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) *analysis.SuggestedFix {
+	ret := "return"
+	if fd.Type.Results != nil && fd.Type.Results.NumFields() > 0 {
+		var zeros []string
+		sig := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			z := zeroValue(sig.Results().At(i).Type())
+			if z == "" {
+				return nil
+			}
+			zeros = append(zeros, z)
+		}
+		ret = "return " + joinComma(zeros)
+	}
+	if len(fd.Body.List) == 0 {
+		return nil
+	}
+	at := fd.Body.List[0].Pos()
+	return &analysis.SuggestedFix{
+		Message: "guard nil receiver first",
+		Edits: []analysis.TextEdit{{
+			Pos:     at,
+			End:     at,
+			NewText: "if " + recv.Name() + " == nil {\n" + ret + "\n}\n",
+		}},
+	}
+}
+
+func zeroValue(t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch {
+		case u.Info()&types.IsNumeric != 0:
+			return "0"
+		case u.Info()&types.IsString != 0:
+			return `""`
+		case u.Info()&types.IsBoolean != 0:
+			return "false"
+		}
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return "nil"
+	}
+	return ""
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// checkRedundantGuards flags `if x != nil { x.Method() }` where Method
+// carries a NilSafeFact: the guard re-adds the noise the nil-observer
+// contract exists to remove.
+func checkRedundantGuards(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init != nil || ifs.Else != nil || len(ifs.Body.List) != 1 {
+				return true
+			}
+			cond, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok || cond.Op != token.NEQ {
+				return true
+			}
+			guarded := nilGuardOperand(pass, cond)
+			if guarded == nil {
+				return true
+			}
+			es, ok := ifs.Body.List[0].(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != guarded {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			var fact NilSafeFact
+			if !pass.ImportObjectFact(callee, &fact) {
+				return true
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: ifs.Pos(),
+				Message: "redundant nil guard: " + callee.Name() +
+					" is nil-safe (nil receiver is a no-op)",
+				SuggestedFixes: []analysis.SuggestedFix{{
+					Message: "call " + callee.Name() + " directly",
+					Edits: []analysis.TextEdit{{
+						Pos:     ifs.Pos(),
+						End:     ifs.End(),
+						NewText: nodeString(pass.Fset, es),
+					}},
+				}},
+			})
+			return true
+		})
+	}
+}
+
+// nilGuardOperand returns the object compared against nil in `x != nil`
+// (either operand order), or nil when the condition is something else.
+func nilGuardOperand(pass *analysis.Pass, cond *ast.BinaryExpr) types.Object {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+	}
+	if id, ok := ast.Unparen(cond.X).(*ast.Ident); ok && isNil(cond.Y) {
+		return pass.TypesInfo.Uses[id]
+	}
+	if id, ok := ast.Unparen(cond.Y).(*ast.Ident); ok && isNil(cond.X) {
+		return pass.TypesInfo.Uses[id]
+	}
+	return nil
+}
+
+func nodeString(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,18 @@
+package nilobs_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/nilobs"
+)
+
+// TestContractAndFacts analyzes the obs fixture (contract enforcement,
+// fact export) and then a consumer that must see those facts.
+func TestContractAndFacts(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nilobs.Analyzer, "obs", "consumer")
+}
+
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(), nilobs.Analyzer, "fix")
+}

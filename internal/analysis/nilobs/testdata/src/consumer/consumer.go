@@ -1,0 +1,39 @@
+// Fixture: the fact-consuming side — redundant nil guards around
+// methods the obs package proved nil-safe.
+package consumer
+
+import "obs"
+
+func record(m *obs.Meter) {
+	if m != nil { // want "redundant nil guard: Inc is nil-safe"
+		m.Inc()
+	}
+}
+
+func recordFlipped(m *obs.Meter) {
+	if nil != m { // want "redundant nil guard: Inc is nil-safe"
+		m.Inc()
+	}
+}
+
+// Broken never earned a fact, so guarding it is legitimate.
+func guardBroken(m *obs.Meter) {
+	if m != nil {
+		_ = m.Broken()
+	}
+}
+
+// A guard with more than the single call is doing real work: clean.
+func guardPlusWork(m *obs.Meter) int {
+	calls := 0
+	if m != nil {
+		m.Inc()
+		calls++
+	}
+	return calls
+}
+
+// An unguarded call is the idiom the contract wants: clean.
+func direct(m *obs.Meter) {
+	m.Inc()
+}

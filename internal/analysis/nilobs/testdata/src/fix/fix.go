@@ -1,0 +1,28 @@
+// Fixture: both nilobs suggested fixes in one package — the inserted
+// receiver guard and the unwrapped redundant call-site guard.
+package obs
+
+// Meter is an observer; a nil *Meter means metrics are off.
+type Meter struct {
+	count int64
+}
+
+// Inc is nil-safe and earns the fact consumed below.
+func (m *Meter) Inc() {
+	if m == nil {
+		return
+	}
+	m.count++
+}
+
+// Broken needs the guard inserted.
+func (m *Meter) Broken() int64 { // want "exported method Broken dereferences its receiver before a nil guard"
+	return m.count
+}
+
+// Use wraps a nil-safe method in a redundant guard.
+func Use(m *Meter) {
+	if m != nil { // want "redundant nil guard: Inc is nil-safe"
+		m.Inc()
+	}
+}

@@ -1,0 +1,61 @@
+// Fixture: the nil-observer contract inside a package named obs.
+package obs
+
+// Meter is an observer; a nil *Meter means metrics are off.
+type Meter struct {
+	count   int64
+	enabled bool
+}
+
+// Inc guards first: nil-safe, earns a NilSafeFact.
+func (m *Meter) Inc() {
+	if m == nil {
+		return
+	}
+	m.count++
+}
+
+// Enabled guards inside the boolean expression — the comparison
+// precedes the dereference, which satisfies the contract.
+func (m *Meter) Enabled() bool {
+	return m != nil && m.enabled
+}
+
+// Count guards on the second statement; still before the dereference.
+func (m *Meter) Count() int64 {
+	var zero int64
+	if m == nil {
+		return zero
+	}
+	return m.count
+}
+
+// Broken dereferences before any guard.
+func (m *Meter) Broken() int64 { // want "exported method Broken dereferences its receiver before a nil guard"
+	return m.count
+}
+
+// BackwardGuard checks nil only after touching the field.
+func (m *Meter) BackwardGuard() int64 { // want "exported method BackwardGuard dereferences its receiver before a nil guard"
+	c := m.count
+	if m == nil {
+		return 0
+	}
+	return c
+}
+
+// ViaHelper reaches the fields through an unexported helper, which
+// counts as a dereference because helpers skip the guard.
+func (m *Meter) ViaHelper() { // want "exported method ViaHelper dereferences its receiver before a nil guard"
+	m.bump(1)
+}
+
+// bump is unexported: it relies on exported callers having guarded.
+func (m *Meter) bump(n int64) {
+	m.count += n
+}
+
+// Reset delegates to an exported method only: nil-safe by composition.
+func (m *Meter) Reset() {
+	m.Inc()
+}

@@ -1,0 +1,43 @@
+// Package osexit keeps process termination at the edge: os.Exit and
+// log.Fatal* skip deferred cleanup (atomic-write temp files, trace
+// flushes, listener shutdown), so only package main and the CLI glue
+// in internal/cli may call them. Library code returns errors.
+package osexit
+
+import (
+	"go/ast"
+	"strings"
+
+	"sddict/internal/analysis"
+)
+
+// Analyzer is the no-exit-in-libraries checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "osexit",
+	Doc:  "os.Exit and log.Fatal are reserved for main and internal/cli; libraries return errors",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" || strings.HasSuffix(pass.Pkg.Path(), "internal/cli") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case analysis.IsPkgFunc(pass.TypesInfo, call, "os", "Exit"):
+				pass.Reportf(call.Pos(), "os.Exit in library package %s skips deferred cleanup; return an error instead", pass.Pkg.Path())
+			case analysis.IsPkgFunc(pass.TypesInfo, call, "log", "Fatal"),
+				analysis.IsPkgFunc(pass.TypesInfo, call, "log", "Fatalf"),
+				analysis.IsPkgFunc(pass.TypesInfo, call, "log", "Fatalln"):
+				pass.Reportf(call.Pos(), "log.Fatal in library package %s exits without cleanup; return an error instead", pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

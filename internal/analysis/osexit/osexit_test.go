@@ -1,0 +1,12 @@
+package osexit_test
+
+import (
+	"testing"
+
+	"sddict/internal/analysis/analysistest"
+	"sddict/internal/analysis/osexit"
+)
+
+func TestOsexit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), osexit.Analyzer, "lib", "mainpkg")
+}

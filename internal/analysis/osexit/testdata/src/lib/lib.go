@@ -1,0 +1,20 @@
+// Fixture: process termination from library code.
+package lib
+
+import (
+	"log"
+	"os"
+)
+
+func fail(code int) {
+	os.Exit(code) // want "os.Exit in library package lib skips deferred cleanup"
+}
+
+func fatal(msg string) {
+	log.Fatalf("boom: %s", msg) // want "log.Fatal in library package lib exits without cleanup"
+}
+
+// Exiting through log.Println is fine.
+func report(msg string) {
+	log.Println(msg)
+}

@@ -1,0 +1,8 @@
+// Fixture: package main may exit.
+package main
+
+import "os"
+
+func main() {
+	os.Exit(2)
+}

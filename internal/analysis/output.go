@@ -1,0 +1,183 @@
+// Machine-readable finding formats: a stable JSON array for scripting
+// and diffing (two runs over the same tree must be byte-identical — a
+// determinism test pins this), and SARIF 2.1.0 for CI annotation
+// (github/codeql-action/upload-sarif renders each result on the PR
+// diff line it names).
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+)
+
+// JSONFinding is one diagnostic in `sddlint -json` output.
+type JSONFinding struct {
+	File     string    `json:"file"`
+	Line     int       `json:"line"`
+	Column   int       `json:"column"`
+	Analyzer string    `json:"analyzer"`
+	Message  string    `json:"message"`
+	Fixes    []JSONFix `json:"fixes,omitempty"`
+}
+
+// JSONFix is one machine-applicable fix in JSON output.
+type JSONFix struct {
+	Message string     `json:"message"`
+	Edits   []JSONEdit `json:"edits"`
+}
+
+// JSONEdit is one text replacement in JSON output. Offsets are
+// 1-based line/column positions; End names the first unreplaced
+// position.
+type JSONEdit struct {
+	StartLine int    `json:"start_line"`
+	StartCol  int    `json:"start_col"`
+	EndLine   int    `json:"end_line"`
+	EndCol    int    `json:"end_col"`
+	NewText   string `json:"new_text"`
+}
+
+// relTo rewrites path relative to base when possible — keeps output
+// stable across checkouts and lets CI map findings onto repo paths.
+func relTo(base, path string) string {
+	if base == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(base, path); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+		return rel
+	}
+	return path
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// Findings converts diagnostics to their JSON form, with file paths
+// relative to base.
+func Findings(fset *token.FileSet, base string, diags []Diagnostic) []JSONFinding {
+	out := make([]JSONFinding, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		f := JSONFinding{
+			File:     relTo(base, pos.Filename),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		for _, fix := range d.SuggestedFixes {
+			jf := JSONFix{Message: fix.Message}
+			for _, e := range fix.Edits {
+				start := fset.Position(e.Pos)
+				end := start
+				if e.End != token.NoPos {
+					end = fset.Position(e.End)
+				}
+				jf.Edits = append(jf.Edits, JSONEdit{
+					StartLine: start.Line, StartCol: start.Column,
+					EndLine: end.Line, EndCol: end.Column,
+					NewText: e.NewText,
+				})
+			}
+			f.Fixes = append(f.Fixes, jf)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// WriteJSON writes the findings as an indented JSON array. The output
+// is a pure function of the diagnostics: same tree, same bytes.
+func WriteJSON(w io.Writer, fset *token.FileSet, base string, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Findings(fset, base, diags))
+}
+
+// SARIF 2.1.0 — the minimal subset GitHub code scanning consumes.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF writes the findings as a SARIF 2.1.0 log with one run;
+// every registered analyzer appears as a rule so rule metadata is
+// stable whether or not it fired. File URIs are relative to base.
+func WriteSARIF(w io.Writer, fset *token.FileSet, base string, analyzers []*Analyzer, diags []Diagnostic) error {
+	driver := sarifDriver{Name: "sddlint"}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: []sarifResult{}}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(relTo(base, pos.Filename))},
+				Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	})
+}

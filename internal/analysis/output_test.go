@@ -1,0 +1,134 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sddict/internal/analysis"
+)
+
+func outputFixture(t *testing.T) (*token.FileSet, []analysis.Diagnostic, string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	base := string(filepath.Separator) + "repo"
+	src := "package p\n\nvar x = 1\n"
+	tf := fset.AddFile(filepath.Join(base, "p", "p.go"), -1, len(src))
+	tf.SetLinesForContent([]byte(src))
+	diags := []analysis.Diagnostic{
+		{
+			Pos: tf.Pos(strings.Index(src, "var")), Analyzer: "demo", Message: "first",
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message: "swap",
+				Edits: []analysis.TextEdit{{
+					Pos: tf.Pos(strings.Index(src, "1")), End: tf.Pos(strings.Index(src, "1") + 1), NewText: "2",
+				}},
+			}},
+		},
+		{Pos: tf.Pos(strings.Index(src, "x")), Analyzer: "other", Message: "second"},
+	}
+	return fset, diags, base
+}
+
+func TestWriteJSONShapeAndDeterminism(t *testing.T) {
+	fset, diags, base := outputFixture(t)
+	var first, second bytes.Buffer
+	if err := analysis.WriteJSON(&first, fset, base, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := analysis.WriteJSON(&second, fset, base, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("two WriteJSON runs over the same diagnostics differ")
+	}
+
+	var findings []analysis.JSONFinding
+	if err := json.Unmarshal(first.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d, want 2", len(findings))
+	}
+	f := findings[0]
+	if f.File != filepath.Join("p", "p.go") || f.Line != 3 || f.Analyzer != "demo" {
+		t.Errorf("finding[0] = %+v, want relative path p/p.go line 3 analyzer demo", f)
+	}
+	if len(f.Fixes) != 1 || len(f.Fixes[0].Edits) != 1 || f.Fixes[0].Edits[0].NewText != "2" {
+		t.Errorf("finding[0] fixes = %+v, want the swap edit", f.Fixes)
+	}
+	if len(findings[1].Fixes) != 0 {
+		t.Errorf("finding[1] carries fixes it should not: %+v", findings[1].Fixes)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	fset, diags, base := outputFixture(t)
+	analyzers := []*analysis.Analyzer{
+		{Name: "demo", Doc: "demo doc"},
+		{Name: "idle", Doc: "registered but silent"},
+		{Name: "other", Doc: "other doc"},
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteSARIF(&buf, fset, base, analyzers, diags); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "sddlint" || len(run.Tool.Driver.Rules) != 3 {
+		t.Errorf("driver = %s with %d rules, want sddlint with every analyzer as a rule",
+			run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "demo" || r.Level != "warning" {
+		t.Errorf("result[0] = %+v", r)
+	}
+	if uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "p/p.go" {
+		t.Errorf("URI = %q, want forward-slash relative p/p.go", uri)
+	}
+	if l := r.Locations[0].PhysicalLocation.Region.StartLine; l != 3 {
+		t.Errorf("startLine = %d, want 3", l)
+	}
+}

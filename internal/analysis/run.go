@@ -2,19 +2,59 @@ package analysis
 
 import "fmt"
 
-// Run executes every analyzer over every target package and returns the
-// position-sorted diagnostics.
-func Run(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	collect := func(d Diagnostic) { diags = append(diags, d) }
+// Result is the outcome of one multichecker run.
+type Result struct {
+	// Diagnostics are the surviving findings from target packages,
+	// position-sorted. Suppressed findings are excluded; malformed
+	// //lint:ignore comments are included (analyzer "suppress").
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by //lint:ignore comments.
+	Suppressed int
+}
+
+// RunAll executes every analyzer over every loaded package — dependency
+// packages first, in the import order the loader preserved, so facts
+// exported while analyzing a package are available to its importers —
+// and returns the position-sorted diagnostics of the target packages,
+// minus //lint:ignore suppressions.
+func RunAll(loader *Loader, pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	facts := NewFactStore()
+	res := &Result{}
 	for _, p := range pkgs {
+		var diags []Diagnostic
+		collect := func(d Diagnostic) { diags = append(diags, d) }
 		for _, a := range analyzers {
-			pass := NewPass(a, loader.Fset, p.Files, p.Pkg, p.Info, collect)
+			pass := NewPass(a, loader.Fset, p.Files, p.Pkg, p.Info, facts, collect)
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, p.ImportPath, err)
 			}
 		}
+		if !p.Target {
+			// Dependency-only packages are analyzed for their facts;
+			// their findings belong to a run that targets them.
+			continue
+		}
+		sup := CollectSuppressions(loader.Fset, p.Files)
+		res.Diagnostics = append(res.Diagnostics, sup.Malformed...)
+		for _, d := range diags {
+			if sup.Suppressed(loader.Fset, d) {
+				res.Suppressed++
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
 	}
-	SortDiagnostics(loader.Fset, diags)
-	return diags, nil
+	SortDiagnostics(loader.Fset, res.Diagnostics)
+	return res, nil
+}
+
+// Run is RunAll reduced to the diagnostics slice — the original v1
+// entry point, kept for callers that don't care about suppression
+// counts.
+func Run(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := RunAll(loader, pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
 }

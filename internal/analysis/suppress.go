@@ -1,0 +1,133 @@
+// Suppressions: a finding that is understood and intentional is
+// silenced in the source, next to the code it concerns, with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The comment suppresses matching diagnostics on its own line (trailing
+// form) or, when it stands alone, on the next source line. The analyzer
+// list may be "all". The reason is mandatory: a suppression without one
+// is itself reported (as analyzer "suppress"), so exemptions stay
+// documented — the same contract staticcheck enforces.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//lint:ignore"
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file      string
+	line      int  // line the comment sits on
+	trailing  bool // comment shares its line with code (suppresses that line only)
+	analyzers map[string]bool
+	all       bool
+}
+
+// Suppressions indexes every //lint:ignore comment of a package.
+// Malformed comments (no analyzer list, or no reason) are collected as
+// diagnostics so they cannot silently disable nothing.
+type Suppressions struct {
+	byFileLine map[lineRef][]*suppression
+	Malformed  []Diagnostic
+}
+
+type lineRef struct {
+	file string
+	line int
+}
+
+// CollectSuppressions parses every //lint:ignore comment in files.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byFileLine: make(map[lineRef][]*suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "suppress",
+						Message:  "malformed //lint:ignore: need an analyzer list and a reason",
+					})
+					continue
+				}
+				sup := &suppression{
+					file:      pos.Filename,
+					line:      pos.Line,
+					trailing:  codeBeforeOnLine(fset, f, c),
+					analyzers: make(map[string]bool),
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == "all" {
+						sup.all = true
+					} else if name != "" {
+						sup.analyzers[name] = true
+					}
+				}
+				key := lineRef{sup.file, sup.line}
+				s.byFileLine[key] = append(s.byFileLine[key], sup)
+			}
+		}
+	}
+	return s
+}
+
+// codeBeforeOnLine reports whether any AST node of f ends on c's line
+// before c starts — i.e. whether c trails code rather than standing on
+// a line of its own.
+func codeBeforeOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	trailing := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || trailing {
+			return false
+		}
+		if _, isFile := n.(*ast.File); isFile {
+			return true
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if n.End() <= c.Pos() && fset.Position(n.End()).Line == line {
+			trailing = true
+			return false
+		}
+		// Descend only into subtrees that still overlap c's line.
+		return fset.Position(n.Pos()).Line <= line && fset.Position(n.End()).Line >= line ||
+			n.Pos() <= c.Pos() && n.End() >= c.Pos()
+	})
+	return trailing
+}
+
+// Suppressed reports whether d is silenced by a suppression: one on
+// d's line, or a standalone one on the line above.
+func (s *Suppressions) Suppressed(fset *token.FileSet, d Diagnostic) bool {
+	if d.Analyzer == "suppress" {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	for _, sup := range s.byFileLine[lineRef{pos.Filename, pos.Line}] {
+		if sup.matches(d.Analyzer) {
+			return true
+		}
+	}
+	for _, sup := range s.byFileLine[lineRef{pos.Filename, pos.Line - 1}] {
+		if !sup.trailing && sup.matches(d.Analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+func (sup *suppression) matches(analyzer string) bool {
+	return sup.all || sup.analyzers[analyzer]
+}

@@ -1,0 +1,102 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"sddict/internal/analysis"
+)
+
+const suppressSrc = `package p
+
+func trailing() {
+	bad() //lint:ignore demo the call is intentional here
+}
+
+func standalone() {
+	//lint:ignore demo,other covered by integration test
+	bad()
+}
+
+func wildcard() {
+	bad() //lint:ignore all vendored section
+}
+
+func missingReason() {
+	bad() //lint:ignore solo
+}
+
+func standaloneReach() {
+	//lint:ignore demo only the next line
+	bad()
+	bad()
+}
+
+func bad() {}
+`
+
+// lineOf returns the 1-based line of the first source line containing
+// marker.
+func lineOf(t *testing.T, marker string) int {
+	t.Helper()
+	for i, l := range strings.Split(suppressSrc, "\n") {
+		if strings.Contains(l, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("marker %q not in suppressSrc", marker)
+	return 0
+}
+
+func TestSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sup := analysis.CollectSuppressions(fset, []*ast.File{f})
+
+	tf := fset.File(f.Pos())
+	diagAt := func(line int, analyzer string) analysis.Diagnostic {
+		return analysis.Diagnostic{Pos: tf.LineStart(line), Analyzer: analyzer, Message: "x"}
+	}
+
+	cases := []struct {
+		name     string
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{"trailing suppresses its line", lineOf(t, "intentional"), "demo", true},
+		{"trailing does not suppress other analyzers", lineOf(t, "intentional"), "other", false},
+		{"standalone suppresses the next line", lineOf(t, "covered by") + 1, "demo", true},
+		{"standalone lists several analyzers", lineOf(t, "covered by") + 1, "other", true},
+		{"all matches any analyzer", lineOf(t, "vendored"), "whatever", true},
+		{"malformed comment suppresses nothing", lineOf(t, "solo"), "solo", false},
+		{"standalone reaches one line only", lineOf(t, "only the next line") + 2, "demo", false},
+		{"trailing does not reach the next line", lineOf(t, "vendored") + 1, "demo", false},
+	}
+	for _, tc := range cases {
+		if tc.line <= 0 || tc.line > tf.LineCount() {
+			t.Fatalf("%s: bad line %d", tc.name, tc.line)
+		}
+		if got := sup.Suppressed(fset, diagAt(tc.line, tc.analyzer)); got != tc.want {
+			t.Errorf("%s: Suppressed(line %d, %s) = %v, want %v", tc.name, tc.line, tc.analyzer, got, tc.want)
+		}
+	}
+
+	if len(sup.Malformed) != 1 {
+		t.Fatalf("Malformed = %d comments, want 1", len(sup.Malformed))
+	}
+	m := sup.Malformed[0]
+	if m.Analyzer != "suppress" || !strings.Contains(m.Message, "reason") {
+		t.Errorf("malformed diagnostic = %q (%s), want analyzer suppress mentioning the reason", m.Message, m.Analyzer)
+	}
+	// A suppression never silences the malformed-suppression report.
+	if sup.Suppressed(fset, m) {
+		t.Error("malformed //lint:ignore suppressed itself")
+	}
+}

@@ -92,6 +92,7 @@ func StartMetricsServer(addr string, m *Metrics) (stop func() error, err error) 
 // address the listener bound, so callers can pass a ":0"-style addr and
 // discover the port (tests do).
 func StartMetricsServerAddr(addr string, m *Metrics) (bound string, stop func() error, err error) {
+	//lint:ignore leakcheck ownership moves to srv.Serve; the returned srv.Close stop func closes the listener
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: metrics listen on %s: %w", addr, err)

@@ -20,6 +20,7 @@ import (
 // discipline has nothing to order (the sddlint concurrency analyzer
 // exempts this package for exactly that reason).
 func StartPprof(addr string) (stop func() error, err error) {
+	//lint:ignore leakcheck ownership moves to srv.Serve; the returned srv.Close stop func closes the listener
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: pprof listen on %s: %w", addr, err)

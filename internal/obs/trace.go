@@ -156,7 +156,7 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 	var events []Event
 	for {
 		line, err := br.ReadString('\n')
-		if err != nil && err != io.EOF {
+		if err != nil && !errors.Is(err, io.EOF) {
 			return events, fmt.Errorf("obs: reading trace: %w", err)
 		}
 		complete := err == nil
