@@ -42,12 +42,16 @@ fuzz:
 	$(GO) test -run=FuzzParse -fuzz=FuzzParse -fuzztime=30s ./internal/bench/
 
 # Parallel-layer benchmarks (restart search, fault-sim sharding, sweep
-# rows) at workers=1 vs N, archived as machine-readable JSON; the format
-# and the speedup caveats are documented in EXPERIMENTS.md. The raw log
-# is kept in a temp file so a failed bench run fails the target instead
-# of feeding benchjson an empty pipe.
+# rows) at workers=1 vs N plus the partition scan/refine microbenchmarks
+# (DESIGN.md §14), archived as machine-readable JSON; the format and the
+# speedup caveats are documented in EXPERIMENTS.md. The raw log is kept
+# in a temp file so a failed bench run fails the target instead of
+# feeding benchjson an empty pipe.
+BENCH_RE = ^Benchmark(Parallel|DistPerClass|Refine)
+BENCH_PKGS = . ./internal/core/
+
 bench:
-	$(GO) test -run='^$$' -bench='^BenchmarkParallel' -count=1 -timeout=30m . > bench_parallel.out
+	$(GO) test -run='^$$' -bench='$(BENCH_RE)' -count=1 -timeout=30m $(BENCH_PKGS) > bench_parallel.out
 	$(GO) run ./cmd/benchjson -o BENCH_parallel.json bench_parallel.out
 	@rm -f bench_parallel.out
 	@echo "wrote BENCH_parallel.json"
@@ -61,7 +65,7 @@ bench:
 # machine. -short drops the big circuits; their baseline rows report as
 # informational "missing" lines.
 bench-compare:
-	$(GO) test -run='^$$' -bench='^BenchmarkParallel' -benchtime=1x -count=1 -short -timeout=10m . > bench_compare.out
+	$(GO) test -run='^$$' -bench='$(BENCH_RE)' -benchtime=1x -count=1 -short -timeout=10m $(BENCH_PKGS) > bench_compare.out
 	$(GO) run ./cmd/benchjson -o bench_compare.json bench_compare.out
 	$(GO) run ./cmd/benchjson compare -ns-ratio 8 BENCH_parallel.json bench_compare.json
 	@rm -f bench_compare.out bench_compare.json

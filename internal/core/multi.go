@@ -147,6 +147,7 @@ func BuildSameDiffMultiCtx(ctx context.Context, m *resp.Matrix, opt Options) (*D
 // baselines remain a valid selection.
 func procedure1Multi(ctx context.Context, m *resp.Matrix, order []int, lower int, evals, cutoffs *int64) ([]int32, []int32, int64, bool) {
 	p := NewPartition(m.N)
+	p.enablePacked()
 	b1 := make([]int32, m.K)
 	b2 := make([]int32, m.K)
 	var scratch distScratch
@@ -157,17 +158,11 @@ func procedure1Multi(ctx context.Context, m *resp.Matrix, order []int, lower int
 		if ctx.Err() != nil {
 			return b1, b2, p.Pairs(), false
 		}
-		dist := scratch.perClass(p, m.Class[j], m.NumClasses(j))
-		first := selectWithLower(dist, lower, evals, cutoffs)
-		b1[j] = first
-		p.RefineByBaseline(m.Class[j], first)
+		b1[j] = scratch.scanAndRefine(p, m, j, lower, evals, cutoffs)
 		if p.Done() {
 			break
 		}
-		dist = scratch.perClass(p, m.Class[j], m.NumClasses(j))
-		second := selectWithLower(dist, lower, evals, cutoffs)
-		b2[j] = second
-		p.RefineByBaseline(m.Class[j], second)
+		b2[j] = scratch.scanAndRefine(p, m, j, lower, evals, cutoffs)
 	}
 	return b1, b2, p.Pairs(), true
 }
@@ -181,26 +176,23 @@ func procedure1Multi(ctx context.Context, m *resp.Matrix, order []int, lower int
 // short; the in-place baselines remain valid and no worse than the input.
 func procedure2Multi(ctx context.Context, m *resp.Matrix, b1, b2 []int32) (int64, int, bool) {
 	var scratch distScratch
+	var ms meetScratch
+	restBase := &Partition{}
+	suf := newSuffixLabels(m.N, m.K)
 	sweeps := 0
 	var finalIndist int64
 	for {
 		sweeps++
 		improved := false
 
-		suffix := make([]*Partition, m.K+1)
-		suffix[m.K] = NewPartition(m.N)
-		for j := m.K - 1; j >= 0; j-- {
-			suffix[j] = suffix[j+1].Clone()
-			suffix[j].RefineByBaseline(m.Class[j], b1[j])
-			suffix[j].RefineByBaseline(m.Class[j], b2[j])
-		}
+		suf.buildMulti(m, b1, b2)
 		prefix := NewPartition(m.N)
 		for j := 0; j < m.K; j++ {
 			if ctx.Err() != nil {
 				return sdMultiIndist(m, b1, b2), sweeps, false
 			}
 			// Optimize slot 1 with slot 2 fixed.
-			restBase := Meet(prefix, suffix[j+1])
+			meetInto(restBase, prefix, suf.lab(j+1), suf.next[j+1], &ms)
 			rest1 := restBase.Clone()
 			rest1.RefineByBaseline(m.Class[j], b2[j])
 			dist := scratch.perClass(rest1, m.Class[j], m.NumClasses(j))
@@ -230,7 +222,6 @@ func procedure2Multi(ctx context.Context, m *resp.Matrix, b1, b2 []int32) (int64
 			}
 			prefix.RefineByBaseline(m.Class[j], b1[j])
 			prefix.RefineByBaseline(m.Class[j], b2[j])
-			suffix[j] = nil
 		}
 		finalIndist = prefix.Pairs()
 		if !improved {

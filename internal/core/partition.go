@@ -8,15 +8,56 @@
 // form a pair in P exactly when they share a group. Splitting groups is
 // pair removal; Σ |G|·(|G|-1)/2 over groups is |P|. The two views are
 // equivalent (validated against a brute-force pair set in the tests), and
-// the partition refines in O(n) per test.
+// the partition refines in O(live faults) per test.
 package core
 
 // Partition tracks groups of faults that are mutually indistinguished so
 // far. Faults distinguished from every other fault are "isolated" and
 // carry label -1; all other faults carry a group label in [0, NumLabels).
+//
+// Beyond the label array (the representation of record, whose numbering is
+// part of the deterministic contract), a Partition maintains incremental
+// group state so the hot-path queries are cheap (DESIGN.md §14):
+//
+//   - size/labs/groups: per-label group sizes and the ascending list of
+//     group labels, so refinement visits only live groups;
+//   - live/pairs: running totals making Done() and Pairs() O(1);
+//   - members/spanLo/spanHi: the faults of each live group stored
+//     contiguously, so per-group scans touch only live faults instead of
+//     the whole label array;
+//   - packed (optional, procedure 1 only): per-group fault bitmaps for
+//     popcount-based dist scans, see partition_packed.go.
+//
+// All of it is derived state: the label array plus the split rules below
+// fully determine every field, so the observable behaviour (labels, pair
+// counts, dist values) is bit-identical to the pre-refactor scalar
+// implementation kept in partition_ref.go.
 type Partition struct {
 	lab  []int32
 	next int32
+
+	size   []int32 // per label; 0 once a label dies (groups never have size 1)
+	labs   []int32 // ascending label list; may contain dead entries
+	dead   int     // dead entries currently in labs
+	groups int     // live (size ≥ 2) groups
+	live   int     // faults not yet isolated
+	pairs  int64   // Σ s·(s−1)/2 over live groups
+
+	members []int32 // faults in group-contiguous order
+	pos     []int32 // pos[f] = index of fault f in members (live faults only)
+	spanLo  []int32 // per label: members[spanLo[l]:spanHi[l]] is group l
+	spanHi  []int32
+
+	// labCap bounds every label id this partition can ever allocate: a
+	// group of size s yields at most s−1 descendant labels, so
+	// next + live − groups at rebuild time covers all future splits.
+	// Scan scratch sized to labCap never reallocates mid-restart.
+	labCap int
+
+	scratch []int32 // rebuild fill-pointer buffer
+
+	packed     *packedGroups // popcount engine; nil unless enablePacked was called
+	packedIdle int           // consecutive scans that did not pick the packed path
 }
 
 // Isolated is the label of faults that are already distinguished from all
@@ -26,13 +67,17 @@ const Isolated = int32(-1)
 // NewPartition returns the initial partition: all n faults in one group
 // (every pair is a target, as in Procedure 1 step 1).
 func NewPartition(n int) *Partition {
-	p := &Partition{lab: make([]int32, n), next: 1}
+	p := &Partition{lab: make([]int32, n)}
 	if n < 2 {
 		for i := range p.lab {
 			p.lab[i] = Isolated
 		}
 		p.next = 0
+		p.rebuild()
+		return p
 	}
+	p.next = 1
+	p.rebuild()
 	return p
 }
 
@@ -42,10 +87,12 @@ func NewPartition(n int) *Partition {
 func NewPartitionFromLabels(lab []int32) *Partition {
 	p := &Partition{lab: append([]int32(nil), lab...)}
 	p.normalize()
+	p.rebuild()
 	return p
 }
 
-// normalize renumbers labels densely and isolates singleton groups.
+// normalize renumbers labels densely (in ascending old-label order) and
+// isolates singleton groups. The caller must rebuild() afterwards.
 func (p *Partition) normalize() {
 	var max int32 = -1
 	for _, l := range p.lab {
@@ -77,6 +124,205 @@ func (p *Partition) normalize() {
 	p.next = next
 }
 
+// rebuild derives all maintained group state from lab/next. It requires a
+// normalized label array: labels dense in [0, next), every group size ≥ 2.
+// Any packed arena is dropped (its only user, procedure 1, never triggers a
+// rebuild).
+func (p *Partition) rebuild() {
+	n := int(p.next)
+	if cap(p.size) < n {
+		p.size = make([]int32, n)
+		p.spanLo = make([]int32, n)
+		p.spanHi = make([]int32, n)
+		p.labs = make([]int32, n)
+	}
+	p.size = p.size[:n]
+	p.spanLo = p.spanLo[:n]
+	p.spanHi = p.spanHi[:n]
+	p.labs = p.labs[:n]
+	for l := 0; l < n; l++ {
+		p.size[l] = 0
+		p.labs[l] = int32(l)
+	}
+	p.dead = 0
+	p.groups = n
+	p.live = 0
+	p.pairs = 0
+	for _, l := range p.lab {
+		if l >= 0 {
+			p.size[l]++
+			p.live++
+		}
+	}
+	off := int32(0)
+	for l := 0; l < n; l++ {
+		s := p.size[l]
+		p.spanLo[l] = off
+		off += s
+		p.spanHi[l] = off
+		p.pairs += int64(s) * int64(s-1) / 2
+	}
+	if cap(p.members) < p.live {
+		p.members = make([]int32, p.live)
+	}
+	p.members = p.members[:p.live]
+	if cap(p.pos) < len(p.lab) {
+		p.pos = make([]int32, len(p.lab))
+	}
+	p.pos = p.pos[:len(p.lab)]
+	if n > 0 {
+		fill := append(p.scratch[:0], p.spanLo...)
+		for i, l := range p.lab {
+			if l >= 0 {
+				p.members[fill[l]] = int32(i)
+				p.pos[i] = fill[l]
+				fill[l]++
+			}
+		}
+		p.scratch = fill[:0]
+	}
+	p.labCap = int(p.next) + p.live - p.groups
+	p.packed = nil
+}
+
+// compactLabs drops dead entries from the label list once they outnumber
+// the live ones. Callers must not be mid-iteration over labs.
+func (p *Partition) compactLabs() {
+	if p.dead*2 <= len(p.labs) {
+		return
+	}
+	w := 0
+	for _, l := range p.labs {
+		if p.size[l] >= 2 {
+			p.labs[w] = l
+			w++
+		}
+	}
+	p.labs = p.labs[:w]
+	p.dead = 0
+}
+
+// newLabel allocates a fresh group label of the given size. Span bounds are
+// the caller's responsibility.
+func (p *Partition) newLabel(sz int32) int32 {
+	l := p.next
+	p.next++
+	p.size = append(p.size, sz)
+	p.spanLo = append(p.spanLo, 0)
+	p.spanHi = append(p.spanHi, 0)
+	p.labs = append(p.labs, l)
+	p.groups++
+	if p.packed != nil {
+		p.packed.addLabel()
+	}
+	return l
+}
+
+// killLabel retires a group label whose members were all isolated or moved.
+func (p *Partition) killLabel(l int32) {
+	p.size[l] = 0
+	p.dead++
+	p.groups--
+	if p.packed != nil {
+		p.packed.dropLabel(l)
+	}
+}
+
+// splitByClass splits live group l into its c members with
+// class[f] == baseline and its s−c others. Membership within a group is a
+// set — the partition procedures never depend on member order inside a
+// span — so the span is partitioned in place with an unstable two-pointer
+// pass (matches move to the back) and only out-of-place members are
+// written. finishSplit applies the paper's label rules. c must equal the
+// matching-member count; callers skip c == 0 and c == s groups.
+func (p *Partition) splitByClass(l, c int32, class []int32, baseline int32) int64 {
+	lo, hi := p.spanLo[l], p.spanHi[l]
+	i, j := lo, hi-1
+	for i < j {
+		for i < j && class[p.members[i]] != baseline {
+			i++
+		}
+		for i < j && class[p.members[j]] == baseline {
+			j--
+		}
+		if i < j {
+			p.members[i], p.members[j] = p.members[j], p.members[i]
+			p.pos[p.members[i]], p.pos[p.members[j]] = i, j
+			i++
+			j--
+		}
+	}
+	return p.finishSplit(l, c)
+}
+
+// splitByBitmap is splitByClass with membership read from a class bitmap.
+func (p *Partition) splitByBitmap(l, c int32, bm []uint64) int64 {
+	lo, hi := p.spanLo[l], p.spanHi[l]
+	i, j := lo, hi-1
+	for i < j {
+		for i < j && bm[p.members[i]>>6]&(1<<(uint(p.members[i])&63)) == 0 {
+			i++
+		}
+		for i < j && bm[p.members[j]>>6]&(1<<(uint(p.members[j])&63)) != 0 {
+			j--
+		}
+		if i < j {
+			p.members[i], p.members[j] = p.members[j], p.members[i]
+			p.pos[p.members[i]], p.pos[p.members[j]] = i, j
+			i++
+			j--
+		}
+	}
+	return p.finishSplit(l, c)
+}
+
+// finishSplit applies the paper's label rules to a span already
+// partitioned into [lo, hi−c) others and [hi−c, hi) matches: the other
+// side keeps label l, the match side gets a fresh label, and either side
+// of size 1 becomes isolated. It returns the c·(s−c) pairs removed,
+// updating all maintained state (including the packed arena when
+// present).
+func (p *Partition) finishSplit(l, c int32) int64 {
+	s := p.size[l]
+	os := s - c
+	removed := int64(c) * int64(os)
+	p.pairs -= removed
+	lo, hi := p.spanLo[l], p.spanHi[l]
+	mid := hi - c
+
+	// Match side first: the packed move must read the parent's word list
+	// before the parent is possibly retired below.
+	if c >= 2 {
+		nl := p.newLabel(c)
+		p.spanLo[nl] = mid
+		p.spanHi[nl] = hi
+		for k := mid; k < hi; k++ {
+			p.lab[p.members[k]] = nl
+		}
+		if p.packed != nil {
+			p.packed.move(l, nl, p.members[mid:hi])
+		}
+	} else {
+		f := p.members[mid]
+		p.lab[f] = Isolated
+		p.live--
+		if p.packed != nil {
+			p.packed.clear(l, f)
+		}
+	}
+
+	if os >= 2 {
+		p.spanHi[l] = mid
+		p.size[l] = os
+	} else {
+		f := p.members[lo]
+		p.lab[f] = Isolated
+		p.live--
+		p.killLabel(l)
+	}
+	return removed
+}
+
 // Len returns the number of faults.
 func (p *Partition) Len() int { return len(p.lab) }
 
@@ -87,94 +333,60 @@ func (p *Partition) NumLabels() int32 { return p.next }
 // every other fault).
 func (p *Partition) Label(i int) int32 { return p.lab[i] }
 
-// Done reports whether no indistinguished pairs remain.
-func (p *Partition) Done() bool {
-	for _, l := range p.lab {
-		if l != Isolated {
-			return false
-		}
-	}
-	return true
-}
+// Done reports whether no indistinguished pairs remain. O(1): the live
+// fault count is maintained during refinement.
+func (p *Partition) Done() bool { return p.live == 0 }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy. The packed arena, if any, is not
+// cloned: it exists only inside procedure 1, which never clones.
 func (p *Partition) Clone() *Partition {
-	return &Partition{lab: append([]int32(nil), p.lab...), next: p.next}
+	return &Partition{
+		lab:     append([]int32(nil), p.lab...),
+		next:    p.next,
+		size:    append([]int32(nil), p.size...),
+		labs:    append([]int32(nil), p.labs...),
+		dead:    p.dead,
+		groups:  p.groups,
+		live:    p.live,
+		pairs:   p.pairs,
+		members: append([]int32(nil), p.members...),
+		pos:     append([]int32(nil), p.pos...),
+		spanLo:  append([]int32(nil), p.spanLo...),
+		spanHi:  append([]int32(nil), p.spanHi...),
+		labCap:  p.labCap,
+	}
 }
 
-// Pairs returns the number of indistinguished fault pairs |P|.
-func (p *Partition) Pairs() int64 {
-	size := make([]int64, p.next)
-	for _, l := range p.lab {
-		if l >= 0 {
-			size[l]++
-		}
-	}
-	var pairs int64
-	for _, s := range size {
-		pairs += s * (s - 1) / 2
-	}
-	return pairs
-}
+// Pairs returns the number of indistinguished fault pairs |P|. O(1): the
+// total is maintained during refinement.
+func (p *Partition) Pairs() int64 { return p.pairs }
 
 // RefineByBaseline splits every group by the predicate
 // class[i] == baseline — exactly the pairs a same/different dictionary bit
 // with that baseline distinguishes (Procedure 1 step 4). It returns the
 // number of pairs removed from P.
 func (p *Partition) RefineByBaseline(class []int32, baseline int32) int64 {
-	if p.next == 0 {
+	if p.groups == 0 {
 		return 0
 	}
-	size := make([]int32, p.next)
-	match := make([]int32, p.next)
-	for i, l := range p.lab {
-		if l < 0 {
-			continue
-		}
-		size[l]++
-		if class[i] == baseline {
-			match[l]++
-		}
-	}
+	p.compactLabs()
 	var removed int64
-	// For each group decide the new labels of its "match" and "other"
-	// sides. A side of size 1 becomes isolated; an empty side means no
-	// split. Fresh labels are allocated past the pre-refinement bound, so
-	// the tables indexed below never see them.
-	oldNext := p.next
-	matchLab := make([]int32, oldNext)
-	otherLab := make([]int32, oldNext)
-	for l := int32(0); l < oldNext; l++ {
-		ms, os := match[l], size[l]-match[l]
-		removed += int64(ms) * int64(os)
-		switch {
-		case ms == 0:
-			matchLab[l], otherLab[l] = Isolated, l // match side empty
-		case os == 0:
-			matchLab[l], otherLab[l] = l, Isolated // other side empty
-		default:
-			if ms == 1 {
-				matchLab[l] = Isolated
-			} else {
-				matchLab[l] = p.next
-				p.next++
-			}
-			if os == 1 {
-				otherLab[l] = Isolated
-			} else {
-				otherLab[l] = l
-			}
-		}
-	}
-	for i, l := range p.lab {
-		if l < 0 {
+	k0 := len(p.labs) // snapshot: labels born below must not be revisited
+	for idx := 0; idx < k0; idx++ {
+		l := p.labs[idx]
+		if p.size[l] < 2 {
 			continue
 		}
-		if class[i] == baseline {
-			p.lab[i] = matchLab[l]
-		} else {
-			p.lab[i] = otherLab[l]
+		var c int32
+		for _, f := range p.members[p.spanLo[l]:p.spanHi[l]] {
+			if class[f] == baseline {
+				c++
+			}
 		}
+		if c == 0 || c == p.size[l] {
+			continue
+		}
+		removed += p.splitByClass(l, c, class, baseline)
 	}
 	return removed
 }
@@ -182,75 +394,171 @@ func (p *Partition) RefineByBaseline(class []int32, baseline int32) int64 {
 // RefineByClass splits every group by the full class id — the refinement a
 // full fault dictionary performs with test j (faults are indistinguished
 // only if their entire output vectors match). Returns pairs removed.
+//
+// New labels are bucketed per group with a counting-sort over class ids
+// (reset via a touched list, no map), then renumbered by first occurrence
+// in fault order — the exact numbering the previous map-based remap plus
+// normalize produced.
 func (p *Partition) RefineByClass(class []int32) int64 {
-	if p.next == 0 {
-		return 0
+	before := p.pairs
+	n := len(p.lab)
+	prelim := make([]int32, n)
+	for i := range prelim {
+		prelim[i] = -1
 	}
-	before := p.Pairs()
-	// Assign new labels by (old label, class) pairs.
-	type key struct {
-		lab, class int32
-	}
-	remap := make(map[key]int32, p.next*2)
-	var next int32
-	for i, l := range p.lab {
-		if l < 0 {
+	var maxc int32 = -1
+	for _, l := range p.labs {
+		if p.size[l] < 2 {
 			continue
 		}
-		k := key{l, class[i]}
-		nl, ok := remap[k]
-		if !ok {
-			nl = next
-			next++
-			remap[k] = nl
+		for _, f := range p.members[p.spanLo[l]:p.spanHi[l]] {
+			if class[f] > maxc {
+				maxc = class[f]
+			}
 		}
-		p.lab[i] = nl
+	}
+	slot := make([]int32, maxc+1)
+	for i := range slot {
+		slot[i] = -1
+	}
+	var touched, tsz []int32
+	var ntmp int32
+	for _, l := range p.labs {
+		if p.size[l] < 2 {
+			continue
+		}
+		touched = touched[:0]
+		for _, f := range p.members[p.spanLo[l]:p.spanHi[l]] {
+			z := class[f]
+			t := slot[z]
+			if t < 0 {
+				t = ntmp
+				ntmp++
+				tsz = append(tsz, 0)
+				slot[z] = t
+				touched = append(touched, z)
+			}
+			prelim[f] = t
+			tsz[t]++
+		}
+		for _, z := range touched {
+			slot[z] = -1
+		}
+	}
+	p.relabel(prelim, tsz)
+	return before - p.pairs
+}
+
+// relabel rewrites the label array from preliminary group ids: groups of
+// size ≥ 2 get dense final labels in fault-order first occurrence,
+// everything else becomes isolated. All maintained state is rebuilt.
+func (p *Partition) relabel(prelim, tsz []int32) {
+	p.relabelWith(prelim, tsz, make([]int32, len(tsz)))
+}
+
+// relabelWith is relabel with caller-provided remap scratch (len(tsz)).
+func (p *Partition) relabelWith(prelim, tsz, remap []int32) {
+	for i := range remap {
+		remap[i] = -2 // unassigned
+	}
+	var next int32
+	for f, t := range prelim {
+		if t < 0 || tsz[t] < 2 {
+			p.lab[f] = Isolated
+			continue
+		}
+		if remap[t] == -2 {
+			remap[t] = next
+			next++
+		}
+		p.lab[f] = remap[t]
 	}
 	p.next = next
-	p.normalize()
-	return before - p.Pairs()
+	p.rebuild()
 }
 
 // Meet intersects two partitions: faults share a group in the result only
 // if they share a group in both inputs. Inputs must have equal length.
+// Like RefineByClass, the map-based remap is replaced by per-group
+// counting over b's labels with touched-list resets; the resulting label
+// numbering (fault-order first occurrence among groups of size ≥ 2) is
+// unchanged.
 func Meet(a, b *Partition) *Partition {
-	n := len(a.lab)
-	lab := make([]int32, n)
-	type key struct{ la, lb int32 }
-	remap := make(map[key]int32, n)
-	var next int32
-	for i := 0; i < n; i++ {
-		if a.lab[i] < 0 || b.lab[i] < 0 {
-			lab[i] = Isolated
-			continue
-		}
-		k := key{a.lab[i], b.lab[i]}
-		nl, ok := remap[k]
-		if !ok {
-			nl = next
-			next++
-			remap[k] = nl
-		}
-		lab[i] = nl
-	}
-	p := &Partition{lab: lab, next: next}
-	p.normalize()
-	return p
+	return meetInto(&Partition{}, a, b.lab, b.next, &meetScratch{})
 }
 
-// GroupSizes returns the sizes of all live groups (size ≥ 2), useful for
-// diagnosability statistics.
-func (p *Partition) GroupSizes() []int {
-	size := make([]int, p.next)
-	for _, l := range p.lab {
-		if l >= 0 {
-			size[l]++
+// meetScratch holds the reusable buffers of meetInto, so a caller meeting
+// in a loop (Procedure 2's rest partitions) allocates nothing per meet.
+type meetScratch struct {
+	prelim  []int32
+	bslot   []int32
+	touched []int32
+	tsz     []int32
+	remap   []int32
+}
+
+func growI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// meetInto intersects a with the partition given as a label snapshot
+// (blab, bnext — b.lab and b.next of a normalized partition), writing the
+// result into out and reusing out's storage plus the scratch buffers. The
+// label numbering is exactly Meet's.
+func meetInto(out, a *Partition, blab []int32, bnext int32, ms *meetScratch) *Partition {
+	n := len(a.lab)
+	prelim := growI32(&ms.prelim, n)
+	for i := range prelim {
+		prelim[i] = -1
+	}
+	bslot := growI32(&ms.bslot, int(bnext))
+	for i := range bslot {
+		bslot[i] = -1
+	}
+	touched, tsz := ms.touched[:0], ms.tsz[:0]
+	var ntmp int32
+	for _, la := range a.labs {
+		if a.size[la] < 2 {
+			continue
+		}
+		touched = touched[:0]
+		for _, f := range a.members[a.spanLo[la]:a.spanHi[la]] {
+			lb := blab[f]
+			if lb < 0 {
+				continue
+			}
+			t := bslot[lb]
+			if t < 0 {
+				t = ntmp
+				ntmp++
+				tsz = append(tsz, 0)
+				bslot[lb] = t
+				touched = append(touched, lb)
+			}
+			prelim[f] = t
+			tsz[t]++
+		}
+		for _, lb := range touched {
+			bslot[lb] = -1
 		}
 	}
-	out := size[:0]
-	for _, s := range size {
-		if s >= 2 {
-			out = append(out, s)
+	ms.touched, ms.tsz = touched, tsz
+	out.lab = growI32(&out.lab, n)
+	out.relabelWith(prelim, tsz, growI32(&ms.remap, len(tsz)))
+	return out
+}
+
+// GroupSizes returns the sizes of all live groups (size ≥ 2) in ascending
+// label order, useful for diagnosability statistics.
+func (p *Partition) GroupSizes() []int {
+	out := make([]int, 0, p.groups)
+	for l := int32(0); l < p.next; l++ {
+		if p.size[l] >= 2 {
+			out = append(out, int(p.size[l]))
 		}
 	}
 	return out

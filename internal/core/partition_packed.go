@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math/bits"
+
+	"sddict/internal/resp"
+)
+
+// This file is the popcount side of the partition engine (DESIGN.md §14):
+// an optional per-group fault-bitmap arena over which Procedure 1 computes
+// dist(z) as Σ_groups c·(s−c) with c = popcount(group ∧ classBitmap(z)),
+// instead of counting class ids member by member. Both paths produce
+// bit-identical dist values (each computes the exact per-group class
+// counts), so procedure 1 is free to pick whichever is cheaper per test
+// without perturbing the LOWER cutoff, the selected baselines, or any
+// downstream artifact.
+
+// packedGroups is the bitmap arena: group label l owns the word slab
+// bits[l·words : (l+1)·words], a bitset over the fault indices. Per label
+// it also keeps the ascending list of nonzero word indices, so scanning a
+// group costs O(popcount-words), not O(words) — with many small groups the
+// total scan cost per class is bounded by nnz ≤ live words, not
+// groups × words.
+type packedGroups struct {
+	words int
+	bits  []uint64
+	nzw   [][]int32 // per label: ascending indices of nonzero words
+	nnz   int       // Σ len(nzw[l]) over live labels
+	zero  []uint64  // all-zero slab appended per fresh label
+
+	// Chunk allocator for child word lists: a list is written once at its
+	// group's birth and only ever filtered in place afterwards, so carving
+	// lists out of shared chunks is safe and avoids a heap allocation per
+	// split.
+	chunk []int32
+}
+
+func (pk *packedGroups) slot(l int32) []uint64 {
+	return pk.bits[int(l)*pk.words : (int(l)+1)*pk.words]
+}
+
+// addLabel appends a zeroed slab for a freshly allocated label. append
+// grows the arena geometrically: the idle-drop rule retires the arena
+// long before the partition shatters, so sizing it for the worst-case
+// label count up front would zero far more memory than is ever used.
+func (pk *packedGroups) addLabel() {
+	pk.bits = append(pk.bits, pk.zero...)
+	pk.nzw = append(pk.nzw, nil)
+}
+
+// alloc carves an n-int list out of the current chunk.
+func (pk *packedGroups) alloc(n int) []int32 {
+	if cap(pk.chunk)-len(pk.chunk) < n {
+		c := 4096
+		if n > c {
+			c = n
+		}
+		pk.chunk = make([]int32, 0, c)
+	}
+	out := pk.chunk[len(pk.chunk) : len(pk.chunk)+n]
+	pk.chunk = pk.chunk[:len(pk.chunk)+n]
+	return out
+}
+
+// dropLabel retires a dead label's word-list accounting. Its slab keeps
+// stale bits but is never read again: scans skip labels with size < 2 and
+// labels are never reused.
+func (pk *packedGroups) dropLabel(l int32) {
+	pk.nnz -= len(pk.nzw[l])
+	pk.nzw[l] = nil
+}
+
+// move transfers the given members from the parent slab to the child slab
+// and rebuilds both nonzero-word lists by filtering the parent's old list
+// (the child's words are a subset of it).
+func (pk *packedGroups) move(parent, child int32, members []int32) {
+	pb := pk.slot(parent)
+	cb := pk.slot(child)
+	for _, f := range members {
+		w, bit := int(f)>>6, uint64(1)<<(uint(f)&63)
+		pb[w] &^= bit
+		cb[w] |= bit
+	}
+	old := pk.nzw[parent]
+	pk.nnz -= len(old)
+	cn := pk.alloc(len(old))[:0]
+	pn := old[:0]
+	for _, wi := range old {
+		if pb[wi] != 0 {
+			pn = append(pn, wi)
+		}
+		if cb[wi] != 0 {
+			cn = append(cn, wi)
+		}
+	}
+	pk.nzw[parent] = pn
+	pk.nzw[child] = cn
+	pk.nnz += len(pn) + len(cn)
+}
+
+// clear removes one fault from a slab (the fault became isolated).
+func (pk *packedGroups) clear(l, f int32) {
+	pb := pk.slot(l)
+	w := int(f) >> 6
+	pb[w] &^= uint64(1) << (uint(f) & 63)
+	if pb[w] != 0 {
+		return
+	}
+	old := pk.nzw[l]
+	keep := old[:0]
+	for _, wi := range old {
+		if wi != int32(w) {
+			keep = append(keep, wi)
+		}
+	}
+	pk.nzw[l] = keep
+	pk.nnz--
+}
+
+// enablePacked builds the bitmap arena for the current groups. Only
+// procedure 1 calls it; every other consumer stays on the member-scan
+// path. All subsequent refinement (either path) keeps the arena in sync.
+func (p *Partition) enablePacked() {
+	words := (len(p.lab) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	pk := &packedGroups{
+		words: words,
+		bits:  make([]uint64, int(p.next)*words),
+		nzw:   make([][]int32, p.next),
+		zero:  make([]uint64, words),
+	}
+	for f, l := range p.lab {
+		if l >= 0 {
+			pk.slot(l)[f>>6] |= 1 << (uint(f) & 63)
+		}
+	}
+	for l := int32(0); l < p.next; l++ {
+		if p.size[l] < 2 {
+			continue
+		}
+		sl := pk.slot(l)
+		for wi := 0; wi < words; wi++ {
+			if sl[wi] != 0 {
+				pk.nzw[l] = append(pk.nzw[l], int32(wi))
+			}
+		}
+		pk.nnz += len(pk.nzw[l])
+	}
+	p.packed = pk
+}
+
+// distPacked computes dist for one class bitmap: per live group the match
+// count c is a popcount over the group's nonzero words ANDed with the
+// class bitmap, contributing c·(s−c). Per-label counts are recorded in cnt
+// and the labels with a proper split (0 < c < s) are appended to split in
+// ascending label order — the refinement worklist.
+func (p *Partition) distPacked(bm []uint64, cnt []int32, split []int32) (int64, []int32) {
+	pk := p.packed
+	var dist int64
+	split = split[:0]
+	for _, l := range p.labs {
+		s := p.size[l]
+		if s < 2 {
+			continue
+		}
+		base := int(l) * pk.words
+		var c int32
+		for _, wi := range pk.nzw[l] {
+			c += int32(bits.OnesCount64(pk.bits[base+int(wi)] & bm[wi]))
+		}
+		cnt[l] = c
+		if c != 0 {
+			dist += int64(c) * int64(s-c)
+			if c != s {
+				split = append(split, l)
+			}
+		}
+	}
+	return dist, split
+}
+
+// selectPacked runs the LOWER scan lazily over packed class bitmaps: each
+// candidate's dist is computed on demand and the scan stops at exactly the
+// point selectWithLower would, because the per-candidate dist values are
+// bit-identical. Double buffering keeps the winner's per-group counts and
+// split worklist alive while later candidates are probed.
+func (sc *distScratch) selectPacked(p *Partition, pc resp.PackedClasses, numClasses, lower int, evals, cutoffs *int64) (int32, []int32, []int32) {
+	nl := int(p.next)
+	if cap(sc.cntLab) < nl {
+		// labCap bounds every future label id of this restart, so this
+		// allocates at most once per restart (ensureIndexBufs does the same
+		// for the index-scan counters).
+		n := p.labCap
+		if n < nl {
+			n = nl
+		}
+		sc.cntLab = make([]int32, n)
+		sc.bestLab = make([]int32, n)
+	}
+	cnt := sc.cntLab[:nl]
+	bestCnt := sc.bestLab[:nl]
+	split, bestSplit := sc.splitA, sc.splitB
+	best := int64(-1)
+	bestIdx := int32(0)
+	consec := 0
+	for z := 0; z < numClasses; z++ {
+		*evals++
+		var d int64
+		d, split = p.distPacked(pc.Class(int32(z)), cnt, split)
+		switch {
+		case d > best:
+			best, bestIdx = d, int32(z)
+			consec = 0
+			cnt, bestCnt = bestCnt, cnt
+			split, bestSplit = bestSplit, split
+		case d < best:
+			consec++
+			if lower > 0 && consec >= lower {
+				*cutoffs++
+				sc.cntLab, sc.bestLab = cnt[:cap(cnt)], bestCnt[:cap(bestCnt)]
+				sc.splitA, sc.splitB = split, bestSplit
+				return bestIdx, bestCnt, bestSplit
+			}
+		}
+	}
+	sc.cntLab, sc.bestLab = cnt[:cap(cnt)], bestCnt[:cap(bestCnt)]
+	sc.splitA, sc.splitB = split, bestSplit
+	return bestIdx, bestCnt, bestSplit
+}
+
+// refineByCounts applies a chosen baseline from its class bitmap: only the
+// groups on the split worklist are touched (groups the baseline does not
+// split cost nothing), membership tests are single bit probes in the class
+// bitmap, and the match counts come from the preceding scan — no recount.
+func (p *Partition) refineByCounts(bm []uint64, cnt, split []int32) int64 {
+	var removed int64
+	for _, l := range split {
+		removed += p.splitByBitmap(l, cnt[l], bm)
+	}
+	return removed
+}

@@ -173,6 +173,26 @@ func TestDistPerClassMatchesBruteForce(t *testing.T) {
 				t.Fatalf("trial %d: dist(%d) = %d, want %d", trial, z, dist[z], want)
 			}
 		}
+		// The scalar reference and the packed popcount path must agree
+		// with perClass on every value, bit for bit.
+		refLab := cloneLabels(part)
+		rdist := refPerClass(refLab, part.next, m.Class[2], m.NumClasses(2))
+		pp := part.Clone()
+		pp.enablePacked()
+		pp.compactLabs()
+		pcv := m.PackedClasses(2)
+		cnt := make([]int32, pp.next)
+		var split []int32
+		for z := int32(0); z < int32(m.NumClasses(2)); z++ {
+			if rdist[z] != dist[z] {
+				t.Fatalf("trial %d: refPerClass(%d) = %d, perClass = %d", trial, z, rdist[z], dist[z])
+			}
+			var pd int64
+			pd, split = pp.distPacked(pcv.Class(z), cnt, split)
+			if pd != dist[z] {
+				t.Fatalf("trial %d: distPacked(%d) = %d, perClass = %d", trial, z, pd, dist[z])
+			}
+		}
 	}
 }
 

@@ -13,8 +13,16 @@ import (
 // ctx; the partial baselines are still a valid selection (unprocessed tests
 // keep the fault-free baseline), but the pair count then reflects only the
 // refinements applied so far.
+//
+// The partition runs with the packed popcount engine enabled: per test the
+// scan takes whichever of the bitmap-popcount, detected-index, and
+// member-scan paths is cheapest for the current group structure. All
+// produce bit-identical dist values, so the LOWER cutoff fires at the same
+// points, cand_evals counts match exactly, and the selected baselines are
+// unchanged (DESIGN.md §14).
 func procedure1(ctx context.Context, m *resp.Matrix, order []int, lower int, evals, cutoffs *int64) ([]int32, int64, bool) {
 	p := NewPartition(m.N)
+	p.enablePacked()
 	baselines := make([]int32, m.K) // unselected tests keep the fault-free baseline
 	var scratch distScratch
 	for _, j := range order {
@@ -24,10 +32,7 @@ func procedure1(ctx context.Context, m *resp.Matrix, order []int, lower int, eva
 		if ctx.Err() != nil {
 			return baselines, p.Pairs(), false
 		}
-		dist := scratch.perClass(p, m.Class[j], m.NumClasses(j))
-		best := selectWithLower(dist, lower, evals, cutoffs)
-		baselines[j] = best
-		p.RefineByBaseline(m.Class[j], best)
+		baselines[j] = scratch.scanAndRefine(p, m, j, lower, evals, cutoffs)
 	}
 	return baselines, p.Pairs(), true
 }
@@ -38,6 +43,8 @@ func procedure1(ctx context.Context, m *resp.Matrix, order []int, lower int, eva
 // lower <= 0 scans everything. Ties keep the earliest candidate. cutoffs
 // counts scans the cutoff terminated early — a per-restart tally folded
 // into the obs.LowerCutoffHits metric, never into the search itself.
+// selectPacked implements the same state machine over lazily computed dist
+// values; the two must stay in lockstep.
 func selectWithLower(dist []int64, lower int, evals, cutoffs *int64) int32 {
 	best := int64(-1)
 	bestIdx := int32(0)
@@ -59,76 +66,72 @@ func selectWithLower(dist []int64, lower int, evals, cutoffs *int64) int32 {
 	return bestIdx
 }
 
-// distScratch holds reusable buffers for perClass. Each concurrent
+// distScratch holds reusable buffers for the dist scans. Each concurrent
 // restart owns its own instance — nothing here may be shared between
 // pool tasks.
 type distScratch struct {
 	cnt     []int64
+	dist    []int64
 	touched []int32
-	sizes   []int64
-	members []int32
-	offs    []int32
+
+	// Packed-scan double buffers (selectPacked).
+	cntLab  []int32
+	bestLab []int32
+	splitA  []int32
+	splitB  []int32
+
+	// Index-scan buffers (selectIndexed/refineIndexed). zcnt and dcnt are
+	// per-label counters kept all-zero between tests.
+	zcnt   []int32
+	dcnt   []int32
+	ztouch []int32
+	dtouch []int32
+
+	// Meet-dist buffers (distMeet). bslot maps suffix labels to bucket
+	// slots and is kept all −1 between calls.
+	bslot  []int32
+	bmem   []int32
+	btouch []int32
+	bsize  []int32
+	bcur   []int32
 }
 
 // perClass computes, for every response class z of one test, the paper's
 // dist(z): the number of indistinguished pairs that selecting z as the
 // baseline would distinguish. A pair (i1,i2) of a group is distinguished
 // when exactly one of the two faults has class z, so each group of size s
-// with c members in class z contributes c·(s−c).
+// with c members in class z contributes c·(s−c). The partition's
+// maintained member spans make this O(live + numClasses) — isolated
+// faults are never visited. The returned slice is scratch-backed and only
+// valid until the next perClass call on the same scratch.
 func (sc *distScratch) perClass(p *Partition, class []int32, numClasses int) []int64 {
-	dist := make([]int64, numClasses)
-	n := int(p.next)
-	if n == 0 {
+	if cap(sc.dist) < numClasses {
+		sc.dist = make([]int64, numClasses)
+	}
+	dist := sc.dist[:numClasses]
+	for i := range dist {
+		dist[i] = 0
+	}
+	if p.groups == 0 {
 		return dist
-	}
-	if cap(sc.sizes) < n {
-		sc.sizes = make([]int64, n)
-		sc.offs = make([]int32, n+1)
-	}
-	sizes := sc.sizes[:n]
-	for i := range sizes {
-		sizes[i] = 0
-	}
-	for _, l := range p.lab {
-		if l >= 0 {
-			sizes[l]++
-		}
-	}
-	offs := sc.offs[:n+1]
-	offs[0] = 0
-	for l := 0; l < n; l++ {
-		offs[l+1] = offs[l] + int32(sizes[l])
-	}
-	total := int(offs[n])
-	if cap(sc.members) < total {
-		sc.members = make([]int32, total)
-	}
-	members := sc.members[:total]
-	fill := append([]int32(nil), offs[:n]...)
-	for i, l := range p.lab {
-		if l >= 0 {
-			members[fill[l]] = int32(i)
-			fill[l]++
-		}
 	}
 	if cap(sc.cnt) < numClasses {
 		sc.cnt = make([]int64, numClasses)
 	}
 	cnt := sc.cnt[:numClasses]
-	for l := 0; l < n; l++ {
-		lo, hi := offs[l], offs[l+1]
-		if hi-lo < 2 {
+	for _, l := range p.labs {
+		s := int64(p.size[l])
+		if s < 2 {
 			continue
 		}
 		sc.touched = sc.touched[:0]
-		for _, i := range members[lo:hi] {
-			z := class[i]
+		for _, f := range p.members[p.spanLo[l]:p.spanHi[l]] {
+			z := class[f]
 			if cnt[z] == 0 {
 				sc.touched = append(sc.touched, z)
 			}
 			cnt[z]++
 		}
-		s := int64(hi - lo)
 		for _, z := range sc.touched {
 			dist[z] += cnt[z] * (s - cnt[z])
 			cnt[z] = 0

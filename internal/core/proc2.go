@@ -29,6 +29,7 @@ import (
 // the start of the sweep — unchanged until the sweep reaches them).
 func procedure2(ctx context.Context, m *resp.Matrix, baselines []int32, ob *obs.Observer) (int64, int, bool) {
 	var scratch distScratch
+	suf := newSuffixLabels(m.N, m.K)
 	sweeps := 0
 	var finalIndist int64
 	for {
@@ -36,19 +37,13 @@ func procedure2(ctx context.Context, m *resp.Matrix, baselines []int32, ob *obs.
 		improved := false
 		accepted, rejected := 0, 0
 
-		suffix := make([]*Partition, m.K+1)
-		suffix[m.K] = NewPartition(m.N)
-		for j := m.K - 1; j >= 0; j-- {
-			suffix[j] = suffix[j+1].Clone()
-			suffix[j].RefineByBaseline(m.Class[j], baselines[j])
-		}
+		suf.build(m, baselines)
 		prefix := NewPartition(m.N)
 		for j := 0; j < m.K; j++ {
 			if ctx.Err() != nil {
 				return sdIndist(m, baselines), sweeps, false
 			}
-			rest := Meet(prefix, suffix[j+1])
-			dist := scratch.perClass(rest, m.Class[j], m.NumClasses(j))
+			dist := scratch.distMeet(prefix, suf.lab(j+1), suf.next[j+1], m.Class[j], m.NumClasses(j))
 			cur := baselines[j]
 			best := cur
 			for z := int32(0); z < int32(len(dist)); z++ {
@@ -64,7 +59,6 @@ func procedure2(ctx context.Context, m *resp.Matrix, baselines []int32, ob *obs.
 				rejected++
 			}
 			prefix.RefineByBaseline(m.Class[j], baselines[j])
-			suffix[j] = nil // free as we go
 		}
 		finalIndist = prefix.Pairs()
 		// Procedure 2 is serial, so the end of a sweep is already an
@@ -96,26 +90,205 @@ func procedure2(ctx context.Context, m *resp.Matrix, baselines []int32, ob *obs.
 func minimizeStorage(m *resp.Matrix, baselines []int32) int {
 	var scratch distScratch
 	saved := 0
-	suffix := make([]*Partition, m.K+1)
-	suffix[m.K] = NewPartition(m.N)
-	for j := m.K - 1; j >= 0; j-- {
-		suffix[j] = suffix[j+1].Clone()
-		suffix[j].RefineByBaseline(m.Class[j], baselines[j])
-	}
+	suf := newSuffixLabels(m.N, m.K)
+	suf.build(m, baselines)
 	prefix := NewPartition(m.N)
 	for j := 0; j < m.K; j++ {
 		if baselines[j] != 0 {
-			rest := Meet(prefix, suffix[j+1])
-			dist := scratch.perClass(rest, m.Class[j], m.NumClasses(j))
+			dist := scratch.distMeet(prefix, suf.lab(j+1), suf.next[j+1], m.Class[j], m.NumClasses(j))
 			if dist[0] == dist[baselines[j]] {
 				baselines[j] = 0
 				saved++
 			}
 		}
 		prefix.RefineByBaseline(m.Class[j], baselines[j])
-		suffix[j] = nil
 	}
 	return saved
+}
+
+// suffixLabels stores, for every test position j, the label snapshot of
+// the partition refined by tests j..K−1 with the current baselines — all
+// Procedure 2 needs of its suffix partitions (meetInto consumes lab/next
+// only). One flat backing array replaces the K cloned partitions the
+// suffix scheme previously kept alive.
+type suffixLabels struct {
+	n    int
+	labs []int32 // (K+1)·n labels, snapshot j at [j·n, (j+1)·n)
+	next []int32
+}
+
+func newSuffixLabels(n, k int) *suffixLabels {
+	return &suffixLabels{
+		n:    n,
+		labs: make([]int32, (k+1)*n),
+		next: make([]int32, k+1),
+	}
+}
+
+func (s *suffixLabels) lab(j int) []int32 { return s.labs[j*s.n : (j+1)*s.n] }
+
+// build refines one evolving partition from the last test backwards,
+// snapshotting labels after each step.
+func (s *suffixLabels) build(m *resp.Matrix, baselines []int32) {
+	p := NewPartition(s.n)
+	copy(s.lab(m.K), p.lab)
+	s.next[m.K] = p.next
+	for j := m.K - 1; j >= 0; j-- {
+		p.RefineByBaseline(m.Class[j], baselines[j])
+		copy(s.lab(j), p.lab)
+		s.next[j] = p.next
+	}
+}
+
+// distMeet computes, for one test, the per-class dist values of the meet
+// of prefix with the suffix partition given by its label snapshot —
+// without materializing the meet partition. Each live prefix group is
+// bucketed by suffix label (a fault isolated on either side is isolated
+// in the meet); each bucket is a meet group and contributes c·(s−c) per
+// class exactly as perClass would on the materialized meet, so the dist
+// values are bit-identical (integer sums, order-free) while the per-test
+// cost drops from several O(n) passes of Meet + relabel + rebuild to a
+// few passes over the live prefix members only.
+func (sc *distScratch) distMeet(prefix *Partition, sufLab []int32, sufNext int32, class []int32, numClasses int) []int64 {
+	if cap(sc.dist) < numClasses {
+		sc.dist = make([]int64, numClasses)
+	}
+	dist := sc.dist[:numClasses]
+	for i := range dist {
+		dist[i] = 0
+	}
+	if prefix.groups == 0 {
+		return dist
+	}
+	if cap(sc.cnt) < numClasses {
+		sc.cnt = make([]int64, numClasses)
+	}
+	cnt := sc.cnt[:numClasses]
+	if cap(sc.bslot) < int(sufNext) {
+		sc.bslot = make([]int32, sufNext)
+		for i := range sc.bslot {
+			sc.bslot[i] = -1
+		}
+	}
+	bslot := sc.bslot[:cap(sc.bslot)]
+	if cap(sc.bmem) < len(prefix.lab) {
+		sc.bmem = make([]int32, len(prefix.lab))
+	}
+	bmem := sc.bmem[:cap(sc.bmem)]
+	prefix.compactLabs()
+	for _, l := range prefix.labs {
+		s := prefix.size[l]
+		if s < 2 {
+			continue
+		}
+		span := prefix.members[prefix.spanLo[l]:prefix.spanHi[l]]
+		// Bucket the span by suffix label.
+		nb := int32(0)
+		btouch, bsize := sc.btouch[:0], sc.bsize[:0]
+		for _, f := range span {
+			sl := sufLab[f]
+			if sl < 0 {
+				continue
+			}
+			b := bslot[sl]
+			if b < 0 {
+				b = nb
+				nb++
+				bslot[sl] = b
+				btouch = append(btouch, sl)
+				bsize = append(bsize, 0)
+			}
+			bsize[b]++
+		}
+		if nb == 1 {
+			// Common case: the suffix does not split this prefix group, so
+			// the span (minus suffix-isolated members) is a single meet
+			// group — count its classes directly, no scatter needed.
+			bslot[btouch[0]] = -1
+			sc.btouch, sc.bsize = btouch, bsize
+			bs := bsize[0]
+			if bs < 2 {
+				continue
+			}
+			touched := sc.touched[:0]
+			for _, f := range span {
+				if sufLab[f] < 0 {
+					continue
+				}
+				z := class[f]
+				if cnt[z] == 0 {
+					touched = append(touched, z)
+				}
+				cnt[z]++
+			}
+			s64 := int64(bs)
+			for _, z := range touched {
+				dist[z] += cnt[z] * (s64 - cnt[z])
+				cnt[z] = 0
+			}
+			sc.touched = touched
+			continue
+		}
+		// Scatter the span into contiguous bucket segments.
+		bcur := sc.bcur[:0]
+		off := int32(0)
+		for b := int32(0); b < nb; b++ {
+			bcur = append(bcur, off)
+			off += bsize[b]
+		}
+		for _, f := range span {
+			sl := sufLab[f]
+			if sl < 0 {
+				continue
+			}
+			b := bslot[sl]
+			bmem[bcur[b]] = f
+			bcur[b]++
+		}
+		// Score each bucket of size ≥ 2 as one meet group.
+		pos := int32(0)
+		for b := int32(0); b < nb; b++ {
+			bs := bsize[b]
+			seg := bmem[pos : pos+bs]
+			pos += bs
+			if bs < 2 {
+				continue
+			}
+			touched := sc.touched[:0]
+			for _, f := range seg {
+				z := class[f]
+				if cnt[z] == 0 {
+					touched = append(touched, z)
+				}
+				cnt[z]++
+			}
+			s64 := int64(bs)
+			for _, z := range touched {
+				dist[z] += cnt[z] * (s64 - cnt[z])
+				cnt[z] = 0
+			}
+			sc.touched = touched
+		}
+		for _, sl := range btouch {
+			bslot[sl] = -1
+		}
+		sc.btouch, sc.bsize, sc.bcur = btouch, bsize, bcur
+	}
+	return dist
+}
+
+// buildMulti is build for the two-baseline construction: each test refines
+// by both of its baseline slots.
+func (s *suffixLabels) buildMulti(m *resp.Matrix, b1, b2 []int32) {
+	p := NewPartition(s.n)
+	copy(s.lab(m.K), p.lab)
+	s.next[m.K] = p.next
+	for j := m.K - 1; j >= 0; j-- {
+		p.RefineByBaseline(m.Class[j], b1[j])
+		p.RefineByBaseline(m.Class[j], b2[j])
+		copy(s.lab(j), p.lab)
+		s.next[j] = p.next
+	}
 }
 
 // sdIndist returns the indistinguished-pair count of the same/different

@@ -1,0 +1,119 @@
+package resp
+
+import (
+	"math/rand"
+	"testing"
+
+	"sddict/internal/fault"
+	"sddict/internal/gen"
+	"sddict/internal/netlist"
+	"sddict/internal/pattern"
+)
+
+// checkPackedRow verifies one test's packed view against its class row:
+// bitmap membership, the partition property (every fault in exactly one
+// class bitmap), and the detected-fault index invariants (segments in
+// ascending class order, ascending fault order within a class, class 0
+// empty, every detected fault listed exactly once).
+func checkPackedRow(t *testing.T, label string, class []int32, numClasses int, pc PackedClasses) {
+	t.Helper()
+	n := len(class)
+	for i := 0; i < n; i++ {
+		for z := int32(0); z < int32(numClasses); z++ {
+			bm := pc.Class(z)
+			got := bm[i>>6]>>(uint(i)&63)&1 == 1
+			if want := class[i] == z; got != want {
+				t.Fatalf("%s: fault %d class %d: bitmap bit = %v, class row says %v", label, i, z, got, want)
+			}
+		}
+	}
+	// Detected index: class-0 segment empty, other segments exactly the
+	// faults of that class in ascending order.
+	if len(pc.ClassList(0)) != 0 {
+		t.Fatalf("%s: class-0 segment has %d entries, want 0", label, len(pc.ClassList(0)))
+	}
+	seen := 0
+	for z := int32(1); z < int32(numClasses); z++ {
+		seg := pc.ClassList(z)
+		seen += len(seg)
+		prev := int32(-1)
+		for _, f := range seg {
+			if class[f] != z {
+				t.Fatalf("%s: class %d segment lists fault %d of class %d", label, z, f, class[f])
+			}
+			if f <= prev {
+				t.Fatalf("%s: class %d segment not in ascending fault order (%d after %d)", label, z, f, prev)
+			}
+			prev = f
+		}
+	}
+	detected := 0
+	for _, z := range class {
+		if z != 0 {
+			detected++
+		}
+	}
+	if seen != detected || len(pc.DetectedList()) != detected {
+		t.Fatalf("%s: index lists %d faults across segments, DetectedList %d, class row has %d detected",
+			label, seen, len(pc.DetectedList()), detected)
+	}
+}
+
+// TestPackedViewMatchesClassRow checks the derived packed view on random
+// class rows, including rows with empty classes beyond the observed ones.
+func TestPackedViewMatchesClassRow(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(200) // crosses the 64-fault word boundary
+		numClasses := 1 + r.Intn(8)
+		class := make([]int32, n)
+		for i := range class {
+			class[i] = int32(r.Intn(numClasses))
+		}
+		pc := packClassRow(n, class, numClasses)
+		checkPackedRow(t, "packClassRow", class, numClasses, pc)
+	}
+}
+
+// TestSimAssembledPackedMatchesDerived pins the word-parallel assembly
+// path: the packed view the simulation builder fills during
+// assemblePattern must be byte-identical to the one packClassRow derives
+// from the finished class row.
+func TestSimAssembledPackedMatchesDerived(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	c := gen.Profiles["s27"].MustGenerate(33)
+	view := netlist.NewScanView(c)
+	col := fault.Collapse(c)
+	tests := pattern.NewSet(view.NumInputs())
+	for i := 0; i < 70; i++ { // crosses a batch boundary
+		tests.Add(pattern.Random(r, view.NumInputs()))
+	}
+	m := Build(view, col.Faults, tests)
+	for j := 0; j < m.K; j++ {
+		got := m.PackedClasses(j)
+		want := packClassRow(m.N, m.Class[j], m.NumClasses(j))
+		if got.words != want.words || len(got.bits) != len(want.bits) {
+			t.Fatalf("test %d: packed dims differ: %d/%d words, %d/%d bits words",
+				j, got.words, want.words, len(got.bits), len(want.bits))
+		}
+		for w := range want.bits {
+			if got.bits[w] != want.bits[w] {
+				t.Fatalf("test %d: packed bitmap word %d: %#x, want %#x", j, w, got.bits[w], want.bits[w])
+			}
+		}
+		if len(got.detList) != len(want.detList) || len(got.detOffs) != len(want.detOffs) {
+			t.Fatalf("test %d: index dims differ", j)
+		}
+		for i := range want.detList {
+			if got.detList[i] != want.detList[i] {
+				t.Fatalf("test %d: detList[%d] = %d, want %d", j, i, got.detList[i], want.detList[i])
+			}
+		}
+		for z := range want.detOffs {
+			if got.detOffs[z] != want.detOffs[z] {
+				t.Fatalf("test %d: detOffs[%d] = %d, want %d", j, z, got.detOffs[z], want.detOffs[z])
+			}
+		}
+		checkPackedRow(t, "assembled", m.Class[j], m.NumClasses(j), got)
+	}
+}

@@ -9,6 +9,8 @@ package resp
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"sddict/internal/fault"
 	"sddict/internal/logic"
@@ -32,6 +34,114 @@ type Matrix struct {
 	// Vecs[j][c] is the output vector of class c under test j;
 	// Vecs[j][0] is the fault-free output vector.
 	Vecs [][]logic.BitVec
+
+	// packed[j] is the bit-packed view of Class[j]: one fault bitmap per
+	// response class (DESIGN.md §14). The simulation builders fill it
+	// eagerly during assembly; matrices built any other way (explicit
+	// responses, test literals, row sharing) derive it on first use.
+	// Class stays the API of record — packed is a pure re-encoding of it.
+	packed   []PackedClasses
+	packOnce sync.Once
+}
+
+// PackedClasses is the bit-packed view of one test's class row: for every
+// response class z, a bitmap over the fault indices with bit i set exactly
+// when Class[j][i] == z. The class bitmaps partition the fault set, so the
+// whole row costs numClasses·⌈N/64⌉ words, and popcounts over
+// group ∧ classBitmap(z) replace per-fault class counting in the
+// dictionary search.
+type PackedClasses struct {
+	words int
+	bits  []uint64 // numClasses consecutive slabs of `words` words each
+
+	// Detected-fault index: the faults with a nonzero class, grouped by
+	// class in ascending class order and ascending fault order within a
+	// class. detOffs[z]..detOffs[z+1] delimits class z's segment (class 0
+	// has an empty segment). One walk of this list yields every per-group
+	// class count of a test — class 0 by complement — which is what makes
+	// the dist scan O(detected) instead of O(live) on sparse tests.
+	detList []int32
+	detOffs []int32
+}
+
+// Words returns the number of 64-bit words per class bitmap, ⌈N/64⌉.
+func (pc PackedClasses) Words() int { return pc.words }
+
+// Class returns the fault bitmap of response class z. The slice aliases
+// the matrix's storage and must not be modified.
+func (pc PackedClasses) Class(z int32) []uint64 {
+	return pc.bits[int(z)*pc.words : (int(z)+1)*pc.words]
+}
+
+// DetectedList returns the ascending-class detected-fault index: every
+// fault with a nonzero class, grouped by class. The slice aliases the
+// matrix's storage and must not be modified.
+func (pc PackedClasses) DetectedList() []int32 { return pc.detList }
+
+// ClassList returns the ascending fault indices of response class z ≥ 1.
+func (pc PackedClasses) ClassList(z int32) []int32 {
+	return pc.detList[pc.detOffs[z]:pc.detOffs[z+1]]
+}
+
+// indexDetected builds the detected-fault index from a class row by
+// counting sort: O(n + numClasses), fault-ascending within each class.
+func indexDetected(class []int32, numClasses int) (list, offs []int32) {
+	offs = make([]int32, numClasses+1)
+	for _, z := range class {
+		if z != 0 {
+			offs[z]++
+		}
+	}
+	var total int32
+	for z := 1; z <= numClasses; z++ {
+		c := int32(0)
+		if z < numClasses {
+			c = offs[z]
+		}
+		offs[z] = total
+		total += c
+	}
+	list = make([]int32, total)
+	fill := append([]int32(nil), offs[:numClasses]...)
+	for i, z := range class {
+		if z != 0 {
+			list[fill[z]] = int32(i)
+			fill[z]++
+		}
+	}
+	return list, offs
+}
+
+// PackedClasses returns the packed view of test j's class row, deriving it
+// from Class on first use if the matrix was not built by the simulation
+// path. Safe for concurrent use.
+func (m *Matrix) PackedClasses(j int) PackedClasses {
+	m.packOnce.Do(m.buildPacked)
+	return m.packed[j]
+}
+
+// buildPacked derives the packed view for matrices whose constructor did
+// not fill it eagerly.
+func (m *Matrix) buildPacked() {
+	if m.packed != nil {
+		return
+	}
+	packed := make([]PackedClasses, m.K)
+	for j := 0; j < m.K; j++ {
+		packed[j] = packClassRow(m.N, m.Class[j], m.NumClasses(j))
+	}
+	m.packed = packed
+}
+
+// packClassRow packs one class row into per-class fault bitmaps.
+func packClassRow(n int, class []int32, numClasses int) PackedClasses {
+	words := (n + 63) / 64
+	pc := PackedClasses{words: words, bits: make([]uint64, numClasses*words)}
+	for i, z := range class {
+		pc.bits[int(z)*words+i>>6] |= 1 << (uint(i) & 63)
+	}
+	pc.detList, pc.detOffs = indexDetected(class, numClasses)
+	return pc
 }
 
 // NumClasses returns the number of distinct responses observed for test j
@@ -85,10 +195,12 @@ func BuildCtx(ctx context.Context, view *netlist.ScanView, faults []fault.Fault,
 }
 
 // patternRow is one test's assembled response data: the class of every
-// fault plus the deduplicated class vectors.
+// fault, the deduplicated class vectors, and the packed per-class fault
+// bitmaps built alongside classification.
 type patternRow struct {
-	class []int32
-	vecs  []logic.BitVec
+	class  []int32
+	vecs   []logic.BitVec
+	packed PackedClasses
 }
 
 // BuildWorkersCtx is BuildCtx with an explicit degree of parallelism
@@ -116,6 +228,7 @@ func BuildObsCtx(ctx context.Context, workers int, view *netlist.ScanView, fault
 	m := &Matrix{N: len(faults), K: tests.Len(), M: view.NumOutputs()}
 	m.Class = make([][]int32, m.K)
 	m.Vecs = make([][]logic.BitVec, m.K)
+	m.packed = make([]PackedClasses, m.K)
 
 	if ob.Tracing() {
 		ob.Emit("resp_build", map[string]any{
@@ -135,6 +248,10 @@ func BuildObsCtx(ctx context.Context, workers int, view *netlist.ScanView, fault
 		if err != nil {
 			return nil, err
 		}
+		// Transpose the per-fault detect words once per batch: each test's
+		// assembly then walks only its detected faults, word-parallel,
+		// instead of re-deriving detection for every (pattern, fault) pair.
+		detect := sim.DetectBitmaps(effects, b.Count)
 
 		// Assemble each test of the batch independently: a test's class
 		// table depends only on the good outputs and the effect list, and
@@ -144,7 +261,7 @@ func BuildObsCtx(ctx context.Context, workers int, view *netlist.ScanView, fault
 			if ctx.Err() != nil {
 				return patternRow{}, ctx.Err()
 			}
-			return assemblePattern(m, goodWords, effects, p), nil
+			return assemblePattern(m, goodWords, effects, detect[p], p), nil
 		})
 		if err != nil {
 			return nil, err
@@ -153,6 +270,7 @@ func BuildObsCtx(ctx context.Context, workers int, view *netlist.ScanView, fault
 			j := base + p
 			m.Class[j] = row.class
 			m.Vecs[j] = row.vecs
+			m.packed[j] = row.packed
 		}
 		base += b.Count
 		ob.M().Inc(obs.SimBatches)
@@ -202,10 +320,13 @@ func sweepEffects(ctx context.Context, pool *par.Pool, s *sim.Simulator, faults 
 	return effects, nil
 }
 
-// assemblePattern builds one test's class row and vector table from the
-// batch's effect list, scanning faults in index order so class ids match
-// the sequential assembly bit for bit.
-func assemblePattern(m *Matrix, goodWords []logic.Word, effects []sim.Effect, p int) patternRow {
+// assemblePattern builds one test's class row, vector table, and packed
+// class bitmaps from the batch's effect list. detect is this pattern's
+// fault bitmap from sim.DetectBitmaps: undetected faults are class 0 by
+// construction (its bitmap is the detect complement), and the detected
+// faults are walked in index order via trailing-zero iteration, so class
+// ids match the sequential full-scan assembly bit for bit.
+func assemblePattern(m *Matrix, goodWords []logic.Word, effects []sim.Effect, detect []uint64, p int) patternRow {
 	good := logic.NewBitVec(m.M)
 	for o := 0; o < m.M; o++ {
 		good.Set(o, (goodWords[o]>>uint(p))&1)
@@ -214,32 +335,47 @@ func assemblePattern(m *Matrix, goodWords []logic.Word, effects []sim.Effect, p 
 		class: make([]int32, m.N),
 		vecs:  []logic.BitVec{good},
 	}
-	byHash := map[uint64][]int32{good.Hash(): {0}}
-	for i, eff := range effects {
-		if eff.Detect&(1<<uint(p)) == 0 {
-			continue // class 0; class rows start zeroed
-		}
-		vec := good.Clone()
-		for _, d := range eff.Diffs {
-			if d.Bits&(1<<uint(p)) != 0 {
-				vec.Set(int(d.Slot), 1-vec.Get(int(d.Slot)))
-			}
-		}
-		h := vec.Hash()
-		cls := int32(-1)
-		for _, cand := range byHash[h] {
-			if row.vecs[cand].Equal(vec) {
-				cls = cand
-				break
-			}
-		}
-		if cls < 0 {
-			cls = int32(len(row.vecs))
-			row.vecs = append(row.vecs, vec)
-			byHash[h] = append(byHash[h], cls)
-		}
-		row.class[i] = cls
+	words := len(detect)
+	// Class 0's bitmap is the complement of the detect bitmap, trimmed to
+	// the valid fault indices; further class slabs grow as classes appear.
+	packed := make([]uint64, words, 4*words)
+	for w, dw := range detect {
+		packed[w] = ^dw
 	}
+	if tail := uint(m.N) % 64; tail != 0 && words > 0 {
+		packed[words-1] &= 1<<tail - 1
+	}
+	byHash := map[uint64][]int32{good.Hash(): {0}}
+	for w, dw := range detect {
+		for dw != 0 {
+			i := w<<6 + bits.TrailingZeros64(dw)
+			dw &= dw - 1
+			vec := good.Clone()
+			for _, d := range effects[i].Diffs {
+				if d.Bits&(1<<uint(p)) != 0 {
+					vec.Set(int(d.Slot), 1-vec.Get(int(d.Slot)))
+				}
+			}
+			h := vec.Hash()
+			cls := int32(-1)
+			for _, cand := range byHash[h] {
+				if row.vecs[cand].Equal(vec) {
+					cls = cand
+					break
+				}
+			}
+			if cls < 0 {
+				cls = int32(len(row.vecs))
+				row.vecs = append(row.vecs, vec)
+				byHash[h] = append(byHash[h], cls)
+				packed = append(packed, make([]uint64, words)...)
+			}
+			row.class[i] = cls
+			packed[int(cls)*words+w] |= 1 << (uint(i) & 63)
+		}
+	}
+	row.packed = PackedClasses{words: words, bits: packed}
+	row.packed.detList, row.packed.detOffs = indexDetected(row.class, len(row.vecs))
 	return row
 }
 

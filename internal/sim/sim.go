@@ -7,6 +7,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"sddict/internal/fault"
 	"sddict/internal/logic"
@@ -277,6 +278,36 @@ func (s *Simulator) Propagate(f fault.Fault) Effect {
 		}
 	}
 	return eff
+}
+
+// DetectBitmaps transposes the per-fault Detect words of a batch's effect
+// list into per-pattern fault bitmaps: out[p] is a packed bitset over the
+// fault indices, with bit i set exactly when effects[i].Detect has pattern
+// bit p set. count is the number of valid patterns in the batch (out has
+// that length). The transpose costs O(faults + total detections) and lets
+// a consumer walk only the detected faults of a pattern word-parallel,
+// instead of re-deriving detection per (pattern, fault) pair.
+func DetectBitmaps(effects []Effect, count int) [][]uint64 {
+	words := (len(effects) + 63) / 64
+	out := make([][]uint64, count)
+	store := make([]uint64, count*words) // one backing array, contiguous
+	for p := range out {
+		out[p] = store[p*words : (p+1)*words]
+	}
+	mask := uint64(1)<<uint(count) - 1
+	if count == 64 {
+		mask = ^uint64(0)
+	}
+	for i := range effects {
+		det := effects[i].Detect & mask
+		w, bit := i/64, uint64(1)<<(uint(i)%64)
+		for det != 0 {
+			p := bits.TrailingZeros64(det)
+			det &= det - 1
+			out[p][w] |= bit
+		}
+	}
+	return out
 }
 
 // ForEachFault simulates every fault against the current batch, calling fn
