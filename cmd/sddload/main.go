@@ -66,6 +66,7 @@ func run(ctx context.Context) error {
 		topK     = flag.Int("top", 5, "top_k sent with each diagnosis")
 		seed     = flag.Int64("seed", 1, "seed for fault selection and retry jitter")
 		chaos    = flag.Bool("chaos", false, "tolerate request failures (server being killed is part of the experiment); always exit 0")
+		hot      = flag.Int("hot", 0, "draw faults from only the first N rows so signatures repeat (exercises -casestore recall); 0 uses the whole fault list")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
 		retries  = flag.Int("retries", 6, "max retry attempts after a 503")
 	)
@@ -87,6 +88,16 @@ func run(ctx context.Context) error {
 	fmt.Printf("sddload: %s (%s, %d faults, %d tests) -> http://%s, %d requests from %d clients\n",
 		*dictPath, art.Header.Circuit, len(art.Header.Faults), art.Header.Tests, *addr, *requests, *clients)
 
+	// A hot set narrows the fault pool so the same observed signatures
+	// recur across requests — recall-aware traffic for a server running
+	// with -casestore. Clamped to the fault count; 0 means cold (uniform
+	// over all faults).
+	pool0 := len(art.Dict.Rows)
+	if *hot > 0 && *hot < pool0 {
+		pool0 = *hot
+		fmt.Printf("sddload: hot set: first %d faults (repeated signatures)\n", pool0)
+	}
+
 	m := obs.NewMetrics()
 	client := &http.Client{Timeout: *timeout}
 	url := "http://" + *addr + "/diagnose"
@@ -94,7 +105,7 @@ func run(ctx context.Context) error {
 	pool := par.New(*clients)
 	results, perr := par.Map(ctx, pool, *requests, func(ctx context.Context, i int) (result, error) {
 		rng := par.RNG(*seed, i) // per-task stream: replayable at any client count
-		fault := rng.Intn(len(art.Dict.Rows))
+		fault := rng.Intn(pool0)
 		body, err := json.Marshal(serve.DiagnoseRequest{
 			Dictionary: *dictPath,
 			Responses:  synthesize(art.Dict, fault),
@@ -216,15 +227,36 @@ func postOnce(ctx context.Context, client *http.Client, url string, body []byte)
 		return 0, nil, 0, err
 	}
 	defer resp.Body.Close()
-	var hint time.Duration
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		hint = time.Duration(secs) * time.Second
-	}
+	hint := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
 		return resp.StatusCode, nil, hint, err
 	}
 	return resp.StatusCode, data, hint, nil
+}
+
+// parseRetryAfter interprets a Retry-After response header. RFC 9110
+// allows two forms: delay-seconds ("2") and an HTTP-date ("Fri, 08 Aug
+// 2026 12:00:00 GMT"), the latter relative to now. Absent, garbage, or
+// already-elapsed values return 0 — backoff then falls back to its
+// jittered exponential default rather than hammering the server
+// immediately or stalling on a bogus hint.
+func parseRetryAfter(value string, now time.Time) time.Duration {
+	if value == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(value); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // containsFault reports whether the single diagnosis result lists fault

@@ -1,0 +1,76 @@
+package main
+
+// Unit tests for the client-side backoff plumbing: both RFC 9110
+// Retry-After forms, the absent/garbage fallback, and the jittered
+// exponential floor.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// gmt matters: RFC 9110 HTTP-dates are always GMT, and http.ParseTime
+// rejects the "UTC" zone string time.UTC formats to.
+var gmt = time.FixedZone("GMT", 0)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, gmt)
+	cases := []struct {
+		name  string
+		value string
+		want  time.Duration
+	}{
+		{"absent", "", 0},
+		{"delay seconds", "2", 2 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-3", 0},
+		{"http date", now.Add(90 * time.Second).Format(time.RFC1123), 90 * time.Second},
+		{"http date rfc850", now.Add(30 * time.Second).Format(time.RFC850), 30 * time.Second},
+		{"http date in the past", now.Add(-time.Minute).Format(time.RFC1123), 0},
+		{"garbage", "soon-ish", 0},
+		{"float seconds", "1.5", 0}, // not a valid delay-seconds; fall back to default backoff
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.value, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.value, got, tc.want)
+		}
+	}
+}
+
+// TestParseRetryAfterDateGranularity: HTTP-dates carry second
+// granularity, so a sub-second now must still yield a positive wait,
+// not a negative/zero one that would hammer the server.
+func TestParseRetryAfterDateGranularity(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 500_000_000, gmt)
+	hint := parseRetryAfter(now.Add(time.Second).Truncate(time.Second).Format(time.RFC1123), now)
+	if hint <= 0 || hint > time.Second {
+		t.Errorf("sub-second date hint = %v, want within (0, 1s]", hint)
+	}
+}
+
+// TestBackoffHonorsHint: the sleep floor is max(exponential base, hint)
+// and the jitter never exceeds it; a zero hint (absent or unparsable
+// header) falls back to the jittered exponential default rather than a
+// zero-length sleep.
+func TestBackoffHonorsHint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 8; attempt++ {
+		base := 10 * time.Millisecond << uint(attempt)
+		if base > 500*time.Millisecond {
+			base = 500 * time.Millisecond
+		}
+		for _, hint := range []time.Duration{0, 2 * time.Second} {
+			floor := base
+			if hint > floor {
+				floor = hint
+			}
+			for i := 0; i < 50; i++ {
+				d := backoff(rng, attempt, hint)
+				if d <= 0 || d > floor+time.Millisecond {
+					t.Fatalf("attempt %d hint %v: backoff %v outside (0, %v]", attempt, hint, d, floor+time.Millisecond)
+				}
+			}
+		}
+	}
+}

@@ -8,8 +8,17 @@
 //	sddserve -addr 127.0.0.1:8090 -dict s298.sdda [-dict s344.sdda ...]
 //
 // Endpoints: POST /diagnose (single or batch observations),
-// GET /dictionaries + POST /dictionaries/{load,evict}, GET /healthz,
-// GET /readyz (503 while draining), GET /metrics (OpenMetrics).
+// GET /dictionaries + POST /dictionaries/{load,evict}, GET /cases +
+// GET /cases/correlate (the diagnosis memory, with -casestore),
+// GET /healthz, GET /readyz (503 while draining), GET /metrics
+// (OpenMetrics).
+//
+// With -casestore DIR the server remembers every diagnosis in a
+// durable case store (append-only journal + periodic snapshot under
+// DIR) and answers repeated or near-repeated observed signatures from
+// memory — recall before recompute, byte-identical responses whenever
+// served (DESIGN.md §15). A SIGKILL mid-append loses at most the torn
+// final journal line; the next start replays the rest.
 //
 // The server degrades rather than collapses: requests beyond
 // -max-inflight are shed with 503 + Retry-After, every request runs
@@ -26,6 +35,7 @@ import (
 	"os"
 	"time"
 
+	"sddict/internal/casestore"
 	"sddict/internal/cli"
 	"sddict/internal/serve"
 )
@@ -54,6 +64,9 @@ func run(ctx context.Context) error {
 		cache       = flag.Int("cache", 8, "dictionary cache capacity (LRU beyond this)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
 		chaosDelay  = flag.Duration("chaos-delay", 0, "artificially stretch every diagnosis by this much (fault-injection testing)")
+		caseDir     = flag.String("casestore", "", "directory for the durable diagnosis case store (recall before recompute); empty disables")
+		recall      = flag.Int("recall-budget", 2, "maximum Hamming distance for a near-match recall (with -casestore); negative disables near matching")
+		snapEvery   = flag.Int("casestore-snapshot-every", 256, "journal appends between case-store snapshot rotations")
 	)
 	flag.Var(&dicts, "dict", "dictionary artifact to preload (repeatable); a corrupt artifact fails startup")
 	obsFlags := cli.RegisterObsFlags(flag.CommandLine)
@@ -68,6 +81,22 @@ func run(ctx context.Context) error {
 	}
 	defer sess.Close()
 
+	var cases *casestore.Store
+	if *caseDir != "" {
+		backend, err := casestore.OpenDir(*caseDir, casestore.FileOptions{SnapshotEvery: *snapEvery})
+		if err != nil {
+			return fmt.Errorf("opening case store: %w", err)
+		}
+		cases, err = casestore.Open(backend, casestore.Options{Budget: *recall})
+		if err != nil {
+			backend.Close()
+			return fmt.Errorf("opening case store: %w", err)
+		}
+		defer cases.Close()
+		fmt.Printf("sddserve: case store %s (%d prior cases, recall budget %d)\n",
+			*caseDir, cases.Len(), *recall)
+	}
+
 	srv := serve.New(serve.Config{
 		MaxInFlight:  *maxInflight,
 		Timeout:      *timeout,
@@ -75,6 +104,7 @@ func run(ctx context.Context) error {
 		CacheSize:    *cache,
 		RetryAfter:   *retryAfter,
 		ChaosDelay:   *chaosDelay,
+		Cases:        cases,
 		Obs:          sess.Observer,
 	})
 

@@ -1,0 +1,149 @@
+package casestore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Cluster is one recurring candidate set across the recorded cases: the
+// same set of fault-class names diagnosed more than once. Serial marks
+// the "serial killer" pattern — the same candidate set recurring across
+// more than one circuit or more than one artifact revision (a defect
+// class that survives test-set changes), the cross-session correlation
+// ROADMAP item 3 asks for.
+type Cluster struct {
+	// Key is the canonical cluster identity: the sorted candidate names
+	// joined with " | ".
+	Key        string   `json:"key"`
+	Candidates []string `json:"candidates"`
+	Count      int      `json:"count"`
+	Exact      int      `json:"exact"`
+	Circuits   []string `json:"circuits"`
+	Checksums  []string `json:"checksums"`
+	Serial     bool     `json:"serial"`
+	CaseIDs    []int64  `json:"case_ids"`
+}
+
+// Report is the correlate output: every candidate set seen at least
+// twice, ordered by recurrence (count descending, key ascending — a
+// deterministic order for a given case history).
+type Report struct {
+	TotalCases int       `json:"total_cases"`
+	Clusters   []Cluster `json:"clusters"`
+}
+
+// clusterKey canonicalizes a case's candidate set. Names are the
+// cross-circuit identity (fault row indices are dictionary-local);
+// unnamed candidates fall back to their row index.
+func clusterKey(c Case) (string, []string) {
+	names := make([]string, len(c.Candidates))
+	for i, cand := range c.Candidates {
+		if cand.Name != "" {
+			names[i] = cand.Name
+		} else {
+			names[i] = fmt.Sprintf("#%d", cand.Fault)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, " | "), names
+}
+
+// Correlate clusters the given case history by candidate set.
+func Correlate(cases []Case) Report {
+	type agg struct {
+		names     []string
+		count     int
+		exact     int
+		circuits  map[string]bool
+		checksums map[string]bool
+		ids       []int64
+	}
+	byKey := make(map[string]*agg)
+	for _, c := range cases {
+		if len(c.Candidates) == 0 {
+			continue
+		}
+		key, names := clusterKey(c)
+		a := byKey[key]
+		if a == nil {
+			a = &agg{names: names, circuits: make(map[string]bool), checksums: make(map[string]bool)}
+			byKey[key] = a
+		}
+		a.count++
+		if c.Exact {
+			a.exact++
+		}
+		a.circuits[c.Circuit] = true
+		a.checksums[c.Checksum] = true
+		a.ids = append(a.ids, c.ID)
+	}
+	r := Report{TotalCases: len(cases)}
+	for key, a := range byKey {
+		if a.count < 2 {
+			continue
+		}
+		cl := Cluster{
+			Key:        key,
+			Candidates: a.names,
+			Count:      a.count,
+			Exact:      a.exact,
+			Circuits:   sortedSet(a.circuits),
+			Checksums:  sortedSet(a.checksums),
+			CaseIDs:    a.ids,
+		}
+		sort.Slice(cl.CaseIDs, func(x, y int) bool { return cl.CaseIDs[x] < cl.CaseIDs[y] })
+		cl.Serial = len(cl.Circuits) > 1 || len(cl.Checksums) > 1
+		r.Clusters = append(r.Clusters, cl)
+	}
+	sort.Slice(r.Clusters, func(a, b int) bool {
+		if r.Clusters[a].Count != r.Clusters[b].Count {
+			return r.Clusters[a].Count > r.Clusters[b].Count
+		}
+		return r.Clusters[a].Key < r.Clusters[b].Key
+	})
+	return r
+}
+
+// sortedSet flattens a string set deterministically.
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteText renders the report in the sddstat idiom: one headline, one
+// line per cluster, serial clusters flagged.
+func (r Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "case correlation: %d cases, %d recurring candidate sets\n",
+		r.TotalCases, len(r.Clusters)); err != nil {
+		return err
+	}
+	for _, cl := range r.Clusters {
+		tag := ""
+		if cl.Serial {
+			tag = "  [serial: recurs across " + recurrence(cl) + "]"
+		}
+		if _, err := fmt.Fprintf(w, "  %dx (%d exact) {%s} in %d circuit(s), %d revision(s)%s\n",
+			cl.Count, cl.Exact, cl.Key, len(cl.Circuits), len(cl.Checksums), tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recurrence names the axes a serial cluster spans.
+func recurrence(cl Cluster) string {
+	switch {
+	case len(cl.Circuits) > 1 && len(cl.Checksums) > 1:
+		return "circuits and revisions"
+	case len(cl.Circuits) > 1:
+		return "circuits"
+	default:
+		return "revisions"
+	}
+}

@@ -1,0 +1,83 @@
+package casestore
+
+// Tests for the correlate step: clustering by canonical candidate set,
+// the serial-killer flag, deterministic ordering, and the sddstat-style
+// text rendering.
+
+import (
+	"strings"
+	"testing"
+)
+
+// namedCase builds a case whose candidate set is the given names.
+func namedCase(id int64, circuit, checksum string, exact bool, names ...string) Case {
+	c := Case{ID: id, Circuit: circuit, Checksum: checksum, Exact: exact}
+	for i, n := range names {
+		c.Candidates = append(c.Candidates, Candidate{Fault: i, Name: n})
+	}
+	return c
+}
+
+func TestCorrelateClusters(t *testing.T) {
+	cases := []Case{
+		// {g1} three times in one circuit, one revision: recurring, not serial.
+		namedCase(1, "s298", "aaaa", true, "g1 s-a-1"),
+		namedCase(2, "s298", "aaaa", true, "g1 s-a-1"),
+		namedCase(3, "s298", "aaaa", false, "g1 s-a-1"),
+		// {g0,g2} across two circuits: the serial-killer pattern.
+		namedCase(4, "s298", "aaaa", true, "g0 s-a-0", "g2 s-a-0"),
+		namedCase(5, "s344", "bbbb", true, "g2 s-a-0", "g0 s-a-0"), // unsorted on purpose
+		// Singleton set: excluded from the report.
+		namedCase(6, "s298", "aaaa", true, "g7 s-a-1"),
+		// Candidate-less case: ignored entirely.
+		{ID: 7, Circuit: "s298", Checksum: "aaaa"},
+	}
+	r := Correlate(cases)
+	if r.TotalCases != 7 || len(r.Clusters) != 2 {
+		t.Fatalf("report: total=%d clusters=%d, want 7 and 2", r.TotalCases, len(r.Clusters))
+	}
+	// Count descending: {g1} x3 first.
+	g1 := r.Clusters[0]
+	if g1.Key != "g1 s-a-1" || g1.Count != 3 || g1.Exact != 2 || g1.Serial {
+		t.Errorf("g1 cluster: %+v", g1)
+	}
+	if len(g1.CaseIDs) != 3 || g1.CaseIDs[0] != 1 || g1.CaseIDs[2] != 3 {
+		t.Errorf("g1 case IDs: %v", g1.CaseIDs)
+	}
+	pair := r.Clusters[1]
+	if pair.Key != "g0 s-a-0 | g2 s-a-0" {
+		t.Fatalf("pair key %q: candidate order must canonicalize", pair.Key)
+	}
+	if !pair.Serial || pair.Count != 2 || len(pair.Circuits) != 2 || len(pair.Checksums) != 2 {
+		t.Errorf("pair cluster: %+v, want serial across 2 circuits and 2 revisions", pair)
+	}
+}
+
+func TestCorrelateUnnamedCandidates(t *testing.T) {
+	c := Case{ID: 1, Candidates: []Candidate{{Fault: 4}, {Fault: 11}}}
+	key, names := clusterKey(c)
+	if key != "#11 | #4" || len(names) != 2 {
+		t.Errorf("unnamed key %q (names %v), want fault-index fallback", key, names)
+	}
+}
+
+func TestCorrelateWriteText(t *testing.T) {
+	cases := []Case{
+		namedCase(1, "s298", "aaaa", true, "g1 s-a-1"),
+		namedCase(2, "s344", "bbbb", true, "g1 s-a-1"),
+	}
+	var sb strings.Builder
+	if err := Correlate(cases).WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"case correlation: 2 cases, 1 recurring candidate sets",
+		"2x (2 exact) {g1 s-a-1} in 2 circuit(s), 2 revision(s)",
+		"[serial: recurs across circuits and revisions]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}

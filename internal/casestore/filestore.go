@@ -1,0 +1,273 @@
+package casestore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sddict/internal/core"
+	"sddict/internal/faultfs"
+)
+
+// ErrCorruptStore marks structural damage in a case-store directory
+// that is *not* a crash-torn journal tail: an unparsable snapshot, or a
+// malformed journal line that is newline-terminated (i.e. was fully
+// written and then damaged). Torn tails — the one failure mode a
+// SIGKILL mid-append legitimately produces — are tolerated silently,
+// exactly like obs.ReadEvents tolerates a torn trace.
+var ErrCorruptStore = errors.New("casestore: corrupt store")
+
+const (
+	journalName  = "journal.jsonl"
+	snapshotName = "snapshot.json"
+
+	// defaultSnapshotEvery is how many journal appends trigger a
+	// snapshot + journal rotation.
+	defaultSnapshotEvery = 256
+)
+
+// FileStore is the durable backend: a directory holding an append-only
+// JSONL journal (one case per line, one Write call per case so a crash
+// tears at most the final line) and a periodic snapshot written through
+// core.AtomicWriteFile. On open, cases = snapshot ∪ journal, deduped by
+// ID — the journal is only rotated *after* its cases are safely inside
+// a snapshot, so a crash between the two steps duplicates cases rather
+// than losing them, and the dedup makes the duplicate harmless.
+//
+// FileStore methods are not themselves concurrency-safe; the Store
+// front serializes access.
+type FileStore struct {
+	dir           string
+	fs            faultfs.FS
+	snapshotEvery int
+
+	journal      *os.File
+	sinceRotate  int
+	loaded       []Case
+	snapshotTail []Case // everything currently durable, for the next snapshot
+}
+
+// FileOptions parameterizes OpenDir. The zero value is usable.
+type FileOptions struct {
+	// SnapshotEvery is the number of appended cases between snapshot
+	// rotations. Default 256; negative disables snapshots (journal-only).
+	SnapshotEvery int
+	// FS is the filesystem reads go through (the fault-injection seam);
+	// writes always go to the real filesystem. Default faultfs.OS.
+	FS faultfs.FS
+}
+
+// OpenDir opens (creating if needed) the durable case store at dir.
+func OpenDir(dir string, opt FileOptions) (*FileStore, error) {
+	if opt.SnapshotEvery == 0 {
+		opt.SnapshotEvery = defaultSnapshotEvery
+	}
+	if opt.FS == nil {
+		opt.FS = faultfs.OS
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("casestore: creating %s: %w", dir, err)
+	}
+	fst := &FileStore{dir: dir, fs: opt.FS, snapshotEvery: opt.SnapshotEvery}
+	cases, validLen, needNL, err := fst.loadAll()
+	if err != nil {
+		return nil, err
+	}
+	fst.loaded = cases
+	fst.snapshotTail = append([]Case(nil), cases...)
+	j, err := os.OpenFile(filepath.Join(dir, journalName), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("casestore: opening journal: %w", err)
+	}
+	// Repair the crash-torn tail before appending: without this, the
+	// next append would concatenate onto the torn fragment and turn a
+	// tolerated crash artifact into a newline-terminated corrupt line —
+	// a permanent ErrCorruptStore on the open after that. Truncating to
+	// the last structurally sound byte (and restoring the final line's
+	// missing newline) is the WAL recovery step.
+	if info, serr := j.Stat(); serr == nil && info.Size() > validLen {
+		if err := j.Truncate(validLen); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("casestore: repairing torn journal tail: %w", err)
+		}
+	}
+	if needNL {
+		if _, err := j.Write([]byte("\n")); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("casestore: repairing torn journal tail: %w", err)
+		}
+	}
+	fst.journal = j
+	return fst, nil
+}
+
+// loadAll reads snapshot + journal and returns the deduped, ID-sorted
+// case history, plus the journal's sound byte length and whether its
+// final line needs a newline restored (see OpenDir's repair step).
+func (f *FileStore) loadAll() ([]Case, int64, bool, error) {
+	var cases []Case
+	snap, err := f.readSnapshot()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	cases = append(cases, snap...)
+	jcases, validLen, needNL, err := f.readJournal()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	seen := make(map[int64]bool, len(cases))
+	for _, c := range cases {
+		seen[c.ID] = true
+	}
+	for _, c := range jcases {
+		if !seen[c.ID] {
+			seen[c.ID] = true
+			cases = append(cases, c)
+		}
+	}
+	sort.Slice(cases, func(a, b int) bool { return cases[a].ID < cases[b].ID })
+	return cases, validLen, needNL, nil
+}
+
+// readSnapshot parses snapshot.json; a missing snapshot is an empty
+// history, a damaged one is ErrCorruptStore (it was written atomically,
+// so damage is bit rot, not a crash artifact).
+func (f *FileStore) readSnapshot() ([]Case, error) {
+	file, err := f.fs.Open(filepath.Join(f.dir, snapshotName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("casestore: opening snapshot: %w", err)
+	}
+	defer file.Close()
+	data, err := io.ReadAll(file)
+	if err != nil {
+		return nil, fmt.Errorf("casestore: reading snapshot: %w", err)
+	}
+	var cases []Case
+	if err := json.Unmarshal(data, &cases); err != nil {
+		return nil, fmt.Errorf("casestore: parsing snapshot (atomic write, so this is bit rot): %w: %w", err, ErrCorruptStore)
+	}
+	return cases, nil
+}
+
+// readJournal parses journal.jsonl with obs.ReadEvents semantics: a
+// final line without a newline is a crash-torn append and yields the
+// parsed prefix; a malformed line that *is* newline-terminated (or is
+// followed by more lines) is corruption and fails with ErrCorruptStore.
+//
+// Alongside the cases it returns the byte length of the structurally
+// sound prefix (everything up to and including the last usable line)
+// and whether the final line parsed but is missing its newline — the
+// inputs to OpenDir's torn-tail repair.
+func (f *FileStore) readJournal() ([]Case, int64, bool, error) {
+	file, err := f.fs.Open(filepath.Join(f.dir, journalName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, fmt.Errorf("casestore: opening journal: %w", err)
+	}
+	defer file.Close()
+	br := bufio.NewReader(file)
+	var cases []Case
+	var valid int64
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, 0, false, fmt.Errorf("casestore: reading journal: %w", err)
+		}
+		complete := err == nil
+		if trimmed := strings.TrimSpace(line); trimmed != "" {
+			var c Case
+			if uerr := json.Unmarshal([]byte(trimmed), &c); uerr != nil {
+				if !complete {
+					// Torn tail: the writer died mid-append. Keep the prefix.
+					return cases, valid, false, nil
+				}
+				return nil, 0, false, fmt.Errorf("casestore: journal case %d: %w: %w", len(cases)+1, uerr, ErrCorruptStore)
+			}
+			cases = append(cases, c)
+			valid += int64(len(line))
+			if !complete {
+				// The append's single write landed fully, only the trailing
+				// newline is conceptually missing (it is part of the same
+				// write, so in practice this means a reader raced the crash).
+				return cases, valid, true, nil
+			}
+			continue
+		}
+		if !complete {
+			// Whitespace-only torn tail: drop it.
+			return cases, valid, false, nil
+		}
+		valid += int64(len(line))
+	}
+}
+
+// Append journals c durably (one write, fsync'd) and rotates journal
+// into snapshot every snapshotEvery appends.
+func (f *FileStore) Append(c Case) error {
+	line, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("casestore: encoding case %d: %w", c.ID, err)
+	}
+	if _, err := f.journal.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("casestore: appending case %d: %w", c.ID, err)
+	}
+	if err := f.journal.Sync(); err != nil {
+		return fmt.Errorf("casestore: syncing journal: %w", err)
+	}
+	f.snapshotTail = append(f.snapshotTail, c)
+	f.sinceRotate++
+	if f.snapshotEvery > 0 && f.sinceRotate >= f.snapshotEvery {
+		if err := f.rotate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotate folds the journal into a fresh snapshot and truncates the
+// journal. Order matters for crash safety: the snapshot (atomic
+// temp+rename) lands first, so a crash before the truncate merely
+// leaves journal entries that the snapshot already holds — deduped by
+// ID on the next open.
+func (f *FileStore) rotate() error {
+	err := core.AtomicWriteFile(filepath.Join(f.dir, snapshotName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		return enc.Encode(f.snapshotTail)
+	})
+	if err != nil {
+		return fmt.Errorf("casestore: writing snapshot: %w", err)
+	}
+	if err := f.journal.Truncate(0); err != nil {
+		return fmt.Errorf("casestore: truncating journal after snapshot: %w", err)
+	}
+	f.sinceRotate = 0
+	return nil
+}
+
+// Cases returns the history loaded at open. Appends made through this
+// handle are tracked by the Store's index, not replayed here.
+func (f *FileStore) Cases() ([]Case, error) { return f.loaded, nil }
+
+// Close releases the journal handle.
+func (f *FileStore) Close() error {
+	if f.journal == nil {
+		return nil
+	}
+	err := f.journal.Close()
+	f.journal = nil
+	if err != nil {
+		return fmt.Errorf("casestore: closing journal: %w", err)
+	}
+	return nil
+}

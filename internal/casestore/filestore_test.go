@@ -1,0 +1,282 @@
+package casestore
+
+// Durability tests for the file backend: journal round-trips, the full
+// truncation matrix over every byte offset of the journal (a crash-torn
+// tail must never fail the open, only shorten the history), corruption
+// verdicts for damage that cannot be a crash artifact, snapshot
+// rotation, and the crash window between snapshot and truncate.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sddict/internal/faultfs"
+)
+
+// openFileStore opens dir and fails the test on error.
+func openFileStore(t *testing.T, dir string, opt FileOptions) *FileStore {
+	t.Helper()
+	f, err := OpenDir(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// appendCases journals n exact cases with IDs 1..n.
+func appendCases(t *testing.T, f *FileStore, n int) {
+	t.Helper()
+	for i := 1; i <= n; i++ {
+		c := exactCase("aaaa", []uint64{uint64(i)}, i)
+		c.ID = int64(i)
+		if err := f.Append(c); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func caseIDs(cases []Case) []int64 {
+	ids := make([]int64, len(cases))
+	for i, c := range cases {
+		ids[i] = c.ID
+	}
+	return ids
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := openFileStore(t, dir, FileOptions{SnapshotEvery: -1})
+	appendCases(t, f, 3)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g := openFileStore(t, dir, FileOptions{SnapshotEvery: -1})
+	cases, err := g.Cases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 3 {
+		t.Fatalf("reloaded %d cases, want 3 (ids %v)", len(cases), caseIDs(cases))
+	}
+	for i, c := range cases {
+		if c.ID != int64(i+1) || len(c.Candidates) != 1 || c.Candidates[0].Fault != i+1 {
+			t.Errorf("case %d reloaded as %+v", i+1, c)
+		}
+	}
+}
+
+// TestJournalTruncationMatrix cuts the journal at every byte offset:
+// every prefix must open without error — a torn tail is the one damage
+// a crash legitimately produces — and yield exactly the cases whose
+// lines survived intact (a final line missing only its newline still
+// counts: the append's single write made it durable).
+func TestJournalTruncationMatrix(t *testing.T) {
+	src := t.TempDir()
+	f := openFileStore(t, src, FileOptions{SnapshotEvery: -1})
+	appendCases(t, f, 3)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	journal, err := os.ReadFile(filepath.Join(src, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(journal, []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3", len(lines))
+	}
+
+	for cut := 0; cut <= len(journal); cut++ {
+		prefix := journal[:cut]
+		// Expected survivors: every line fully inside the prefix, plus a
+		// final line whose content is complete but whose newline was cut.
+		want, off := 0, 0
+		for _, line := range lines {
+			if off+len(line) <= cut || off+len(line)-1 == cut {
+				want++
+			}
+			off += len(line)
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, journalName), prefix, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g, err := OpenDir(dir, FileOptions{SnapshotEvery: -1})
+		if err != nil {
+			t.Fatalf("cut %d/%d: open failed: %v", cut, len(journal), err)
+		}
+		cases, _ := g.Cases()
+		if len(cases) != want {
+			t.Errorf("cut %d/%d: loaded %d cases, want %d (ids %v)",
+				cut, len(journal), len(cases), want, caseIDs(cases))
+		}
+		for i, c := range cases {
+			if c.ID != int64(i+1) {
+				t.Errorf("cut %d: survivor %d has ID %d, want the uncut prefix", cut, i, c.ID)
+			}
+		}
+		g.Close()
+	}
+}
+
+// TestJournalCorruptLineRejected: a malformed line that IS
+// newline-terminated was fully written and then damaged — that is
+// corruption, not a crash, and must fail loudly.
+func TestJournalCorruptLineRejected(t *testing.T) {
+	dir := t.TempDir()
+	f := openFileStore(t, dir, FileOptions{SnapshotEvery: -1})
+	appendCases(t, f, 1)
+	f.Close()
+	j, err := os.OpenFile(filepath.Join(dir, journalName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Write([]byte("{definitely not json}\n")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	if _, err := OpenDir(dir, FileOptions{SnapshotEvery: -1}); !errors.Is(err, ErrCorruptStore) {
+		t.Fatalf("open over a newline-terminated bad line: %v, want ErrCorruptStore", err)
+	}
+}
+
+// TestSnapshotCorruptRejected: the snapshot is written atomically, so
+// any damage is bit rot — never tolerated silently.
+func TestSnapshotCorruptRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte("[{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir, FileOptions{}); !errors.Is(err, ErrCorruptStore) {
+		t.Fatalf("open over a damaged snapshot: %v, want ErrCorruptStore", err)
+	}
+}
+
+// TestSnapshotRotation: every SnapshotEvery appends the journal folds
+// into an atomic snapshot and truncates; the full history survives a
+// reopen and the journal only holds the unsnapshotted tail.
+func TestSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	f := openFileStore(t, dir, FileOptions{SnapshotEvery: 2})
+	appendCases(t, f, 5)
+	f.Close()
+
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		t.Fatalf("snapshot after rotation: %v", err)
+	}
+	var snapped []Case
+	if err := json.Unmarshal(snap, &snapped); err != nil {
+		t.Fatal(err)
+	}
+	if len(snapped) != 4 {
+		t.Errorf("snapshot holds %d cases, want 4 (rotations after appends 2 and 4)", len(snapped))
+	}
+	journal, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(journal, []byte("\n")); n != 1 {
+		t.Errorf("journal holds %d lines after rotation, want only the unsnapshotted case 5", n)
+	}
+
+	g := openFileStore(t, dir, FileOptions{SnapshotEvery: 2})
+	cases, _ := g.Cases()
+	if len(cases) != 5 {
+		t.Fatalf("reopen after rotation: %d cases, want 5 (ids %v)", len(cases), caseIDs(cases))
+	}
+}
+
+// TestCrashBetweenSnapshotAndTruncate: the rotation order (snapshot
+// first, truncate second) means a crash in between duplicates cases
+// across the two files; the dedup-by-ID at open makes that harmless.
+func TestCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	f := openFileStore(t, dir, FileOptions{SnapshotEvery: -1})
+	appendCases(t, f, 3)
+	f.Close()
+	journal, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: snapshot holds cases 1-2, the journal
+	// still holds all three lines.
+	var all []Case
+	g := openFileStore(t, dir, FileOptions{SnapshotEvery: -1})
+	if all, err = g.Cases(); err != nil || len(all) != 3 {
+		t.Fatalf("precondition: %d cases (%v)", len(all), err)
+	}
+	g.Close()
+	snap, err := json.Marshal(all[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := t.TempDir()
+	if err := os.WriteFile(filepath.Join(crash, snapshotName), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(crash, journalName), journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h := openFileStore(t, crash, FileOptions{SnapshotEvery: -1})
+	cases, _ := h.Cases()
+	if len(cases) != 3 {
+		t.Fatalf("after crash window: %d cases, want 3 deduped (ids %v)", len(cases), caseIDs(cases))
+	}
+	for i, c := range cases {
+		if c.ID != int64(i+1) {
+			t.Errorf("case %d has ID %d after dedup", i, c.ID)
+		}
+	}
+}
+
+// TestTornWriteRecovery drives the faultfs torn-tail injection the
+// chaos leg uses: truncating the journal mid-line loses exactly that
+// final case and nothing else, even with a snapshot in play.
+func TestTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	f := openFileStore(t, dir, FileOptions{SnapshotEvery: 2})
+	appendCases(t, f, 5) // snapshot holds 1-4, journal holds 5
+	f.Close()
+	jpath := filepath.Join(dir, journalName)
+	info, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultfs.TruncateFile(jpath, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	g := openFileStore(t, dir, FileOptions{SnapshotEvery: 2})
+	cases, _ := g.Cases()
+	if len(cases) != 4 {
+		t.Fatalf("after torn journal: %d cases, want snapshot's 4 (ids %v)", len(cases), caseIDs(cases))
+	}
+
+	// The store must stay writable after recovery: OpenDir repairs the
+	// torn tail (truncates the fragment) so the next append starts a
+	// fresh line instead of concatenating onto garbage. Case 5 is lost —
+	// that is the crash contract — but case 6 must survive.
+	c := exactCase("aaaa", []uint64{0b111111}, 6)
+	c.ID = 6
+	if err := g.Append(c); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	h := openFileStore(t, dir, FileOptions{SnapshotEvery: 2})
+	cases, _ = h.Cases()
+	if len(cases) != 5 || cases[4].ID != 6 {
+		t.Fatalf("append after torn-tail repair: %d cases (ids %v), want 1-4 and 6", len(cases), caseIDs(cases))
+	}
+}

@@ -91,6 +91,15 @@ func (c *Compiled) Signature(observed []logic.BitVec) (logic.BitVec, error) {
 	return sig, nil
 }
 
+// SignatureBits returns the width of this dictionary's signature space:
+// one bit per test, doubled by the two-baseline extension.
+func (c *Compiled) SignatureBits() int {
+	if c.ExtraBaseline != nil {
+		return 2 * c.NumTests
+	}
+	return c.NumTests
+}
+
 // Candidates returns the fault indices whose rows equal sig.
 func (c *Compiled) Candidates(sig logic.BitVec) []int {
 	var out []int

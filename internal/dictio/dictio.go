@@ -80,15 +80,23 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // Header is the artifact's provenance record (JSON section 1). Faults
 // is the fault-class table: Faults[i] names the fault behind dictionary
 // row i (e.g. "g42 s-a-1"), so a diagnosis can report circuit-level
-// names without the netlist at hand.
+// names without the netlist at hand. TestChecksum is the test-set
+// identity: a CRC32C over the baseline output vectors and dimensions,
+// so two artifacts built from the same circuit can be told apart when
+// their test sets differ (the case store keys recall on it, and
+// correlation uses it to spot the same defect class surviving a
+// test-set revision). New is the only writer; Decode recomputes it for
+// the cross-check and fills it in for artifacts published before the
+// field existed.
 type Header struct {
-	Circuit string   `json:"circuit"`
-	TestSet string   `json:"test_set"`
-	Seed    int64    `json:"seed"`
-	Kind    string   `json:"kind"`
-	Tests   int      `json:"tests"`
-	Outputs int      `json:"outputs"`
-	Faults  []string `json:"faults"`
+	Circuit      string   `json:"circuit"`
+	TestSet      string   `json:"test_set"`
+	TestChecksum string   `json:"test_checksum,omitempty"`
+	Seed         int64    `json:"seed"`
+	Kind         string   `json:"kind"`
+	Tests        int      `json:"tests"`
+	Outputs      int      `json:"outputs"`
+	Faults       []string `json:"faults"`
 }
 
 // Artifact is one decoded dictionary artifact. Checksum is the CRC32C
@@ -106,10 +114,44 @@ func New(dict *core.Compiled, h Header) (*Artifact, error) {
 	h.Kind = dict.Kind.String()
 	h.Tests = dict.NumTests
 	h.Outputs = dict.Outputs
+	h.TestChecksum = TestSetChecksum(dict)
 	if len(h.Faults) != len(dict.Rows) {
 		return nil, fmt.Errorf("dictio: %d fault names for %d dictionary rows", len(h.Faults), len(dict.Rows))
 	}
 	return &Artifact{Header: h, Dict: dict}, nil
+}
+
+// TestSetChecksum computes the test-set identity of a compiled
+// dictionary: a CRC32C over the dimensions and every baseline output
+// vector (fault-free, baseline, and the two-baseline extension when
+// present), rendered as the same 8-hex-digit string the artifact
+// checksum uses. Two dictionaries share a TestSetChecksum exactly when
+// they were built against the same tests with the same expected
+// outputs — the identity recall and correlation key on.
+func TestSetChecksum(dict *core.Compiled) string {
+	sum := crc32.New(castagnoli)
+	var b [8]byte
+	le := binary.LittleEndian
+	word := func(w uint64) {
+		le.PutUint64(b[:], w)
+		sum.Write(b[:])
+	}
+	word(uint64(dict.NumTests))
+	word(uint64(dict.Outputs))
+	vecs := func(vs []logic.BitVec) {
+		for _, v := range vs {
+			for _, w := range v {
+				word(w)
+			}
+		}
+	}
+	vecs(dict.FaultFree)
+	vecs(dict.Baseline)
+	if dict.ExtraBaseline != nil {
+		word(1) // domain-separate the two-baseline layout
+		vecs(dict.ExtraBaseline)
+	}
+	return fmt.Sprintf("%08x", sum.Sum32())
 }
 
 // corruptf wraps ErrCorruptArtifact with context.
@@ -286,6 +328,14 @@ func Decode(r io.Reader) (*Artifact, error) {
 	case h.Kind != dict.Kind.String():
 		return nil, corruptf("header kind %q, dictionary kind %q", h.Kind, dict.Kind)
 	}
+	switch tc := TestSetChecksum(dict); {
+	case h.TestChecksum == "":
+		// Published before the field existed: adopt the computed
+		// identity in memory so downstream consumers always see one.
+		h.TestChecksum = tc
+	case h.TestChecksum != tc:
+		return nil, corruptf("header test-set checksum %s, dictionary baselines hash to %s", h.TestChecksum, tc)
+	}
 	return &Artifact{Header: h, Dict: dict, Checksum: sum.Sum32()}, nil
 }
 
@@ -309,7 +359,12 @@ func LoadFS(fsys faultfs.FS, path string) (*Artifact, error) {
 
 // SniffFile reports whether the file at path starts with the artifact
 // magic — how cmd/diagnose tells a published artifact from a bare
-// compiled dictionary (sdd -save-dict).
+// compiled dictionary (sdd -save-dict). A file too short to carry any
+// magic number (zero-length, or truncated inside the first four bytes)
+// is neither format and can only be damage, so the verdict is a wrapped
+// ErrCorruptArtifact — not a silent "false" that would route the caller
+// into the wrong loader and surface as a raw io error, and never a
+// panic. Genuine read failures (flaky media) keep their own identity.
 func SniffFile(fsys faultfs.FS, path string) (bool, error) {
 	f, err := fsys.Open(path)
 	if err != nil {
@@ -317,9 +372,12 @@ func SniffFile(fsys faultfs.FS, path string) (bool, error) {
 	}
 	defer f.Close()
 	var b [4]byte
-	if _, err := io.ReadFull(f, b[:]); err != nil {
-		// Too short to carry either magic; let the real loader report.
-		return false, nil
+	switch _, err := io.ReadFull(f, b[:]); {
+	case err == nil:
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return false, fmt.Errorf("%s: %w", path, corruptf("file too short to carry a magic number"))
+	default:
+		return false, fmt.Errorf("dictio: sniffing %s: %w", path, err)
 	}
 	return binary.LittleEndian.Uint32(b[:]) == Magic, nil
 }

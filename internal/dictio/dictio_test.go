@@ -280,6 +280,98 @@ func TestLoadFSInjectedReadFault(t *testing.T) {
 	}
 }
 
+// TestSniffFileSubMagicMatrix: zero-length and 1..len(magic)-1 files
+// are too short to be either artifact format — the verdict must be a
+// wrapped ErrCorruptArtifact, never a raw io error (which would route
+// cmd/diagnose into the bare-compiled loader) and never a panic. A full
+// 4-byte prefix carrying the wrong magic is a clean "not an artifact".
+func TestSniffFileSubMagicMatrix(t *testing.T) {
+	data := encode(t, testArtifact(t))
+	dir := t.TempDir()
+	for size := 0; size < 4; size++ {
+		path := filepath.Join(dir, "short.sdda")
+		if err := os.WriteFile(path, data[:size], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := dictio.SniffFile(faultfs.OS, path)
+		if ok {
+			t.Fatalf("size %d: sniffed as artifact", size)
+		}
+		if !errors.Is(err, dictio.ErrCorruptArtifact) {
+			t.Errorf("size %d: err = %v, want wrapped ErrCorruptArtifact", size, err)
+		}
+		// The decoder must agree on the same bytes.
+		if _, err := dictio.Decode(bytes.NewReader(data[:size])); !errors.Is(err, dictio.ErrCorruptArtifact) {
+			t.Errorf("size %d: Decode err = %v, want ErrCorruptArtifact", size, err)
+		}
+	}
+	notArtifact := filepath.Join(dir, "elf.bin")
+	if err := os.WriteFile(notArtifact, []byte{0x7f, 'E', 'L', 'F'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := dictio.SniffFile(faultfs.OS, notArtifact); ok || err != nil {
+		t.Errorf("foreign 4-byte magic: SniffFile = %v, %v; want false, nil", ok, err)
+	}
+}
+
+// TestSniffFileMissing: a missing file keeps its os identity so callers
+// can 404 instead of claiming corruption.
+func TestSniffFileMissing(t *testing.T) {
+	_, err := dictio.SniffFile(faultfs.OS, filepath.Join(t.TempDir(), "nope.sdda"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file: err = %v, want os.ErrNotExist", err)
+	}
+	if errors.Is(err, dictio.ErrCorruptArtifact) {
+		t.Errorf("missing file misreported as corrupt: %v", err)
+	}
+}
+
+// TestTestSetChecksum pins the test-set identity: stable across
+// republishes of the same dictionary, different once the baselines
+// change, carried through the artifact header, and back-filled when
+// decoding a pre-field artifact.
+func TestTestSetChecksum(t *testing.T) {
+	a := testArtifact(t)
+	if a.Header.TestChecksum == "" || a.Header.TestChecksum != dictio.TestSetChecksum(a.Dict) {
+		t.Fatalf("header test checksum %q, computed %q", a.Header.TestChecksum, dictio.TestSetChecksum(a.Dict))
+	}
+	got, err := dictio.Decode(bytes.NewReader(encode(t, a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.TestChecksum != a.Header.TestChecksum {
+		t.Errorf("decoded test checksum %q != published %q", got.Header.TestChecksum, a.Header.TestChecksum)
+	}
+
+	// A baseline flip changes the identity.
+	b := testArtifact(t)
+	b.Dict.Baseline[0] = b.Dict.Baseline[0].Clone()
+	b.Dict.Baseline[0].Set(0, 1-b.Dict.Baseline[0].Get(0))
+	if dictio.TestSetChecksum(b.Dict) == a.Header.TestChecksum {
+		t.Error("baseline flip kept the same test-set checksum")
+	}
+
+	// Pre-field artifact (empty test_checksum in the header): Decode
+	// adopts the computed identity so recall works on old artifacts.
+	old := testArtifact(t)
+	old.Header.TestChecksum = ""
+	got, err = dictio.Decode(bytes.NewReader(encode(t, old)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.TestChecksum != dictio.TestSetChecksum(old.Dict) {
+		t.Errorf("pre-field artifact: decoded test checksum %q, want back-filled %q",
+			got.Header.TestChecksum, dictio.TestSetChecksum(old.Dict))
+	}
+
+	// A header claiming a different test-set identity than its own
+	// baselines hash to is cross-section disagreement: both CRCs pass,
+	// the semantic check must object.
+	lying := testArtifact(t)
+	lying.Header.TestChecksum = "deadbeef"
+	wantDamageSentinel(t, encode(t, lying), "test-set checksum mismatch")
+}
+
 func TestParseVector(t *testing.T) {
 	v, err := dictio.ParseVector("0101", 4)
 	if err != nil {

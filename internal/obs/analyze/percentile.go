@@ -44,7 +44,10 @@ func Percentile(hs obs.HistSnapshot, q float64) float64 {
 	if hs.Count == 0 || len(hs.Buckets) == 0 {
 		return 0
 	}
-	if q < 0 {
+	// NaN fails every ordered comparison, so a plain q<0 / q>1 clamp
+	// would let it through to rank=NaN, skip every bucket, and
+	// over-report the top edge. !(q >= 0) is the NaN-safe form.
+	if !(q >= 0) {
 		q = 0
 	}
 	if q > 1 {
@@ -55,7 +58,7 @@ func Percentile(hs obs.HistSnapshot, q float64) float64 {
 	for _, b := range hs.Buckets {
 		n := float64(b.N)
 		if cum+n >= rank {
-			if b.Lo == b.Hi { // the zero bucket (and any degenerate one)
+			if b.Hi <= b.Lo { // the zero bucket (and any degenerate one)
 				return float64(b.Lo)
 			}
 			frac := 0.0

@@ -1,6 +1,7 @@
 package analyze
 
 import (
+	"math"
 	"testing"
 
 	"sddict/internal/obs"
@@ -52,6 +53,54 @@ func TestPercentileZeroBucket(t *testing.T) {
 func TestPercentileEmpty(t *testing.T) {
 	if got := Percentile(obs.HistSnapshot{}, 0.5); got != 0 {
 		t.Errorf("empty histogram percentile = %v, want 0", got)
+	}
+}
+
+// TestPercentileDegenerateHistograms pins the estimator on the shapes
+// a recall-latency histogram routinely has early in a serve run: empty,
+// a single sample, one bucket, everything in the overflow bucket. No
+// shape may yield NaN or a value outside the occupied bucket range.
+func TestPercentileDegenerateHistograms(t *testing.T) {
+	cases := []struct {
+		name string
+		hs   obs.HistSnapshot
+		lo   int64 // every quantile must land in [lo, hi]
+		hi   int64
+	}{
+		{"single sample", histOf(t, 5), 4, 7},
+		{"single zero sample", histOf(t, 0), 0, 0},
+		{"single bucket many samples", histOf(t, 4, 5, 6, 7, 4, 7), 4, 7},
+		{"all in one large bucket", histOf(t, 1 << 40, 1<<40+3, 1<<40+9), 1 << 40, 1<<41 - 1},
+		{"handcrafted inverted bucket", obs.HistSnapshot{
+			Count: 2, Buckets: []obs.HistBucket{{Lo: 8, Hi: 4, N: 2}},
+		}, 8, 8}, // degenerate metadata: report Lo, never interpolate backwards
+	}
+	for _, tc := range cases {
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			got := Percentile(tc.hs, q)
+			if math.IsNaN(got) {
+				t.Errorf("%s: q=%v is NaN", tc.name, q)
+				continue
+			}
+			if got < float64(tc.lo) || got > float64(tc.hi) {
+				t.Errorf("%s: q=%v = %v, want within [%d, %d]", tc.name, q, got, tc.lo, tc.hi)
+			}
+		}
+	}
+}
+
+// TestPercentileNaNQuantile: a NaN q fails every ordered comparison, so
+// a naive clamp would let it skip all buckets and over-report the top
+// edge; it must clamp to q=0 instead.
+func TestPercentileNaNQuantile(t *testing.T) {
+	hs := histOf(t, 1, 2, 3, 4, 5, 6, 7)
+	got := Percentile(hs, math.NaN())
+	if math.IsNaN(got) {
+		t.Fatal("NaN quantile produced NaN")
+	}
+	if want := Percentile(hs, 0); got != want {
+		t.Errorf("NaN quantile = %v, want the q=0 value %v (not the top edge %v)",
+			got, want, Percentile(hs, 1))
 	}
 }
 

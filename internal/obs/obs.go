@@ -85,6 +85,17 @@ const (
 	// LoadRetries counts sddload request attempts retried after a 503
 	// (the chaos driver's backoff loop).
 	LoadRetries
+	// ServeRecallHits counts diagnosis observations answered from an
+	// exact case-store match (byte-identical to recompute by identity).
+	ServeRecallHits
+	// ServeRecallNear counts observations answered from a near
+	// (Hamming-budget) case-store match that passed the false-dedup
+	// guard.
+	ServeRecallNear
+	// ServeRecallMisses counts observations that went through the full
+	// recompute (no usable prior case), including near candidates
+	// rejected by the guard.
+	ServeRecallMisses
 
 	numCounters
 )
@@ -107,6 +118,9 @@ var counterNames = [numCounters]string{
 	ServeDictHits:        "serve_dict_hits",
 	ServeDictEvicts:      "serve_dict_evicts",
 	LoadRetries:          "load_retries",
+	ServeRecallHits:      "serve_recall_hits",
+	ServeRecallNear:      "serve_recall_near",
+	ServeRecallMisses:    "serve_recall_misses",
 }
 
 // Gauge identifies one instantaneous metric.
@@ -145,6 +159,10 @@ const (
 	// RequestUs is the distribution of end-to-end request latencies in
 	// microseconds, recorded client-side by sddload (including retries).
 	RequestUs
+	// RecallUs is the distribution of case-store recall-step times in
+	// microseconds (index lookup + near scan + guard), recorded by the
+	// service for every observation when a case store is attached.
+	RecallUs
 
 	numHists
 )
@@ -154,6 +172,7 @@ var histNames = [numHists]string{
 	RowElapsedMs:  "row_elapsed_ms",
 	DiagnoseUs:    "diagnose_us",
 	RequestUs:     "request_us",
+	RecallUs:      "recall_us",
 }
 
 // histBuckets is one bucket per power of two: bucket b holds values v

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sddict/internal/dictio"
 	"sddict/internal/faultfs"
@@ -14,13 +15,29 @@ import (
 // identity is (path, checksum): a re-publish under the same path shows
 // up as a new checksum when reloaded, so stale rankings are always
 // attributable.
+//
+// Pin contract (the eviction-vs-in-flight audit, DESIGN.md §12): an
+// entry handed out by get/load is *pinned* until the caller's unpin.
+// Entries are immutable after load, and eviction — explicit or LRU —
+// only unlinks the entry from the registry map; a pinned holder keeps
+// a fully valid snapshot for the rest of its request, and the entry's
+// memory is reclaimed when the last pin drops. The pin count exists to
+// make that invariant observable: dict_evict trace events record how
+// many requests were still holding the victim, and the race-leg
+// regression test (TestEvictRacesLongBatchDiagnose) hammers evictions
+// against a long in-flight batch to prove no request ever sees torn
+// state.
 type entry struct {
 	path     string
 	checksum uint32
 	header   dictio.Header
 	dict     *dictio.Artifact
 	lastUsed int64 // registry use sequence, for LRU ordering
+	pins     atomic.Int64
 }
+
+// unpin releases one get/load reference.
+func (e *entry) unpin() { e.pins.Add(-1) }
 
 // registry is the LRU cache of loaded dictionary artifacts. Loads
 // happen under the lock: a diagnosis against an unloaded dictionary
@@ -47,15 +64,17 @@ func newRegistry(capacity int, fsys faultfs.FS, ob *obs.Observer) *registry {
 	return &registry{fs: fsys, cap: capacity, ob: ob, entries: make(map[string]*entry)}
 }
 
-// get returns the entry for path, loading (and caching) the artifact on
-// a miss. The returned entry is immutable after load, so callers may
-// use it outside the lock.
+// get returns the entry for path — pinned — loading (and caching) the
+// artifact on a miss. The returned entry is immutable after load, so
+// callers may use it outside the lock; they must unpin it when the
+// request is done.
 func (r *registry) get(path string) (*entry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.entries[path]; ok {
 		r.useSeq++
 		e.lastUsed = r.useSeq
+		e.pins.Add(1)
 		r.ob.M().Inc(obs.ServeDictHits)
 		return e, nil
 	}
@@ -79,6 +98,7 @@ func (r *registry) loadLocked(path string) (*entry, error) {
 	}
 	r.useSeq++
 	e := &entry{path: path, checksum: a.Checksum, header: a.Header, dict: a, lastUsed: r.useSeq}
+	e.pins.Add(1)
 	r.entries[path] = e
 	r.ob.M().Inc(obs.ServeDictLoads)
 	r.ob.Emit("dict_load", map[string]any{
@@ -101,7 +121,9 @@ func (r *registry) evictOverCapLocked() {
 		}
 		delete(r.entries, victim.path)
 		r.ob.M().Inc(obs.ServeDictEvicts)
-		r.ob.Emit("dict_evict", map[string]any{"path": victim.path, "reason": "lru"})
+		r.ob.Emit("dict_evict", map[string]any{
+			"path": victim.path, "reason": "lru", "pinned": victim.pins.Load(),
+		})
 	}
 }
 
@@ -110,12 +132,15 @@ func (r *registry) evictOverCapLocked() {
 func (r *registry) evict(path string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.entries[path]; !ok {
+	e, ok := r.entries[path]
+	if !ok {
 		return false
 	}
 	delete(r.entries, path)
 	r.ob.M().Inc(obs.ServeDictEvicts)
-	r.ob.Emit("dict_evict", map[string]any{"path": path, "reason": "explicit"})
+	r.ob.Emit("dict_evict", map[string]any{
+		"path": path, "reason": "explicit", "pinned": e.pins.Load(),
+	})
 	return true
 }
 

@@ -32,6 +32,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sddict/internal/casestore"
+	"sddict/internal/core"
 	"sddict/internal/dictio"
 	"sddict/internal/faultfs"
 	"sddict/internal/logic"
@@ -60,6 +62,11 @@ type Config struct {
 	ChaosDelay time.Duration
 	// FS is the filesystem artifacts load through. Default faultfs.OS.
 	FS faultfs.FS
+	// Cases, when non-nil, is the diagnosis memory: every /diagnose
+	// observation first runs a recall step against it and only falls
+	// back to the full recompute on a miss (DESIGN.md §15). nil
+	// disables the tier (and the /cases endpoints report it disabled).
+	Cases *casestore.Store
 	// Obs receives metrics and trace events. A nil Observer (or one
 	// without metrics) is upgraded to a private registry so /metrics
 	// always serves.
@@ -73,6 +80,7 @@ type Server struct {
 	cfg      Config
 	ob       *obs.Observer
 	reg      *registry
+	cases    *casestore.Store
 	handler  http.Handler
 	inflight chan struct{}
 	draining atomic.Bool
@@ -113,6 +121,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		ob:       ob,
 		reg:      newRegistry(cfg.CacheSize, cfg.FS, ob),
+		cases:    cfg.Cases,
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		clock:    cfg.Clock,
 	}
@@ -121,6 +130,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /dictionaries", s.handleDictList)
+	mux.HandleFunc("GET /cases", s.handleCases)
+	mux.HandleFunc("GET /cases/correlate", s.handleCorrelate)
 	mux.Handle("POST /dictionaries/load", s.limited(s.deadlined(http.HandlerFunc(s.handleDictLoad))))
 	mux.Handle("POST /dictionaries/evict", s.limited(s.deadlined(http.HandlerFunc(s.handleDictEvict))))
 	mux.Handle("POST /diagnose", s.limited(s.deadlined(http.HandlerFunc(s.handleDiagnose))))
@@ -140,6 +151,7 @@ func (s *Server) LoadDictionary(path string) (DictionaryInfo, error) {
 	if err != nil {
 		return DictionaryInfo{}, err
 	}
+	defer e.unpin()
 	return DictionaryInfo{
 		Path: e.path, Checksum: fmt.Sprintf("%08x", e.checksum),
 		Circuit: e.header.Circuit, Kind: e.header.Kind, TestSet: e.header.TestSet,
@@ -357,6 +369,18 @@ type Candidate struct {
 	Distance int    `json:"distance"`
 }
 
+// RecallInfo marks a result served from the case store's near-match
+// path: the observed signature was within the Hamming budget of a prior
+// case whose candidate set the dictionary confirms as the top candidate
+// set for this signature too. Exact recalls carry no marker — they are
+// byte-identical to the recompute path, marker included.
+type RecallInfo struct {
+	Kind       string  `json:"kind"`
+	Case       int64   `json:"case"`
+	Distance   int     `json:"distance"`
+	Confidence float64 `json:"confidence"`
+}
+
 // DiagnoseResult is the diagnosis of one observation.
 type DiagnoseResult struct {
 	// Failing counts signature bits set ("different" verdicts).
@@ -365,6 +389,8 @@ type DiagnoseResult struct {
 	// exactly (distance 0); false means nearest-match fallback.
 	Exact      bool        `json:"exact"`
 	Candidates []Candidate `json:"candidates"`
+	// Recall is set only on a near-match serve from the case store.
+	Recall *RecallInfo `json:"recall,omitempty"`
 }
 
 // DiagnoseResponse is the /diagnose reply: one result per observation,
@@ -401,6 +427,10 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		writeError(w, loadStatus(err), "%v", err)
 		return
 	}
+	// The entry stays pinned for the whole batch: an evict (explicit or
+	// LRU) racing this request unlinks it from the registry but cannot
+	// invalidate it under us (see registry.go's pin contract).
+	defer e.unpin()
 	topK := req.TopK
 	if topK <= 0 {
 		topK = 5
@@ -441,10 +471,23 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// diagnoseOne runs one observation through the compiled dictionary:
-// exact candidates if any row matches the signature, otherwise the topK
-// nearest rows — core.RankRows either way, the identical path
-// cmd/diagnose takes.
+// diagnoseOne runs one observation through the compiled dictionary,
+// recall before recompute: with a case store attached, a prior case
+// with the identical signature (exact hit) or within the Hamming
+// budget *and* passing the false-dedup guard (near hit) supplies the
+// cached ranking; otherwise — and always without a store — the path is
+// exact candidates if any row matches the signature, else the topK
+// nearest rows via core.RankRows, the identical path cmd/diagnose
+// takes.
+//
+// An exact recall is byte-identical to what the recompute path would
+// have produced: same signature, same artifact, deterministic ranking,
+// and no extra fields. A near recall is a *deduplication* — the cached
+// case's ranking served for a new, similar signature — so it is
+// explicitly marked with a recall block carrying the distance and the
+// distance-discounted confidence, and it is only served when the guard
+// confirms the cached candidate set is the dictionary's own top
+// candidate set for the new signature.
 func (s *Server) diagnoseOne(e *entry, vectors []logic.BitVec, topK int) (DiagnoseResult, error) {
 	start := s.clock()
 	dict := e.dict.Dict
@@ -453,6 +496,25 @@ func (s *Server) diagnoseOne(e *entry, vectors []logic.BitVec, topK int) (Diagno
 		return DiagnoseResult{}, err
 	}
 	res := DiagnoseResult{Failing: sig.PopCount()}
+	if s.cases != nil {
+		if rc, ok := s.recall(e, sig, topK); ok {
+			cached := rc.Case
+			res.Exact = cached.Exact
+			for _, c := range cached.Candidates {
+				res.Candidates = append(res.Candidates, Candidate{
+					Fault: c.Fault, Name: c.Name, Distance: c.Distance,
+				})
+			}
+			if rc.Kind == casestore.Near {
+				res.Recall = &RecallInfo{
+					Kind: rc.Kind.String(), Case: cached.ID,
+					Distance: rc.Distance, Confidence: rc.Confidence,
+				}
+			}
+			s.ob.M().Observe(obs.DiagnoseUs, s.clock().Sub(start).Microseconds())
+			return res, nil
+		}
+	}
 	if exact := dict.Candidates(sig); len(exact) > 0 {
 		res.Exact = true
 		for _, f := range exact {
@@ -465,6 +527,147 @@ func (s *Server) diagnoseOne(e *entry, vectors []logic.BitVec, topK int) (Diagno
 			})
 		}
 	}
+	if s.cases != nil {
+		s.record(e, sig, topK, res)
+	}
 	s.ob.M().Observe(obs.DiagnoseUs, s.clock().Sub(start).Microseconds())
 	return res, nil
+}
+
+// recall runs the case-store recall step for one observation and
+// reports whether a cached case may be served. Every call increments
+// exactly one of the serve_recall_{hits,near,misses} counters, so the
+// three sum to the number of observations diagnosed while the store
+// was attached.
+//
+// A near match passes through the false-dedup guard before it is
+// served: the dictionary's exact candidate set for *this* signature is
+// recomputed (one O(rows) scan — cheap next to the rank fallback) and
+// must equal the cached case's candidate set. A near-matched case whose
+// candidates disagree is a different defect wearing a similar
+// signature; serving it would be a false dedup, so the verdict demotes
+// to a miss and the recompute path runs.
+func (s *Server) recall(e *entry, sig logic.BitVec, topK int) (casestore.Recall, bool) {
+	start := s.clock()
+	rc := s.cases.Recall(checksumKey(e.checksum), sig, topK)
+	served := false
+	switch rc.Kind {
+	case casestore.Exact:
+		s.ob.M().Inc(obs.ServeRecallHits)
+		served = true
+	case casestore.Near:
+		if s.guardNear(e.dict.Dict, sig, rc.Case) {
+			s.ob.M().Inc(obs.ServeRecallNear)
+			served = true
+		} else {
+			rc = casestore.Recall{Kind: casestore.Miss}
+			s.ob.M().Inc(obs.ServeRecallMisses)
+		}
+	default:
+		s.ob.M().Inc(obs.ServeRecallMisses)
+	}
+	s.ob.M().Observe(obs.RecallUs, s.clock().Sub(start).Microseconds())
+	if s.ob.Tracing() {
+		fields := map[string]any{"kind": rc.Kind.String(), "confidence": rc.Confidence}
+		if rc.Case != nil {
+			fields["case"] = rc.Case.ID
+			fields["distance"] = rc.Distance
+		}
+		s.ob.Emit("case_recall", fields)
+	}
+	return rc, served
+}
+
+// guardNear is the false-dedup guard: a near-matched case may only be
+// served if its candidate set equals the dictionary's *top candidate
+// set* for the new signature — the rows at minimum Hamming distance,
+// exactly the first tier core.RankRows would return. A near case whose
+// candidates are not the nearest explanation of the new signature is a
+// different defect wearing a similar signature; serving it would be a
+// false dedup, so the verdict demotes to a miss and the recompute path
+// runs. One O(rows) XOR+popcount scan, the same cost as the rank
+// fallback's scan without its heap.
+//
+// best == 0 (the signature matches rows exactly) always fails the
+// guard: the cached case's rows equal a *different* signature, so set
+// equality is impossible, and the recompute path owns exact matches.
+func (s *Server) guardNear(dict *core.Compiled, sig logic.BitVec, c *casestore.Case) bool {
+	best := -1
+	var top []int
+	for i, row := range dict.Rows {
+		d := row.Hamming(sig)
+		if best < 0 || d < best {
+			best, top = d, top[:0]
+		}
+		if d == best {
+			top = append(top, i)
+		}
+	}
+	if best <= 0 || len(top) != len(c.Candidates) {
+		return false
+	}
+	for i, f := range top {
+		if c.Candidates[i].Fault != f {
+			return false
+		}
+	}
+	return true
+}
+
+// record persists the outcome of a recompute as a new case. A failed
+// append degrades to a trace event: the caching tier must never break
+// the diagnosis that just succeeded.
+func (s *Server) record(e *entry, sig logic.BitVec, topK int, res DiagnoseResult) {
+	c := casestore.Case{
+		Circuit:      e.header.Circuit,
+		TestSet:      e.header.TestSet,
+		Checksum:     checksumKey(e.checksum),
+		TestChecksum: e.header.TestChecksum,
+		SigBits:      e.dict.Dict.SignatureBits(),
+		Signature:    append([]uint64(nil), sig...),
+		Exact:        res.Exact,
+		TopK:         topK,
+		Failing:      res.Failing,
+	}
+	for _, cand := range res.Candidates {
+		c.Candidates = append(c.Candidates, casestore.Candidate{
+			Fault: cand.Fault, Name: cand.Name, Distance: cand.Distance,
+		})
+	}
+	rec, err := s.cases.Record(c)
+	if err != nil {
+		s.ob.Emit("case_record_error", map[string]any{"error": err.Error()})
+		return
+	}
+	s.ob.Emit("case_record", map[string]any{"case": rec.ID, "exact": rec.Exact})
+}
+
+// checksumKey renders an artifact checksum the way every endpoint does.
+func checksumKey(sum uint32) string { return fmt.Sprintf("%08x", sum) }
+
+// handleCases lists the recorded diagnosis memory.
+func (s *Server) handleCases(w http.ResponseWriter, _ *http.Request) {
+	if s.cases == nil {
+		writeError(w, http.StatusNotFound, "case store disabled (start sddserve with -casestore)")
+		return
+	}
+	cases := s.cases.Cases()
+	writeJSON(w, http.StatusOK, map[string]any{"total": len(cases), "cases": cases})
+}
+
+// handleCorrelate reports recurring candidate sets across the recorded
+// cases — JSON by default, the sddstat-style text rendering with
+// ?format=text.
+func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
+	if s.cases == nil {
+		writeError(w, http.StatusNotFound, "case store disabled (start sddserve with -casestore)")
+		return
+	}
+	report := casestore.Correlate(s.cases.Cases())
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = report.WriteText(w) // client went away; nothing to salvage
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
 }

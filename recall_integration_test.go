@@ -1,0 +1,289 @@
+package sddict_test
+
+// End-to-end contract for the case-store recall path (DESIGN.md §15),
+// exec'd against freshly built binaries because journal durability and
+// kill/restart semantics cannot be observed in-process:
+//
+//   - TestServeRecallEndToEnd: a repeated observation must be served
+//     from recall byte-identically to its first (recomputed) answer,
+//     the serve_recall_{hits,near,misses} counters must account for
+//     every observation exactly once, and a SIGTERM + restart against
+//     the same -casestore directory must replay the journal so the
+//     repeat is a recall hit with no new miss.
+//
+//   - TestServeRecallChaosRestart: SIGKILL mid-barrage of repeated
+//     -hot sddload traffic, then a deliberately torn half-line appended
+//     to the journal. The restarted server must come up healthy, keep
+//     every fully written case, and lose at most the torn tail.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sddict/internal/serve"
+)
+
+// rawDiagnose posts a diagnose request and returns the raw body, so
+// byte-identity between recomputed and recalled answers is checked on
+// the wire format, not a re-marshalled struct.
+func rawDiagnose(t *testing.T, addr string, req serve.DiagnoseRequest) ([]byte, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/diagnose", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /diagnose: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, resp.StatusCode
+}
+
+// scrapeCounters pulls the OpenMetrics exposition and returns the
+// counter totals ("sdd_<name>_total <v>") keyed by bare metric name.
+func scrapeCounters(t *testing.T, addr string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok || !strings.HasSuffix(name, "_total") {
+			continue
+		}
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			continue
+		}
+		out[strings.TrimSuffix(strings.TrimPrefix(name, "sdd_"), "_total")] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func recallTotals(t *testing.T, addr string) (hits, near, misses int64) {
+	t.Helper()
+	c := scrapeCounters(t, addr)
+	return c["serve_recall_hits"], c["serve_recall_near"], c["serve_recall_misses"]
+}
+
+func TestServeRecallEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs freshly built binaries; skipped in -short mode")
+	}
+	bins := buildBinaries(t, "sddserve")
+	dir := artifactDir(t)
+	artPath := filepath.Join(dir, "toy.sdda")
+	publishToyArtifact(t, artPath)
+	caseDir := filepath.Join(dir, "cases")
+
+	tracePath := filepath.Join(dir, "recall-trace.jsonl")
+	srv, addr, stderr := startServer(t, bins["sddserve"],
+		"-dict", artPath, "-trace-out", tracePath, "-casestore", caseDir)
+
+	// g1's own response vectors: an exact-match observation.
+	obsG1 := serve.DiagnoseRequest{Dictionary: artPath, Responses: []string{"000", "011"}}
+	first, status := rawDiagnose(t, addr, obsG1)
+	if status != http.StatusOK {
+		t.Fatalf("first diagnose: status %d: %s", status, first)
+	}
+	second, status := rawDiagnose(t, addr, obsG1)
+	if status != http.StatusOK {
+		t.Fatalf("second diagnose: status %d: %s", status, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("recall-served answer differs from recompute:\n%s\n%s", first, second)
+	}
+	hits, near, misses := recallTotals(t, addr)
+	if hits != 1 || near != 0 || misses != 1 {
+		t.Errorf("after repeat: hits/near/misses = %d/%d/%d, want 1/0/1", hits, near, misses)
+	}
+
+	// A distinct observation is a miss; every observation lands in
+	// exactly one bucket.
+	if out, status := rawDiagnose(t, addr,
+		serve.DiagnoseRequest{Dictionary: artPath, Responses: []string{"001", "111"}}); status != http.StatusOK {
+		t.Fatalf("third diagnose: status %d: %s", status, out)
+	}
+	hits, near, misses = recallTotals(t, addr)
+	if total := hits + near + misses; total != 3 {
+		t.Errorf("recall counters sum to %d, want one per observation (3): %d/%d/%d",
+			total, hits, near, misses)
+	}
+
+	// Drain; the journal must survive the restart.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitTimeout(t, srv, 30*time.Second); err != nil {
+		t.Fatalf("drained server exit: %v (want 0); stderr:\n%s", err, stderr.String())
+	}
+	assertTraceEndsClean(t, tracePath)
+
+	srv2, addr2, stderr2 := startServer(t, bins["sddserve"],
+		"-dict", artPath, "-casestore", caseDir)
+	replayed, status := rawDiagnose(t, addr2, obsG1)
+	if status != http.StatusOK {
+		t.Fatalf("post-restart diagnose: status %d: %s", status, replayed)
+	}
+	if !bytes.Equal(first, replayed) {
+		t.Errorf("post-restart recall differs from original answer:\n%s\n%s", first, replayed)
+	}
+	hits, near, misses = recallTotals(t, addr2)
+	if hits != 1 || misses != 0 {
+		t.Errorf("post-restart: hits/misses = %d/%d, want 1/0 (journal replayed, no recompute)",
+			hits, misses)
+	}
+	_ = near
+
+	// The replayed store is visible through /cases.
+	resp, err := http.Get("http://" + addr2 + "/cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Total int `json:"total"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if listing.Total < 2 {
+		t.Errorf("/cases after restart: total %d, want the 2 pre-restart cases", listing.Total)
+	}
+
+	if err := srv2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitTimeout(t, srv2, 30*time.Second); err != nil {
+		t.Errorf("restarted server exit: %v (want 0); stderr:\n%s", err, stderr2.String())
+	}
+}
+
+func TestServeRecallChaosRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs freshly built binaries; skipped in -short mode")
+	}
+	bins := buildBinaries(t, "sddserve", "sddload")
+	dir := artifactDir(t)
+	artPath := filepath.Join(dir, "toy.sdda")
+	publishToyArtifact(t, artPath)
+	caseDir := filepath.Join(dir, "cases")
+
+	srv, addr, stderr := startServer(t, bins["sddserve"],
+		"-dict", artPath, "-casestore", caseDir, "-casestore-snapshot-every", "8")
+
+	// Record one known case before the storm so the journal is
+	// guaranteed non-empty when the server dies.
+	obsG1 := serve.DiagnoseRequest{Dictionary: artPath, Responses: []string{"000", "011"}}
+	first, status := rawDiagnose(t, addr, obsG1)
+	if status != http.StatusOK {
+		t.Fatalf("seed diagnose: status %d: %s", status, first)
+	}
+
+	// Repeated-signature traffic: -hot 1 draws every injected fault
+	// from the first dictionary row, so recall hits dominate.
+	load := exec.Command(bins["sddload"],
+		"-addr", addr, "-dict", artPath,
+		"-clients", "4", "-requests", "200", "-retries", "4",
+		"-hot", "1", "-seed", "9", "-chaos")
+	var loadOut bytes.Buffer
+	load.Stdout = &loadOut
+	load.Stderr = &loadOut
+	if err := load.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { load.Process.Kill(); load.Wait() }()
+
+	// SIGKILL mid-barrage: no drain, no flush beyond the per-append
+	// fsync the store already did.
+	time.Sleep(500 * time.Millisecond)
+	if err := srv.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+	if err := waitTimeout(t, load, 60*time.Second); err != nil {
+		t.Errorf("sddload -chaos exit after server kill: %v (want 0)\n%s", err, loadOut.String())
+	}
+
+	// Tear the journal tail deterministically: a half-written line with
+	// no newline, exactly what a crash mid-append leaves behind.
+	j, err := os.OpenFile(filepath.Join(caseDir, "journal.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.WriteString(`{"id":9999,"circuit":"to`); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart must repair the tail and replay every complete case.
+	srv2, addr2, stderr2 := startServer(t, bins["sddserve"],
+		"-dict", artPath, "-casestore", caseDir)
+	replayed, status := rawDiagnose(t, addr2, obsG1)
+	if status != http.StatusOK {
+		t.Fatalf("post-crash diagnose: status %d: %s\nfirst server stderr:\n%s",
+			status, replayed, stderr.String())
+	}
+	if !bytes.Equal(first, replayed) {
+		t.Errorf("post-crash recall differs from pre-crash answer:\n%s\n%s", first, replayed)
+	}
+	hits, _, misses := recallTotals(t, addr2)
+	if hits != 1 || misses != 0 {
+		t.Errorf("post-crash: hits/misses = %d/%d, want 1/0 (seed case survived the kill)",
+			hits, misses)
+	}
+
+	// The store keeps appending after the repair: a fresh observation
+	// records cleanly and the correlate report renders.
+	if out, status := rawDiagnose(t, addr2,
+		serve.DiagnoseRequest{Dictionary: artPath, Responses: []string{"001", "111"}}); status != http.StatusOK {
+		t.Fatalf("post-repair record: status %d: %s", status, out)
+	}
+	resp, err := http.Get("http://" + addr2 + "/cases/correlate?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(report), "case correlation:") {
+		t.Errorf("correlate report after crash recovery:\n%s", report)
+	}
+
+	if err := srv2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitTimeout(t, srv2, 30*time.Second); err != nil {
+		t.Errorf("recovered server exit: %v (want 0); stderr:\n%s", err, stderr2.String())
+	}
+	saveArtifactOnFailure(t, "sddload.txt", func() []byte { return []byte(loadOut.String()) })
+}
