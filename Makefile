@@ -70,15 +70,17 @@ bench-compare:
 	$(GO) run ./cmd/benchjson compare -ns-ratio 8 BENCH_parallel.json bench_compare.json
 	@rm -f bench_compare.out bench_compare.json
 
-# Fault-injection and chaos suite (DESIGN.md §12, §15) under the race
-# detector: artifact corruption matrices, the faultfs seam, the serve
-# middleware contracts, the case-store journal/torn-tail matrix, the
-# signal/drain exec tests, and the end-to-end server-integration legs
-# (publish → serve → diagnose parity; shed + SIGTERM under sddload
-# chaos; recall byte-identity and SIGKILL + torn-journal restart under
-# repeated-signature -hot sddload traffic).
+# Fault-injection and chaos suite (DESIGN.md §12, §15, §16) under the
+# race detector: artifact corruption matrices, the faultfs seam, the
+# serve middleware contracts (spans, request IDs, shed/drain), the span
+# free-list and sampling determinism tests in internal/obs, the
+# case-store journal/torn-tail matrix, the signal/drain exec tests, and
+# the end-to-end server-integration legs (publish → serve → diagnose
+# parity; shed + SIGTERM under sddload chaos; recall byte-identity and
+# SIGKILL + torn-journal restart under repeated-signature -hot sddload
+# traffic; the traced-serve → sddload → `sddstat serve` join).
 chaos:
-	$(GO) test -race -count=1 ./internal/dictio/ ./internal/faultfs/ ./internal/serve/ ./internal/cli/ ./internal/casestore/
+	$(GO) test -race -count=1 ./internal/dictio/ ./internal/faultfs/ ./internal/obs/ ./internal/serve/ ./internal/cli/ ./internal/casestore/
 	$(GO) test -race -count=1 -run 'TestServe' .
 
 # The gate for every change: static analysis (go vet + sddlint) plus the

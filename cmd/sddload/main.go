@@ -32,6 +32,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -50,10 +51,14 @@ func main() {
 
 // result is one request's client-side outcome.
 type result struct {
+	id      string // request ID (the W3C trace-id sent as traceparent)
 	ok      bool
-	shed    int  // 503 responses seen (including retried-through ones)
-	retries int  // backoff sleeps taken
-	exact   bool // server found the planted fault exactly
+	status  int   // final HTTP status (0 on transport failure)
+	us      int64 // final attempt's client-observed latency
+	totalUs int64 // end-to-end including retries and backoff sleeps
+	shed    int   // 503 responses seen (including retried-through ones)
+	retries int   // backoff sleeps taken
+	exact   bool  // server found the planted fault exactly
 	errMsg  string
 }
 
@@ -69,6 +74,7 @@ func run(ctx context.Context) error {
 		hot      = flag.Int("hot", 0, "draw faults from only the first N rows so signatures repeat (exercises -casestore recall); 0 uses the whole fault list")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
 		retries  = flag.Int("retries", 6, "max retry attempts after a 503")
+		journal  = flag.String("journal", "", "write one client_request JSONL event per request, keyed by request ID (join against the server's span journal with `sddstat serve`)")
 	)
 	flag.Parse()
 	if *addr == "" || *dictPath == "" {
@@ -102,8 +108,22 @@ func run(ctx context.Context) error {
 	client := &http.Client{Timeout: *timeout}
 	url := "http://" + *addr + "/diagnose"
 
+	// The client journal records one client_request event per request —
+	// the client half of the latency join `sddstat serve` computes
+	// against the server's span journal, keyed by request ID.
+	var jt *obs.Tracer
+	if *journal != "" {
+		jt, err = obs.NewFileTracer(*journal, time.Now)
+		if err != nil {
+			return fmt.Errorf("opening client journal: %w", err)
+		}
+		defer jt.Close()
+	}
+
 	pool := par.New(*clients)
-	results, perr := par.Map(ctx, pool, *requests, func(ctx context.Context, i int) (result, error) {
+	// res is a named return: the deferred journal emit below stamps the
+	// end-to-end time onto the result that is actually delivered.
+	results, perr := par.Map(ctx, pool, *requests, func(ctx context.Context, i int) (res result, _ error) {
 		rng := par.RNG(*seed, i) // per-task stream: replayable at any client count
 		fault := rng.Intn(pool0)
 		body, err := json.Marshal(serve.DiagnoseRequest{
@@ -114,11 +134,24 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return result{}, err
 		}
-		var res result
+		// The trace-id names this request on both sides of the wire: the
+		// server adopts it as the request ID (echoed as X-Request-ID) and
+		// keys its span with it. Derived from the replayable per-task seed
+		// stream, so the ID set is identical at any client count. Retries
+		// reuse it — they are the same logical request.
+		res = result{id: requestID(*seed, i)}
+		traceparent := obs.FormatTraceparent(res.id, clientSpanID(*seed, i), true)
+		taskStart := time.Now()
+		defer func() {
+			res.totalUs = time.Since(taskStart).Microseconds()
+			emitClientRequest(jt, res)
+		}()
 		for attempt := 0; ; attempt++ {
 			start := time.Now()
-			status, resp, hint, err := postOnce(ctx, client, url, body)
-			m.Observe(obs.RequestUs, time.Since(start).Microseconds())
+			status, resp, hint, err := postOnce(ctx, client, url, body, traceparent)
+			res.us = time.Since(start).Microseconds()
+			res.status = status
+			m.Observe(obs.RequestUs, res.us)
 			switch {
 			case err != nil:
 				res.errMsg = err.Error()
@@ -183,6 +216,18 @@ func run(ctx context.Context) error {
 	lat := analyze.Summarize(m.Snapshot().Histograms["request_us"])
 	fmt.Printf("sddload: ok=%d failed=%d shed=%d retries=%d exact=%d\n", ok, failed, shed, retried, exact)
 	fmt.Printf("sddload: latency_us count=%d p50=%.0f p90=%.0f p99=%.0f\n", lat.Count, lat.P50, lat.P90, lat.P99)
+	// The slowest request IDs are the percentile tail made concrete:
+	// each one can be looked up directly in the server's span journal
+	// (sddstat serve does the join wholesale).
+	for _, r := range slowest(results, 5) {
+		fmt.Printf("sddload: slow request_id=%s us=%d status=%d\n", r.id, r.us, r.status)
+	}
+	if jt != nil {
+		if err := jt.Close(); err != nil {
+			return fmt.Errorf("client journal: %w", err)
+		}
+		fmt.Printf("sddload: client journal written to %s\n", *journal)
+	}
 
 	if failed > 0 {
 		if !*chaos {
@@ -214,14 +259,70 @@ func synthesize(dict *core.Compiled, fault int) []string {
 	return out
 }
 
+// requestID derives the 32-hex W3C trace-id for task i — a pure
+// function of the run seed and the task index, so the request-ID stream
+// (and therefore the server's sampled-span set) replays identically at
+// any client count.
+func requestID(seed int64, i int) string {
+	return fmt.Sprintf("%016x%016x", uint64(par.Seed(seed, i)), uint64(i)+1)
+}
+
+// clientSpanID is the 16-hex parent span id sent in traceparent —
+// kept nonzero (the spec forbids all-zero ids) by the +1.
+func clientSpanID(seed int64, i int) string {
+	return fmt.Sprintf("%016x", uint64(par.Seed(seed, i)^int64(i))|1)
+}
+
+// emitClientRequest journals one request's client-observed outcome.
+// Nil tracer: journaling off.
+func emitClientRequest(jt *obs.Tracer, res result) {
+	if jt == nil {
+		return
+	}
+	fields := map[string]any{
+		"request_id": res.id,
+		"us":         res.us,
+		"total_us":   res.totalUs,
+		"status":     res.status,
+		"ok":         res.ok,
+		"attempts":   res.retries + 1,
+	}
+	if res.errMsg != "" {
+		fields["error"] = res.errMsg
+	}
+	jt.Emit("client_request", fields)
+}
+
+// slowest returns the n largest final-attempt latencies, slowest first,
+// skipping requests that never got a response.
+func slowest(results []result, n int) []result {
+	var got []result
+	for _, r := range results {
+		if r.status != 0 {
+			got = append(got, r)
+		}
+	}
+	sort.Slice(got, func(a, b int) bool {
+		if got[a].us != got[b].us {
+			return got[a].us > got[b].us
+		}
+		return got[a].id < got[b].id // stable report under latency ties
+	})
+	if len(got) > n {
+		got = got[:n]
+	}
+	return got
+}
+
 // postOnce sends one diagnosis request and returns the status, body,
 // and any Retry-After hint (0 when absent).
-func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (int, []byte, time.Duration, error) {
+func postOnce(ctx context.Context, client *http.Client, url string, body []byte, traceparent string) (int, []byte, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", traceparent)
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, nil, 0, err

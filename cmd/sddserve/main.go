@@ -11,7 +11,17 @@
 // GET /dictionaries + POST /dictionaries/{load,evict}, GET /cases +
 // GET /cases/correlate (the diagnosis memory, with -casestore),
 // GET /healthz, GET /readyz (503 while draining), GET /metrics
-// (OpenMetrics).
+// (OpenMetrics), GET /debug/requests (in-flight requests with their
+// current stage and age).
+//
+// Every request is assigned a request ID (an inbound W3C `traceparent`
+// header's trace-id is honored) and echoed back as X-Request-ID on
+// every response path. With -trace-out, a deterministic -trace-sample
+// fraction of request spans — stage-level timing for decode, recall,
+// scan and record — lands in the trace journal; requests over -slow-ms
+// or failing with a 5xx always do. Analyze the journal, optionally
+// joined against an sddload -journal run, with `sddstat serve`
+// (DESIGN.md §16).
 //
 // With -casestore DIR the server remembers every diagnosis in a
 // durable case store (append-only journal + periodic snapshot under
@@ -67,6 +77,8 @@ func run(ctx context.Context) error {
 		caseDir     = flag.String("casestore", "", "directory for the durable diagnosis case store (recall before recompute); empty disables")
 		recall      = flag.Int("recall-budget", 2, "maximum Hamming distance for a near-match recall (with -casestore); negative disables near matching")
 		snapEvery   = flag.Int("casestore-snapshot-every", 256, "journal appends between case-store snapshot rotations")
+		traceSample = flag.Float64("trace-sample", 1, "fraction of request spans flushed to -trace-out, decided by a deterministic hash of the request ID; slow and failed requests always emit")
+		slowMs      = flag.Int("slow-ms", 1000, "slow-request threshold in milliseconds: requests at or over it always emit their span and count serve_slow_requests; 0 disables")
 	)
 	flag.Var(&dicts, "dict", "dictionary artifact to preload (repeatable); a corrupt artifact fails startup")
 	obsFlags := cli.RegisterObsFlags(flag.CommandLine)
@@ -106,6 +118,8 @@ func run(ctx context.Context) error {
 		ChaosDelay:   *chaosDelay,
 		Cases:        cases,
 		Obs:          sess.Observer,
+		TraceSample:  *traceSample,
+		SlowRequest:  time.Duration(*slowMs) * time.Millisecond,
 	})
 
 	// Preload before binding the port: a corrupt or missing artifact is

@@ -9,15 +9,26 @@
 // drifted past its threshold in either direction, which is what CI
 // gates on.
 //
+// Its serve mode reads an sddserve span journal instead — per-request
+// spans with stage breakdowns — and, given the matching sddload client
+// journal, joins the two by request ID: stage-level p50/p90/p99 with
+// exemplar request IDs, plus the client-observed overhead each request
+// paid on top of its server span.
+//
 // Usage:
 //
 //	sddstat [-json] trace.jsonl [metrics.json]
 //	sddstat compare [-json] [-counters pct] [-percentiles pct] baseline.json current.json
+//	sddstat serve [-json] server-trace.jsonl [client-journal.jsonl]
 //
 // Example:
 //
 //	$ sdd -circuit s298 -trace-out t.jsonl -metrics-out m.json
 //	$ sddstat t.jsonl m.json
+//
+//	$ sddserve -dict s298.sdda -trace-out spans.jsonl &
+//	$ sddload -addr 127.0.0.1:8090 -dict s298.sdda -journal client.jsonl
+//	$ sddstat serve spans.jsonl client.jsonl
 //
 // A trace torn mid-write (the writer crashed or was SIGKILLed) is
 // reported as TRUNCATED and analyzed from its parsed prefix rather
@@ -45,10 +56,61 @@ func main() {
 
 func run(ctx context.Context) error {
 	args := os.Args[1:]
-	if len(args) > 0 && args[0] == "compare" {
-		return runCompare(args[1:], os.Stdout)
+	if len(args) > 0 {
+		switch args[0] {
+		case "compare":
+			return runCompare(args[1:], os.Stdout)
+		case "serve":
+			return runServe(args[1:], os.Stdout)
+		}
 	}
 	return runReport(args, os.Stdout)
+}
+
+// runServe analyzes a serve span journal (DESIGN.md §16): per-request
+// spans, the stage-level latency breakdown with exemplar request IDs,
+// and — given an sddload client journal — the client↔server latency
+// join by request ID.
+func runServe(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sddstat serve", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	asJSON := fs.Bool("json", false, "emit the serve analysis as JSON instead of the text report")
+	if err := fs.Parse(args); err != nil {
+		return cli.Usagef("%v", err)
+	}
+	var spanPath, clientPath string
+	switch rest := fs.Args(); len(rest) {
+	case 1:
+		spanPath = rest[0]
+	case 2:
+		spanPath, clientPath = rest[0], rest[1]
+	default:
+		return cli.Usagef("usage: sddstat serve [-json] server-trace.jsonl [client-journal.jsonl]")
+	}
+
+	f, err := os.Open(spanPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := analyze.ReadServeRun(f)
+	if err != nil {
+		return err
+	}
+	if clientPath != "" {
+		cf, err := os.Open(clientPath)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := r.JoinClient(cf); err != nil {
+			return fmt.Errorf("joining client journal %s: %w", clientPath, err)
+		}
+	}
+	if *asJSON {
+		return writeJSON(stdout, r)
+	}
+	return r.WriteText(stdout)
 }
 
 // runReport is the default mode: analyze one run's artifacts.

@@ -26,12 +26,14 @@
 package casestore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"sddict/internal/logic"
+	"sddict/internal/obs"
 )
 
 // Candidate is one ranked fault candidate as recorded in a case —
@@ -269,6 +271,17 @@ func (s *Store) Record(c Case) (Case, error) {
 	stored := c
 	s.indexLocked(&stored)
 	return c, nil
+}
+
+// RecordCtx is Record under a traced request: if ctx carries a request
+// span (DESIGN.md §16), the append runs inside a "record" child stage,
+// so span journals attribute case-store persistence time — the only
+// disk write on the /diagnose path — separately from the scan.
+func (s *Store) RecordCtx(ctx context.Context, c Case) (Case, error) {
+	sp := obs.SpanFrom(ctx)
+	sp.BeginStage("record")
+	defer sp.EndStage()
+	return s.Record(c)
 }
 
 // Cases returns a copy of every recorded case, ID ascending across all

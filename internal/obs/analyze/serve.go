@@ -1,0 +1,451 @@
+package analyze
+
+// Serve-journal analytics (DESIGN.md §16): reconstruct per-request
+// behaviour from a server's span journal, aggregate stage-level
+// latency percentiles with exemplar request IDs, and join the journal
+// against an sddload client journal by request ID — the cross-process
+// view that turns "the p99 spiked" into "these requests spent their
+// time in this stage".
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"sddict/internal/obs"
+)
+
+// ServeStage is one child stage interval of a reconstructed span.
+type ServeStage struct {
+	Name    string `json:"name"`
+	StartUs int64  `json:"start_us"`
+	DurUs   int64  `json:"dur_us"`
+}
+
+// ServeSpan is one request span read back from the journal.
+type ServeSpan struct {
+	RequestID string       `json:"request_id"`
+	Parent    string       `json:"parent,omitempty"`
+	Method    string       `json:"method"`
+	Path      string       `json:"path"`
+	Status    int          `json:"status"`
+	DurUs     int64        `json:"dur_us"`
+	Sampled   bool         `json:"sampled"`
+	Slow      bool         `json:"slow,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Stages    []ServeStage `json:"stages,omitempty"`
+}
+
+// Exemplar ties a latency tail to a concrete request: the span journal
+// can then be grepped for the request ID directly.
+type Exemplar struct {
+	RequestID string `json:"request_id"`
+	Us        int64  `json:"us"`
+}
+
+// StageStats aggregates one stage name across every span. A batch
+// request contributes one sample per stage instance (one decode /
+// recall / scan / record cycle per observation), so Count can exceed
+// the span count.
+type StageStats struct {
+	Name    string            `json:"name"`
+	Count   int64             `json:"count"`
+	TotalUs int64             `json:"total_us"`
+	Pct     PercentileSummary `json:"percentiles"`
+	// Exemplars are the largest single stage instances, slowest first.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// ClientRequest is one sddload client_request journal event.
+type ClientRequest struct {
+	RequestID string `json:"request_id"`
+	Us        int64  `json:"us"`       // final attempt latency
+	TotalUs   int64  `json:"total_us"` // including retries and backoff
+	Status    int    `json:"status"`
+	OK        bool   `json:"ok"`
+	Attempts  int    `json:"attempts"`
+	Error     string `json:"error,omitempty"`
+}
+
+// JoinedRequest couples the client's and the server's view of one
+// request ID.
+type JoinedRequest struct {
+	RequestID string `json:"request_id"`
+	ClientUs  int64  `json:"client_us"`
+	ServerUs  int64  `json:"server_us"`
+	// OverheadUs is the client-observed latency not accounted for by
+	// the server span: transport, queueing, scheduling. Clamped at 0 —
+	// clocks on the two sides are independent.
+	OverheadUs int64 `json:"overhead_us"`
+	Status     int   `json:"status"`
+	Attempts   int   `json:"attempts"`
+}
+
+// Join is the client↔server latency join over request IDs.
+type Join struct {
+	// Joined counts request IDs present in both journals; ClientOnly
+	// counts client requests with no server span (unsampled, or the
+	// server died); ServerOnly counts spans no client request claims
+	// (other traffic, health checks).
+	Joined     int `json:"joined"`
+	ClientOnly int `json:"client_only"`
+	ServerOnly int `json:"server_only"`
+	// Overhead summarizes OverheadUs across joined requests.
+	Overhead PercentileSummary `json:"overhead_us"`
+	// Slowest is the joined view of the worst client-observed
+	// latencies, slowest first.
+	Slowest []JoinedRequest `json:"slowest,omitempty"`
+}
+
+// ServeRun is the reconstructed serve-side story of one span journal.
+type ServeRun struct {
+	Spans     int  `json:"spans"`
+	Truncated bool `json:"truncated"`
+	// Requests summarizes span durations (exact percentiles over the
+	// journaled values, not histogram buckets).
+	Requests PercentileSummary `json:"request_us"`
+	// Exemplars are the slowest request spans, slowest first.
+	Exemplars []Exemplar   `json:"exemplars,omitempty"`
+	Stages    []StageStats `json:"stages,omitempty"`
+	Statuses  map[int]int  `json:"statuses"`
+	SlowCount int          `json:"slow_count"`
+	Errors    int          `json:"errors"`
+	// NestingViolations counts stage intervals escaping their span's
+	// interval — always 0 for journals written by obs.Spans; nonzero
+	// means a corrupt or foreign journal.
+	NestingViolations int   `json:"nesting_violations"`
+	Join              *Join `json:"join,omitempty"`
+
+	spans []ServeSpan
+}
+
+// maxExemplars bounds every slowest-list in the report.
+const maxExemplars = 5
+
+// ReadServeRun reconstructs a ServeRun from a span journal. Like
+// ReadRun, a trace torn mid-write analyzes its parsed prefix with
+// Truncated set; any other read error is fatal.
+func ReadServeRun(r io.Reader) (*ServeRun, error) {
+	events, err := obs.ReadEvents(r)
+	truncated := false
+	if err != nil {
+		if !errors.Is(err, obs.ErrTruncatedTrace) {
+			return nil, err
+		}
+		truncated = true
+	}
+	run := &ServeRun{Truncated: truncated, Statuses: map[int]int{}}
+	for _, ev := range events {
+		if ev.Type != "span" {
+			continue
+		}
+		run.spans = append(run.spans, spanFromFields(ev.Fields))
+	}
+	run.aggregate()
+	return run, nil
+}
+
+func fieldStr(fields map[string]any, key string) string {
+	s, _ := fields[key].(string)
+	return s
+}
+
+func fieldBool(fields map[string]any, key string) bool {
+	b, _ := fields[key].(bool)
+	return b
+}
+
+func spanFromFields(fields map[string]any) ServeSpan {
+	sp := ServeSpan{
+		RequestID: fieldStr(fields, "request_id"),
+		Parent:    fieldStr(fields, "parent"),
+		Method:    fieldStr(fields, "method"),
+		Path:      fieldStr(fields, "path"),
+		Status:    fieldInt(fields, "status"),
+		DurUs:     fieldInt64(fields, "dur_us"),
+		Sampled:   fieldBool(fields, "sampled"),
+		Slow:      fieldBool(fields, "slow"),
+		Error:     fieldStr(fields, "error"),
+	}
+	// Stages survive either as []any of maps (JSON round trip) or as
+	// the native []obs.Stage (freshly-emitted events in tests).
+	switch v := fields["stages"].(type) {
+	case []any:
+		for _, st := range v {
+			m, ok := st.(map[string]any)
+			if !ok {
+				continue
+			}
+			sp.Stages = append(sp.Stages, ServeStage{
+				Name:    fieldStr(m, "name"),
+				StartUs: fieldInt64(m, "start_us"),
+				DurUs:   fieldInt64(m, "dur_us"),
+			})
+		}
+	case []obs.Stage:
+		for _, st := range v {
+			sp.Stages = append(sp.Stages, ServeStage{Name: st.Name, StartUs: st.StartUs, DurUs: st.DurUs})
+		}
+	}
+	return sp
+}
+
+// aggregate computes the per-run rollups from the parsed spans.
+func (r *ServeRun) aggregate() {
+	r.Spans = len(r.spans)
+	var durs []int64
+	var durIDs []Exemplar
+	type stageAgg struct {
+		vals      []int64
+		totalUs   int64
+		exemplars []Exemplar
+	}
+	stages := map[string]*stageAgg{}
+	for _, sp := range r.spans {
+		durs = append(durs, sp.DurUs)
+		durIDs = append(durIDs, Exemplar{RequestID: sp.RequestID, Us: sp.DurUs})
+		r.Statuses[sp.Status]++
+		if sp.Slow {
+			r.SlowCount++
+		}
+		if sp.Error != "" {
+			r.Errors++
+		}
+		for _, st := range sp.Stages {
+			if st.StartUs < 0 || st.StartUs+st.DurUs > sp.DurUs {
+				r.NestingViolations++
+			}
+			agg := stages[st.Name]
+			if agg == nil {
+				agg = &stageAgg{}
+				stages[st.Name] = agg
+			}
+			agg.vals = append(agg.vals, st.DurUs)
+			agg.totalUs += st.DurUs
+			agg.exemplars = append(agg.exemplars, Exemplar{RequestID: sp.RequestID, Us: st.DurUs})
+		}
+	}
+	r.Requests = percentilesOf(durs)
+	r.Exemplars = topExemplars(durIDs, maxExemplars)
+	for name, agg := range stages {
+		r.Stages = append(r.Stages, StageStats{
+			Name:      name,
+			Count:     int64(len(agg.vals)),
+			TotalUs:   agg.totalUs,
+			Pct:       percentilesOf(agg.vals),
+			Exemplars: topExemplars(agg.exemplars, maxExemplars),
+		})
+	}
+	// Heaviest stage first; name breaks ties so the report is stable.
+	sort.Slice(r.Stages, func(a, b int) bool {
+		if r.Stages[a].TotalUs != r.Stages[b].TotalUs {
+			return r.Stages[a].TotalUs > r.Stages[b].TotalUs
+		}
+		return r.Stages[a].Name < r.Stages[b].Name
+	})
+}
+
+// JoinClient reads an sddload client journal and joins it against the
+// run's spans by request ID. When several spans share a request ID
+// (retries of a shed request reuse theirs), the one matching the
+// client's final status — falling back to the last — represents the
+// server side.
+func (r *ServeRun) JoinClient(cr io.Reader) error {
+	events, err := obs.ReadEvents(cr)
+	if err != nil && !errors.Is(err, obs.ErrTruncatedTrace) {
+		return err
+	}
+	var clients []ClientRequest
+	for _, ev := range events {
+		if ev.Type != "client_request" {
+			continue
+		}
+		clients = append(clients, ClientRequest{
+			RequestID: fieldStr(ev.Fields, "request_id"),
+			Us:        fieldInt64(ev.Fields, "us"),
+			TotalUs:   fieldInt64(ev.Fields, "total_us"),
+			Status:    fieldInt(ev.Fields, "status"),
+			OK:        fieldBool(ev.Fields, "ok"),
+			Attempts:  fieldInt(ev.Fields, "attempts"),
+			Error:     fieldStr(ev.Fields, "error"),
+		})
+	}
+
+	byID := map[string][]ServeSpan{}
+	for _, sp := range r.spans {
+		byID[sp.RequestID] = append(byID[sp.RequestID], sp)
+	}
+	join := &Join{}
+	claimed := map[string]bool{}
+	var overheads []int64
+	for _, c := range clients {
+		spans, ok := byID[c.RequestID]
+		if !ok {
+			join.ClientOnly++
+			continue
+		}
+		claimed[c.RequestID] = true
+		sp := spans[len(spans)-1]
+		for _, cand := range spans {
+			if cand.Status == c.Status {
+				sp = cand
+			}
+		}
+		overhead := c.Us - sp.DurUs
+		if overhead < 0 {
+			overhead = 0
+		}
+		join.Joined++
+		overheads = append(overheads, overhead)
+		join.Slowest = append(join.Slowest, JoinedRequest{
+			RequestID:  c.RequestID,
+			ClientUs:   c.Us,
+			ServerUs:   sp.DurUs,
+			OverheadUs: overhead,
+			Status:     c.Status,
+			Attempts:   c.Attempts,
+		})
+	}
+	for id := range byID {
+		if !claimed[id] {
+			join.ServerOnly++
+		}
+	}
+	join.Overhead = percentilesOf(overheads)
+	sort.Slice(join.Slowest, func(a, b int) bool {
+		if join.Slowest[a].ClientUs != join.Slowest[b].ClientUs {
+			return join.Slowest[a].ClientUs > join.Slowest[b].ClientUs
+		}
+		return join.Slowest[a].RequestID < join.Slowest[b].RequestID
+	})
+	if len(join.Slowest) > maxExemplars {
+		join.Slowest = join.Slowest[:maxExemplars]
+	}
+	r.Join = join
+	return nil
+}
+
+// percentilesOf summarizes raw values exactly (sort + linear
+// interpolation), unlike Summarize which estimates from power-of-two
+// histogram buckets — the journal holds every value, so there is no
+// reason to approximate.
+func percentilesOf(vals []int64) PercentileSummary {
+	s := PercentileSummary{Count: int64(len(vals))}
+	if len(vals) == 0 {
+		return s
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	for _, v := range sorted {
+		s.Sum += v
+	}
+	at := func(q float64) float64 {
+		pos := q * float64(len(sorted)-1)
+		lo := int(pos)
+		if lo >= len(sorted)-1 {
+			return float64(sorted[len(sorted)-1])
+		}
+		frac := pos - float64(lo)
+		return float64(sorted[lo]) + frac*(float64(sorted[lo+1])-float64(sorted[lo]))
+	}
+	s.P50, s.P90, s.P99 = at(0.50), at(0.90), at(0.99)
+	return s
+}
+
+// topExemplars returns the n largest entries, largest first, request ID
+// breaking ties for a stable report.
+func topExemplars(ex []Exemplar, n int) []Exemplar {
+	sorted := append([]Exemplar(nil), ex...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Us != sorted[b].Us {
+			return sorted[a].Us > sorted[b].Us
+		}
+		return sorted[a].RequestID < sorted[b].RequestID
+	})
+	if len(sorted) > n {
+		sorted = sorted[:n]
+	}
+	return sorted
+}
+
+// WriteText renders the serve report.
+func (r *ServeRun) WriteText(w io.Writer) error {
+	status := "clean"
+	if r.Truncated {
+		status = "TRUNCATED (analyzing prefix)"
+	}
+	if _, err := fmt.Fprintf(w, "serve span journal: %d spans, %s\n", r.Spans, status); err != nil {
+		return err
+	}
+	if r.Spans == 0 {
+		_, err := fmt.Fprintln(w, "  no spans journaled (is -trace-sample 0 with no slow/failed requests?)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  requests: count=%d p50=%.0fus p90=%.0fus p99=%.0fus\n",
+		r.Requests.Count, r.Requests.P50, r.Requests.P90, r.Requests.P99); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  statuses:"); err != nil {
+		return err
+	}
+	var codes []int
+	for code := range r.Statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		if _, err := fmt.Fprintf(w, " %d=%d", code, r.Statuses[code]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  slow=%d errors=%d nesting_violations=%d\n",
+		r.SlowCount, r.Errors, r.NestingViolations); err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintln(w, "stage breakdown:"); err != nil {
+		return err
+	}
+	for _, st := range r.Stages {
+		if _, err := fmt.Fprintf(w, "  %-8s count=%d total=%dus p50=%.0fus p90=%.0fus p99=%.0fus\n",
+			st.Name, st.Count, st.TotalUs, st.Pct.P50, st.Pct.P90, st.Pct.P99); err != nil {
+			return err
+		}
+		for _, ex := range st.Exemplars {
+			if _, err := fmt.Fprintf(w, "           slowest %s %dus\n", ex.RequestID, ex.Us); err != nil {
+				return err
+			}
+		}
+	}
+	if len(r.Exemplars) > 0 {
+		if _, err := fmt.Fprintln(w, "slowest requests:"); err != nil {
+			return err
+		}
+		for _, ex := range r.Exemplars {
+			if _, err := fmt.Fprintf(w, "  %s %dus\n", ex.RequestID, ex.Us); err != nil {
+				return err
+			}
+		}
+	}
+
+	if r.Join != nil {
+		if _, err := fmt.Fprintf(w, "client join: joined=%d client_only=%d server_only=%d\n",
+			r.Join.Joined, r.Join.ClientOnly, r.Join.ServerOnly); err != nil {
+			return err
+		}
+		if r.Join.Joined > 0 {
+			if _, err := fmt.Fprintf(w, "  overhead_us (client-observed minus server span): p50=%.0f p90=%.0f p99=%.0f\n",
+				r.Join.Overhead.P50, r.Join.Overhead.P90, r.Join.Overhead.P99); err != nil {
+				return err
+			}
+			for _, j := range r.Join.Slowest {
+				if _, err := fmt.Fprintf(w, "  slowest %s client=%dus server=%dus overhead=%dus status=%d attempts=%d\n",
+					j.RequestID, j.ClientUs, j.ServerUs, j.OverheadUs, j.Status, j.Attempts); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package analyze
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sddict/internal/obs"
+)
+
+// writeSpanJournal emits n spans through a real tracer so the test
+// exercises the same bytes sddstat reads in production.
+func writeSpanJournal(t *testing.T, n int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf, nil)
+	for i := 0; i < n; i++ {
+		durUs := int64((i + 1) * 1000)
+		tr.Emit("span", map[string]any{
+			"request_id": reqID(i),
+			"method":     "POST",
+			"path":       "/diagnose",
+			"status":     200,
+			"dur_us":     durUs,
+			"sampled":    true,
+			"stages": []obs.Stage{
+				{Name: "decode", StartUs: 0, DurUs: durUs / 4},
+				{Name: "scan", StartUs: durUs / 4, DurUs: durUs / 2},
+			},
+		})
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func reqID(i int) string { return fmt.Sprintf("%032x", i+1) }
+
+func TestReadServeRun(t *testing.T) {
+	buf := writeSpanJournal(t, 10)
+	r, err := ReadServeRun(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spans != 10 || r.Truncated {
+		t.Fatalf("spans=%d truncated=%v, want 10 clean", r.Spans, r.Truncated)
+	}
+	if r.Statuses[200] != 10 || r.NestingViolations != 0 || r.Errors != 0 {
+		t.Fatalf("rollups wrong: %+v", r)
+	}
+	// Durations are 1000..10000us; exact percentiles interpolate.
+	if r.Requests.Count != 10 || r.Requests.P50 != 5500 {
+		t.Fatalf("request percentiles = %+v, want count 10 p50 5500", r.Requests)
+	}
+	if len(r.Stages) != 2 {
+		t.Fatalf("stages = %+v, want decode and scan", r.Stages)
+	}
+	// scan totals half of each span, decode a quarter: scan sorts first.
+	if r.Stages[0].Name != "scan" || r.Stages[1].Name != "decode" {
+		t.Fatalf("stage order = %s, %s, want scan, decode", r.Stages[0].Name, r.Stages[1].Name)
+	}
+	if r.Stages[0].Count != 10 || r.Stages[0].TotalUs != 27500 {
+		t.Fatalf("scan stats = %+v", r.Stages[0])
+	}
+	// Exemplars: slowest request is the last one.
+	if len(r.Exemplars) != 5 || r.Exemplars[0].RequestID != reqID(9) || r.Exemplars[0].Us != 10000 {
+		t.Fatalf("exemplars = %+v", r.Exemplars)
+	}
+	if r.Stages[0].Exemplars[0].RequestID != reqID(9) {
+		t.Fatalf("stage exemplars = %+v", r.Stages[0].Exemplars)
+	}
+}
+
+func TestReadServeRunTruncatedTail(t *testing.T) {
+	buf := writeSpanJournal(t, 3)
+	data := buf.Bytes()
+	torn := data[:len(data)-7] // rip mid-event, no trailing newline
+	r, err := ReadServeRun(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail must analyze the prefix, got %v", err)
+	}
+	if !r.Truncated || r.Spans != 2 {
+		t.Fatalf("truncated=%v spans=%d, want true/2", r.Truncated, r.Spans)
+	}
+}
+
+func TestServeRunNestingViolation(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf, nil)
+	tr.Emit("span", map[string]any{
+		"request_id": reqID(0), "method": "POST", "path": "/diagnose",
+		"status": 200, "dur_us": int64(1000), "sampled": true,
+		"stages": []obs.Stage{{Name: "scan", StartUs: 800, DurUs: 900}},
+	})
+	r, err := ReadServeRun(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NestingViolations != 1 {
+		t.Fatalf("nesting violations = %d, want 1", r.NestingViolations)
+	}
+}
+
+func TestJoinClient(t *testing.T) {
+	buf := writeSpanJournal(t, 4) // spans for ids 0..3, dur 1000..4000us
+	// Server also saw traffic no client claims (a health check).
+	tr := obs.NewTracer(buf, nil)
+	tr.Emit("span", map[string]any{
+		"request_id": reqID(99), "method": "GET", "path": "/healthz",
+		"status": 200, "dur_us": int64(50), "sampled": true,
+	})
+
+	var cbuf bytes.Buffer
+	ct := obs.NewTracer(&cbuf, nil)
+	for i := 0; i < 3; i++ { // client journaled ids 0..2 plus one unknown
+		ct.Emit("client_request", map[string]any{
+			"request_id": reqID(i),
+			"us":         int64((i+1)*1000 + 300), // 300us over the server span
+			"total_us":   int64((i + 1) * 1500),
+			"status":     200, "ok": true, "attempts": 1,
+		})
+	}
+	ct.Emit("client_request", map[string]any{
+		"request_id": reqID(42), "us": int64(777), "status": 0, "ok": false, "attempts": 3,
+	})
+
+	r, err := ReadServeRun(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.JoinClient(bytes.NewReader(cbuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	j := r.Join
+	if j == nil || j.Joined != 3 || j.ClientOnly != 1 || j.ServerOnly != 2 {
+		t.Fatalf("join = %+v, want joined 3, client-only 1, server-only 2", j)
+	}
+	if j.Overhead.Count != 3 || j.Overhead.P50 != 300 {
+		t.Fatalf("overhead = %+v, want p50 300", j.Overhead)
+	}
+	if len(j.Slowest) != 3 || j.Slowest[0].RequestID != reqID(2) ||
+		j.Slowest[0].ClientUs != 3300 || j.Slowest[0].ServerUs != 3000 || j.Slowest[0].OverheadUs != 300 {
+		t.Fatalf("slowest = %+v", j.Slowest)
+	}
+}
+
+// TestJoinClientPrefersStatusMatch pins the retry semantics: a request
+// shed with 503 and retried to 200 leaves two server spans under one
+// request ID; the join must pick the span matching the client's final
+// status.
+func TestJoinClientPrefersStatusMatch(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf, nil)
+	for _, s := range []struct {
+		status int
+		durUs  int64
+	}{{503, 40}, {200, 2000}} {
+		tr.Emit("span", map[string]any{
+			"request_id": reqID(7), "method": "POST", "path": "/diagnose",
+			"status": s.status, "dur_us": s.durUs, "sampled": true,
+		})
+	}
+	var cbuf bytes.Buffer
+	ct := obs.NewTracer(&cbuf, nil)
+	ct.Emit("client_request", map[string]any{
+		"request_id": reqID(7), "us": int64(2500), "status": 200, "ok": true, "attempts": 2,
+	})
+
+	r, err := ReadServeRun(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.JoinClient(bytes.NewReader(cbuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if r.Join.Joined != 1 || r.Join.Slowest[0].ServerUs != 2000 {
+		t.Fatalf("join picked span %+v, want the status-200 span (2000us)", r.Join.Slowest)
+	}
+}
+
+func TestServeRunWriteText(t *testing.T) {
+	buf := writeSpanJournal(t, 6)
+	r, err := ReadServeRun(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cbuf bytes.Buffer
+	ct := obs.NewTracer(&cbuf, nil)
+	ct.Emit("client_request", map[string]any{
+		"request_id": reqID(0), "us": int64(1100), "status": 200, "ok": true, "attempts": 1,
+	})
+	if err := r.JoinClient(bytes.NewReader(cbuf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"serve span journal: 6 spans, clean",
+		"stage breakdown:",
+		"scan", "decode",
+		"slowest requests:",
+		reqID(5),
+		"client join: joined=1",
+		"overhead_us",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPercentilesOfExact(t *testing.T) {
+	if got := percentilesOf(nil); got.Count != 0 {
+		t.Fatalf("empty percentiles = %+v", got)
+	}
+	s := percentilesOf([]int64{100})
+	if s.P50 != 100 || s.P99 != 100 {
+		t.Fatalf("single-value percentiles = %+v", s)
+	}
+	s = percentilesOf([]int64{400, 100, 300, 200}) // unsorted on purpose
+	if s.Count != 4 || s.Sum != 1000 || s.P50 != 250 {
+		t.Fatalf("percentiles = %+v, want count 4 sum 1000 p50 250", s)
+	}
+}

@@ -96,6 +96,12 @@ const (
 	// recompute (no usable prior case), including near candidates
 	// rejected by the guard.
 	ServeRecallMisses
+	// ServeSpans counts request spans flushed to the trace (sampled,
+	// slow, or failed — see span.go emission rules).
+	ServeSpans
+	// ServeSlowRequests counts requests over the slow-request threshold
+	// (-slow-ms); such spans always emit, sampled or not.
+	ServeSlowRequests
 
 	numCounters
 )
@@ -121,6 +127,8 @@ var counterNames = [numCounters]string{
 	ServeRecallHits:      "serve_recall_hits",
 	ServeRecallNear:      "serve_recall_near",
 	ServeRecallMisses:    "serve_recall_misses",
+	ServeSpans:           "serve_spans",
+	ServeSlowRequests:    "serve_slow_requests",
 }
 
 // Gauge identifies one instantaneous metric.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"time"
 )
 
@@ -62,6 +63,38 @@ func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
 	return err
 }
 
+// RuntimeGauges reads the Go runtime's process-health gauges —
+// goroutine count, live heap bytes, cumulative GC pause — keyed by the
+// gauge names they render under (prefixed with MetricNamespace by
+// WriteOpenMetrics). App counters say what the process has done;
+// these say what it costs to keep doing it, which is the half a
+// scrape of a long-lived server actually alarms on.
+func RuntimeGauges() map[string]int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]int64{
+		"runtime_goroutines":        int64(runtime.NumGoroutine()),
+		"runtime_heap_bytes":        int64(ms.HeapAlloc),
+		"runtime_gc_pause_total_ns": int64(ms.PauseTotalNs),
+	}
+}
+
+// WithRuntime returns a copy of s with the live RuntimeGauges merged
+// into its gauge map. WriteOpenMetrics itself stays a pure function of
+// the snapshot (its byte-identical-rendering guarantee holds); callers
+// that want process health in the exposition opt in at scrape time.
+func (s Snapshot) WithRuntime() Snapshot {
+	gauges := make(map[string]int64, len(s.Gauges)+3)
+	for k, v := range s.Gauges {
+		gauges[k] = v
+	}
+	for k, v := range RuntimeGauges() {
+		gauges[k] = v
+	}
+	s.Gauges = gauges
+	return s
+}
+
 func sortedHistKeys(m map[string]HistSnapshot) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -102,7 +135,7 @@ func StartMetricsServerAddr(addr string, m *Metrics) (bound string, stop func() 
 		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
 		// Snapshot first, then write: a slow client must not hold
 		// instrument loads open.
-		snap := m.Snapshot()
+		snap := m.Snapshot().WithRuntime()
 		_ = snap.WriteOpenMetrics(w) // client went away; nothing to salvage
 	})
 	// Header-read and idle timeouts keep a stalled or misbehaving

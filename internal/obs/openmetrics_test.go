@@ -94,4 +94,40 @@ func TestStartMetricsServerServes(t *testing.T) {
 	if !strings.Contains(string(body), "sdd_sim_batches_total 9") {
 		t.Errorf("live exposition missing counter:\n%s", body)
 	}
+	// Process-health gauges ride along with the app metrics.
+	for _, want := range []string{
+		"# TYPE sdd_runtime_goroutines gauge",
+		"sdd_runtime_goroutines ",
+		"sdd_runtime_heap_bytes ",
+		"sdd_runtime_gc_pause_total_ns ",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("live exposition missing runtime gauge %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestRuntimeGauges(t *testing.T) {
+	g := RuntimeGauges()
+	if g["runtime_goroutines"] < 1 {
+		t.Errorf("runtime_goroutines = %d, want >= 1", g["runtime_goroutines"])
+	}
+	if g["runtime_heap_bytes"] <= 0 {
+		t.Errorf("runtime_heap_bytes = %d, want > 0", g["runtime_heap_bytes"])
+	}
+
+	// WithRuntime must not mutate the receiver's gauge map.
+	m := NewMetrics()
+	m.Set(IndistPairs, 5)
+	snap := m.Snapshot()
+	enriched := snap.WithRuntime()
+	if _, ok := snap.Gauges["runtime_goroutines"]; ok {
+		t.Error("WithRuntime mutated the original snapshot")
+	}
+	if enriched.Gauges["indist_pairs"] != 5 {
+		t.Errorf("WithRuntime dropped app gauge: %+v", enriched.Gauges)
+	}
+	if enriched.Gauges["runtime_goroutines"] < 1 {
+		t.Errorf("enriched snapshot missing runtime gauges: %+v", enriched.Gauges)
+	}
 }

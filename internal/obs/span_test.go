@@ -1,0 +1,426 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// spanClock is a hand-cranked clock for span tests: hermetic, and
+// advanced explicitly so stage intervals are exact.
+type spanClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newSpanClock() *spanClock {
+	return &spanClock{now: time.Unix(1700000000, 0)}
+}
+
+func (c *spanClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *spanClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestParseTraceparent(t *testing.T) {
+	traceID := "4bf92f3577b34da6a3ce929d0e0e4736"
+	parentID := "00f067aa0ba902b7"
+	valid := "00-" + traceID + "-" + parentID + "-01"
+
+	gotTrace, gotParent, ok := ParseTraceparent(valid)
+	if !ok || gotTrace != traceID || gotParent != parentID {
+		t.Fatalf("ParseTraceparent(%q) = %q, %q, %v", valid, gotTrace, gotParent, ok)
+	}
+
+	bad := []string{
+		"",
+		valid[:54],                               // too short
+		valid + "0",                              // too long
+		"ff-" + traceID + "-" + parentID + "-01", // reserved version
+		"00-" + strings.ToUpper(traceID) + "-" + parentID + "-01", // uppercase hex
+		"00-" + strings.Repeat("0", 32) + "-" + parentID + "-01",  // all-zero trace
+		"00-" + traceID + "-" + strings.Repeat("0", 16) + "-01",   // all-zero parent
+		"00-" + traceID[:31] + "g-" + parentID + "-01",            // non-hex
+		"00_" + traceID + "-" + parentID + "-01",                  // wrong separator
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted a malformed header", h)
+		}
+	}
+}
+
+func TestFormatTraceparentRoundTrip(t *testing.T) {
+	traceID := "0123456789abcdef0123456789abcdef"
+	parentID := "fedcba9876543210"
+	for _, sampled := range []bool{false, true} {
+		h := FormatTraceparent(traceID, parentID, sampled)
+		gotTrace, gotParent, ok := ParseTraceparent(h)
+		if !ok || gotTrace != traceID || gotParent != parentID {
+			t.Fatalf("round trip of %q = %q, %q, %v", h, gotTrace, gotParent, ok)
+		}
+	}
+}
+
+func TestSampledDeterministicAndBounded(t *testing.T) {
+	if Sampled("anything", 1) != true || Sampled("anything", 0) != false {
+		t.Fatal("rate 1 must sample everything, rate 0 nothing")
+	}
+	const n = 20000
+	rate := 0.25
+	hits := 0
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%032x", i+1)
+		v := Sampled(id, rate)
+		if v != Sampled(id, rate) {
+			t.Fatalf("Sampled(%q) not stable", id)
+		}
+		if v {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < rate-0.03 || got > rate+0.03 {
+		t.Fatalf("sample rate %v drifted to %v over %d ids", rate, got, n)
+	}
+}
+
+// traceFields re-reads the single span event a test produced.
+func traceFields(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	var out []map[string]any
+	for _, ev := range events {
+		if ev.Type != "span" {
+			t.Fatalf("unexpected event type %q", ev.Type)
+		}
+		out = append(out, ev.Fields)
+	}
+	return out
+}
+
+func TestSpanLifecycleAndStageNesting(t *testing.T) {
+	clock := newSpanClock()
+	var buf bytes.Buffer
+	ob := &Observer{Metrics: NewMetrics(), Trace: NewTracer(&buf, clock.Now)}
+	spans := NewSpans(ob, clock.Now, SpanOptions{Sample: 1})
+
+	traceID := "4bf92f3577b34da6a3ce929d0e0e4736"
+	h := FormatTraceparent(traceID, "00f067aa0ba902b7", true)
+	s := spans.Start("POST", "/diagnose", h)
+	if s.RequestID() != traceID {
+		t.Fatalf("RequestID = %q, want inbound trace id", s.RequestID())
+	}
+	if !s.Sampled() {
+		t.Fatal("sample rate 1 must sample")
+	}
+	clock.Advance(1 * time.Millisecond)
+	s.BeginStage("decode")
+	clock.Advance(2 * time.Millisecond)
+	s.BeginStage("recall") // implicitly closes decode
+	clock.Advance(3 * time.Millisecond)
+	s.EndStage()
+	clock.Advance(1 * time.Millisecond)
+	s.BeginStage("scan") // left open: End must close it
+	clock.Advance(2 * time.Millisecond)
+	s.SetStatus(200)
+	spans.End(s)
+
+	fields := traceFields(t, &buf)
+	if len(fields) != 1 {
+		t.Fatalf("got %d span events, want 1", len(fields))
+	}
+	f := fields[0]
+	if f["request_id"] != traceID || f["parent"] != "00f067aa0ba902b7" {
+		t.Fatalf("span identity fields wrong: %v", f)
+	}
+	durUs := int64(f["dur_us"].(float64))
+	if durUs != 9000 {
+		t.Fatalf("dur_us = %d, want 9000", durUs)
+	}
+	stages, ok := f["stages"].([]any)
+	if !ok || len(stages) != 3 {
+		t.Fatalf("stages = %v, want 3 entries", f["stages"])
+	}
+	wantStages := []struct {
+		name           string
+		startUs, durUs int64
+	}{
+		{"decode", 1000, 2000},
+		{"recall", 3000, 3000},
+		{"scan", 7000, 2000},
+	}
+	for i, st := range stages {
+		m := st.(map[string]any)
+		w := wantStages[i]
+		name := m["name"].(string)
+		startUs := int64(m["start_us"].(float64))
+		stageDur := int64(m["dur_us"].(float64))
+		if name != w.name || startUs != w.startUs || stageDur != w.durUs {
+			t.Errorf("stage %d = {%s %d %d}, want %+v", i, name, startUs, stageDur, w)
+		}
+		if startUs < 0 || startUs+stageDur > durUs {
+			t.Errorf("stage %d [%d,%d] escapes span interval [0,%d]", i, startUs, startUs+stageDur, durUs)
+		}
+	}
+	if got := ob.Metrics.Counter(ServeSpans); got != 1 {
+		t.Fatalf("serve_spans = %d, want 1", got)
+	}
+}
+
+func TestSpanEmissionRules(t *testing.T) {
+	cases := []struct {
+		name   string
+		opts   SpanOptions
+		status int
+		dur    time.Duration
+		errMsg string
+		want   bool
+	}{
+		{"unsampled fast ok", SpanOptions{Sample: 0}, 200, time.Millisecond, "", false},
+		{"sampled", SpanOptions{Sample: 1}, 200, time.Millisecond, "", true},
+		{"unsampled slow", SpanOptions{Sample: 0, Slow: 10 * time.Millisecond}, 200, 20 * time.Millisecond, "", true},
+		{"unsampled under slow threshold", SpanOptions{Sample: 0, Slow: 10 * time.Millisecond}, 200, 5 * time.Millisecond, "", false},
+		{"unsampled failed", SpanOptions{Sample: 0}, 500, time.Millisecond, "panic: boom", true},
+		{"unsampled client error", SpanOptions{Sample: 0}, 400, time.Millisecond, "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newSpanClock()
+			var buf bytes.Buffer
+			ob := &Observer{Metrics: NewMetrics(), Trace: NewTracer(&buf, clock.Now)}
+			spans := NewSpans(ob, clock.Now, tc.opts)
+
+			s := spans.Start("POST", "/diagnose", "")
+			clock.Advance(tc.dur)
+			s.SetStatus(tc.status)
+			if tc.errMsg != "" {
+				s.SetError(tc.errMsg)
+			}
+			spans.End(s)
+
+			fields := traceFields(t, &buf)
+			if got := len(fields) == 1; got != tc.want {
+				t.Fatalf("emitted = %v, want %v (events: %v)", got, tc.want, fields)
+			}
+			if tc.want {
+				f := fields[0]
+				if int(f["status"].(float64)) != tc.status {
+					t.Errorf("status = %v, want %d", f["status"], tc.status)
+				}
+				if tc.errMsg != "" && f["error"] != tc.errMsg {
+					t.Errorf("error = %v, want %q", f["error"], tc.errMsg)
+				}
+				if tc.opts.Slow > 0 && tc.dur >= tc.opts.Slow && f["slow"] != true {
+					t.Errorf("slow request span missing slow marker: %v", f)
+				}
+			}
+			wantSlow := int64(0)
+			if tc.opts.Slow > 0 && tc.dur >= tc.opts.Slow {
+				wantSlow = 1
+			}
+			if got := ob.Metrics.Counter(ServeSlowRequests); got != wantSlow {
+				t.Errorf("serve_slow_requests = %d, want %d", got, wantSlow)
+			}
+		})
+	}
+}
+
+func TestSpanGeneratedIDsMonotonicAndValid(t *testing.T) {
+	clock := newSpanClock()
+	spans := NewSpans(nil, clock.Now, SpanOptions{})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		s := spans.Start("GET", "/healthz", "")
+		ids = append(ids, s.RequestID())
+		spans.End(s)
+	}
+	for i, id := range ids {
+		if len(id) != 32 || !hexLower(id) {
+			t.Fatalf("generated id %q is not 32 lowercase hex chars", id)
+		}
+		if i > 0 && !(ids[i-1] < id) {
+			t.Fatalf("generated ids not monotonic: %q then %q", ids[i-1], id)
+		}
+	}
+}
+
+func TestSpanInflight(t *testing.T) {
+	clock := newSpanClock()
+	spans := NewSpans(nil, clock.Now, SpanOptions{})
+
+	a := spans.Start("POST", "/diagnose", "")
+	clock.Advance(5 * time.Millisecond)
+	b := spans.Start("GET", "/cases", "")
+	b.BeginStage("recall")
+	clock.Advance(5 * time.Millisecond)
+
+	in := spans.Inflight()
+	if len(in) != 2 {
+		t.Fatalf("inflight = %d requests, want 2", len(in))
+	}
+	if in[0].Path != "/diagnose" || in[1].Path != "/cases" {
+		t.Fatalf("inflight order wrong: %+v", in)
+	}
+	if in[0].Seq >= in[1].Seq {
+		t.Fatalf("inflight not in seq order: %+v", in)
+	}
+	if in[0].AgeMs != 10 || in[1].AgeMs != 5 {
+		t.Fatalf("ages = %d, %d, want 10, 5", in[0].AgeMs, in[1].AgeMs)
+	}
+	if in[0].Stage != "" || in[1].Stage != "recall" {
+		t.Fatalf("stages = %q, %q, want \"\", \"recall\"", in[0].Stage, in[1].Stage)
+	}
+
+	spans.End(a)
+	spans.End(b)
+	if in := spans.Inflight(); len(in) != 0 {
+		t.Fatalf("inflight after End = %+v, want empty", in)
+	}
+}
+
+func TestSpanFreeListRecycles(t *testing.T) {
+	clock := newSpanClock()
+	spans := NewSpans(nil, clock.Now, SpanOptions{})
+	a := spans.Start("POST", "/diagnose", "")
+	spans.End(a)
+	b := spans.Start("POST", "/diagnose", "")
+	if a != b {
+		t.Fatal("ended span was not recycled through the free list")
+	}
+	if b.RequestID() == "" {
+		t.Fatal("recycled span missing request id")
+	}
+	spans.End(b)
+}
+
+// TestSampledSetStableAcrossWorkers drives the same request-ID stream
+// through the span layer at several concurrency levels and checks the
+// emitted (sampled) set is identical each time — the determinism
+// property that makes a sampling rate a reproducible filter rather than
+// a coin flip per run.
+func TestSampledSetStableAcrossWorkers(t *testing.T) {
+	const n = 512
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%016x%016x", 0xabcdef, i+1)
+	}
+
+	run := func(workers int) []string {
+		var buf bytes.Buffer
+		ob := &Observer{Trace: NewTracer(&buf, nil)}
+		spans := NewSpans(ob, time.Now, SpanOptions{Sample: 0.5})
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		next := make(chan string)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for id := range next {
+					s := spans.Start("POST", "/diagnose", FormatTraceparent(id, "00f067aa0ba902b7", true))
+					s.BeginStage("decode")
+					s.EndStage()
+					spans.End(s)
+				}
+			}()
+		}
+		for _, id := range ids {
+			next <- id
+		}
+		close(next)
+		wg.Wait()
+
+		events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadEvents: %v", err)
+		}
+		var got []string
+		for _, ev := range events {
+			got = append(got, ev.Fields["request_id"].(string))
+		}
+		sort.Strings(got)
+		return got
+	}
+
+	want := run(1)
+	if len(want) == 0 || len(want) == n {
+		t.Fatalf("rate 0.5 sampled %d of %d — test ids give no discrimination", len(want), n)
+	}
+	for _, id := range want {
+		if !Sampled(id, 0.5) {
+			t.Fatalf("emitted id %q disagrees with Sampled()", id)
+		}
+	}
+	for _, workers := range []int{4, 16} {
+		got := run(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d sampled %d spans, workers=1 sampled %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d sampled set diverges at %d: %q vs %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSpanZeroAllocUnsampled pins the hot-path cost of tracing-off:
+// with -trace-sample 0 and an inbound traceparent, a full
+// Start/stages/End cycle allocates nothing (free-list recycling, inline
+// stage buffer, substring request IDs).
+func TestSpanZeroAllocUnsampled(t *testing.T) {
+	ob := &Observer{Metrics: NewMetrics(), Trace: NewTracer(io.Discard, nil)}
+	spans := NewSpans(ob, time.Now, SpanOptions{Sample: 0})
+	h := FormatTraceparent("4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7", true)
+
+	cycle := func() {
+		s := spans.Start("POST", "/diagnose", h)
+		s.BeginStage("decode")
+		s.BeginStage("recall")
+		s.BeginStage("scan")
+		s.BeginStage("record")
+		s.EndStage()
+		s.SetStatus(200)
+		spans.End(s)
+	}
+	cycle() // warm the free list: the first span is a real allocation
+
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("unsampled span cycle allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var spans *Spans
+	s := spans.Start("POST", "/diagnose", "")
+	if s != nil {
+		t.Fatal("nil Spans must return a nil span")
+	}
+	// All of these must be no-ops, not panics.
+	s.BeginStage("decode")
+	s.EndStage()
+	s.SetStatus(200)
+	s.SetError("x")
+	if s.RequestID() != "" || s.Sampled() {
+		t.Fatal("nil span must report zero values")
+	}
+	spans.End(s)
+	if got := spans.Inflight(); got != nil {
+		t.Fatalf("nil Spans Inflight = %v, want nil", got)
+	}
+}

@@ -73,6 +73,18 @@ type Config struct {
 	Obs *obs.Observer
 	// Clock supplies timestamps for latency metrics. Default time.Now.
 	Clock func() time.Time
+	// TraceSample is the request-span sampling rate in [0,1] (DESIGN.md
+	// §16): the deterministic fraction of request spans flushed to the
+	// trace. Default 0 — request IDs are still assigned and echoed, and
+	// slow or failed requests still emit their spans, but nothing else
+	// reaches the journal. cmd/sddserve's -trace-sample flag defaults
+	// to 1 instead: with a trace file attached, sampling everything is
+	// the useful default.
+	TraceSample float64
+	// SlowRequest is the slow-request threshold: requests lasting at
+	// least this long always emit their span, sampled or not, and count
+	// serve_slow_requests. Default 0 (disabled).
+	SlowRequest time.Duration
 }
 
 // Server is one diagnosis service instance.
@@ -81,6 +93,7 @@ type Server struct {
 	ob       *obs.Observer
 	reg      *registry
 	cases    *casestore.Store
+	spans    *obs.Spans
 	handler  http.Handler
 	inflight chan struct{}
 	draining atomic.Bool
@@ -122,6 +135,7 @@ func New(cfg Config) *Server {
 		ob:       ob,
 		reg:      newRegistry(cfg.CacheSize, cfg.FS, ob),
 		cases:    cfg.Cases,
+		spans:    obs.NewSpans(ob, cfg.Clock, obs.SpanOptions{Sample: cfg.TraceSample, Slow: cfg.SlowRequest}),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		clock:    cfg.Clock,
 	}
@@ -129,13 +143,18 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("GET /dictionaries", s.handleDictList)
 	mux.HandleFunc("GET /cases", s.handleCases)
 	mux.HandleFunc("GET /cases/correlate", s.handleCorrelate)
 	mux.Handle("POST /dictionaries/load", s.limited(s.deadlined(http.HandlerFunc(s.handleDictLoad))))
 	mux.Handle("POST /dictionaries/evict", s.limited(s.deadlined(http.HandlerFunc(s.handleDictEvict))))
 	mux.Handle("POST /diagnose", s.limited(s.deadlined(http.HandlerFunc(s.handleDiagnose))))
-	s.handler = s.recovered(mux)
+	// traced sits inside recovered: a panic unwinds through traced first
+	// (closing the request span with error status), then recovered turns
+	// it into the 500 — which still carries X-Request-ID because traced
+	// stamped the shared header map before the handler ran.
+	s.handler = s.recovered(s.traced(mux))
 	return s
 }
 
@@ -240,6 +259,30 @@ func (s *Server) recovered(h http.Handler) http.Handler {
 	})
 }
 
+// traced opens the request span (DESIGN.md §16): it assigns or
+// propagates the request ID (inbound W3C traceparent wins), echoes it
+// as X-Request-ID before the handler runs — so every response path,
+// including shed 503s, drain 503s and recovered panic 500s, carries it
+// — and closes the span on the way out. The response status is captured
+// by wrapping the writer; a panic closes the span with error status and
+// re-panics for the recovery middleware to convert into the 500.
+func (s *Server) traced(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp := s.spans.Start(r.Method, r.URL.Path, r.Header.Get("traceparent"))
+		w.Header().Set("X-Request-ID", sp.RequestID())
+		defer func() {
+			if p := recover(); p != nil {
+				sp.SetStatus(http.StatusInternalServerError)
+				sp.SetError(fmt.Sprint(p))
+				s.spans.End(sp)
+				panic(p)
+			}
+			s.spans.End(sp)
+		}()
+		h.ServeHTTP(sp.Writer(w), r.WithContext(obs.ContextWithSpan(r.Context(), sp)))
+	})
+}
+
 // limited admits a request if an in-flight slot is free and sheds it
 // with 503 + Retry-After otherwise — bounded degradation instead of an
 // unbounded queue collapsing tail latency.
@@ -286,8 +329,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
-	snap := s.ob.M().Snapshot()
+	snap := s.ob.M().Snapshot().WithRuntime()
 	_ = snap.WriteOpenMetrics(w) // client went away; nothing to salvage
+}
+
+// handleDebugRequests dumps the in-flight request set — request ID,
+// route, current stage and age — the "what is this server doing right
+// now" view. The dump request itself appears in its own snapshot.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	in := s.spans.Inflight()
+	if in == nil {
+		in = []obs.InflightRequest{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"total": len(in), "requests": in})
 }
 
 func (s *Server) handleDictList(w http.ResponseWriter, _ *http.Request) {
@@ -402,6 +456,8 @@ type DiagnoseResponse struct {
 }
 
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	sp := obs.SpanFrom(r.Context())
+	sp.BeginStage("decode")
 	var req DiagnoseRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -456,18 +512,23 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		// Per-observation decode stage: a batch request shows one
+		// decode/recall/scan/record stage cycle per observation, which
+		// sddstat aggregates by stage name.
+		sp.BeginStage("decode")
 		vectors, err := dictio.ParseVectors(lines, e.header.Outputs)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "observation %d: %v", i+1, err)
 			return
 		}
-		res, err := s.diagnoseOne(e, vectors, topK)
+		res, err := s.diagnoseOne(ctx, e, vectors, topK)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "observation %d: %v", i+1, err)
 			return
 		}
 		resp.Results = append(resp.Results, res)
 	}
+	sp.EndStage()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -488,8 +549,9 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 // distance-discounted confidence, and it is only served when the guard
 // confirms the cached candidate set is the dictionary's own top
 // candidate set for the new signature.
-func (s *Server) diagnoseOne(e *entry, vectors []logic.BitVec, topK int) (DiagnoseResult, error) {
+func (s *Server) diagnoseOne(ctx context.Context, e *entry, vectors []logic.BitVec, topK int) (DiagnoseResult, error) {
 	start := s.clock()
+	sp := obs.SpanFrom(ctx)
 	dict := e.dict.Dict
 	sig, err := dict.Signature(vectors)
 	if err != nil {
@@ -497,6 +559,7 @@ func (s *Server) diagnoseOne(e *entry, vectors []logic.BitVec, topK int) (Diagno
 	}
 	res := DiagnoseResult{Failing: sig.PopCount()}
 	if s.cases != nil {
+		sp.BeginStage("recall")
 		if rc, ok := s.recall(e, sig, topK); ok {
 			cached := rc.Case
 			res.Exact = cached.Exact
@@ -512,9 +575,11 @@ func (s *Server) diagnoseOne(e *entry, vectors []logic.BitVec, topK int) (Diagno
 				}
 			}
 			s.ob.M().Observe(obs.DiagnoseUs, s.clock().Sub(start).Microseconds())
+			sp.EndStage()
 			return res, nil
 		}
 	}
+	sp.BeginStage("scan")
 	if exact := dict.Candidates(sig); len(exact) > 0 {
 		res.Exact = true
 		for _, f := range exact {
@@ -528,9 +593,10 @@ func (s *Server) diagnoseOne(e *entry, vectors []logic.BitVec, topK int) (Diagno
 		}
 	}
 	if s.cases != nil {
-		s.record(e, sig, topK, res)
+		s.record(ctx, e, sig, topK, res)
 	}
 	s.ob.M().Observe(obs.DiagnoseUs, s.clock().Sub(start).Microseconds())
+	sp.EndStage()
 	return res, nil
 }
 
@@ -616,8 +682,9 @@ func (s *Server) guardNear(dict *core.Compiled, sig logic.BitVec, c *casestore.C
 
 // record persists the outcome of a recompute as a new case. A failed
 // append degrades to a trace event: the caching tier must never break
-// the diagnosis that just succeeded.
-func (s *Server) record(e *entry, sig logic.BitVec, topK int, res DiagnoseResult) {
+// the diagnosis that just succeeded. The store's RecordCtx opens the
+// "record" stage on the request span carried by ctx.
+func (s *Server) record(ctx context.Context, e *entry, sig logic.BitVec, topK int, res DiagnoseResult) {
 	c := casestore.Case{
 		Circuit:      e.header.Circuit,
 		TestSet:      e.header.TestSet,
@@ -634,7 +701,7 @@ func (s *Server) record(e *entry, sig logic.BitVec, topK int, res DiagnoseResult
 			Fault: cand.Fault, Name: cand.Name, Distance: cand.Distance,
 		})
 	}
-	rec, err := s.cases.Record(c)
+	rec, err := s.cases.RecordCtx(ctx, c)
 	if err != nil {
 		s.ob.Emit("case_record_error", map[string]any{"error": err.Error()})
 		return

@@ -294,6 +294,71 @@ func publishToyArtifact(t *testing.T, path string) {
 	}
 }
 
+// TestServeTraceJoin drives the whole tracing loop end to end: a traced
+// sddserve under sddload traffic, then `sddstat serve` joining the
+// server span journal against the client journal by request ID. This is
+// the "chase a tail latency" workflow from the README, exec'd for real.
+func TestServeTraceJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs freshly built binaries; skipped in -short mode")
+	}
+	bins := buildBinaries(t, "sddserve", "sddload", "sddstat")
+	dir := artifactDir(t)
+	artPath := filepath.Join(dir, "toy.sdda")
+	publishToyArtifact(t, artPath)
+
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	clientPath := filepath.Join(dir, "client.jsonl")
+	srv, addr, stderr := startServer(t, bins["sddserve"],
+		"-dict", artPath, "-trace-out", spansPath, "-trace-sample", "1")
+
+	load := exec.Command(bins["sddload"],
+		"-addr", addr, "-dict", artPath,
+		"-clients", "4", "-requests", "40", "-seed", "11",
+		"-journal", clientPath)
+	loadOut, err := load.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sddload: %v\n%s", err, loadOut)
+	}
+	// Satellite check: the load report names its slowest request IDs, the
+	// handle the operator greps the span journal for.
+	if !strings.Contains(string(loadOut), "slow request_id=") {
+		t.Errorf("sddload report has no slow-request exemplars:\n%s", loadOut)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitTimeout(t, srv, 30*time.Second); err != nil {
+		t.Errorf("drained server exit: %v (want 0); stderr:\n%s", err, stderr.String())
+	}
+
+	stat := exec.Command(bins["sddstat"], "serve", spansPath, clientPath)
+	statOut, err := stat.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sddstat serve: %v\n%s", err, statOut)
+	}
+	report := string(statOut)
+	saveArtifactOnFailure(t, "sddstat-serve.txt", func() []byte { return statOut })
+	for _, want := range []string{
+		"serve span journal:",
+		"stage breakdown:",
+		"decode", "scan",
+		"client join: joined=",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("sddstat serve report missing %q:\n%s", want, report)
+		}
+	}
+	m := regexp.MustCompile(`client join: joined=(\d+)`).FindStringSubmatch(report)
+	if m == nil {
+		t.Fatalf("no join line in report:\n%s", report)
+	}
+	if joined, _ := strconv.Atoi(m[1]); joined != 40 {
+		t.Errorf("joined %s of 40 requests by ID:\n%s", m[1], report)
+	}
+}
+
 func TestServeChaosShedDrain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("execs freshly built binaries; skipped in -short mode")
